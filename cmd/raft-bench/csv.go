@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// csvDir, when non-empty, makes the figure experiments also write their
+// data series as CSV files (one per artifact) for external plotting.
+var csvDir string
+
+// writeCSV writes one artifact's rows to <csvDir>/<name>.csv; it is a
+// no-op when -csv was not given.
+func writeCSV(name string, header []string, rows [][]string) {
+	if csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "raft-bench: csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raft-bench: csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		fmt.Fprintf(os.Stderr, "raft-bench: csv: %v\n", err)
+		return
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			fmt.Fprintf(os.Stderr, "raft-bench: csv: %v\n", err)
+			return
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintf(os.Stderr, "raft-bench: csv: %v\n", err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}

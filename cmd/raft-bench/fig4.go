@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"raftlib/internal/apps/matmul"
+)
+
+// fig4Sizes is the queue-size sweep (bytes per stream), spanning the
+// paper's x-axis from KiB-class up past the 8 MB knee.
+var fig4Sizes = []int{
+	2 << 10, 8 << 10, 32 << 10, 128 << 10,
+	512 << 10, 2 << 20, 8 << 20, 32 << 20,
+}
+
+// runFig4 reproduces Figure 4: execution time of the streaming matrix
+// multiply as a function of the (fixed) queue allocation, reported as mean
+// with 5th/95th percentiles across repetitions.
+func runFig4(reps int) {
+	header("Figure 4: Execution time vs queue size (streaming matmul)")
+	fmt.Printf("matrix %dx%d float64, workers=%d, %d repetitions per point\n\n",
+		matmul.Dim, matmul.Dim, fig4Workers(), reps)
+	fmt.Printf("%-12s %-12s %-12s %-12s\n", "queueBytes", "mean(ms)", "p5(ms)", "p95(ms)")
+
+	a, b := matmul.NewRandom(1), matmul.NewRandom(2)
+	var rows [][]string
+	for _, size := range fig4Sizes {
+		times := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			res, err := matmul.Run(a, b, matmul.Config{
+				QueueCapBytes: size,
+				Workers:       fig4Workers(),
+			})
+			if err != nil {
+				fmt.Printf("%-12d ERROR: %v\n", size, err)
+				return
+			}
+			times = append(times, float64(res.Elapsed)/float64(time.Millisecond))
+		}
+		mean, p5, p95 := summarize(times)
+		fmt.Printf("%-12d %-12.2f %-12.2f %-12.2f\n", size, mean, p5, p95)
+		rows = append(rows, []string{
+			fmt.Sprint(size), fmt.Sprintf("%.3f", mean),
+			fmt.Sprintf("%.3f", p5), fmt.Sprintf("%.3f", p95),
+		})
+	}
+	writeCSV("fig4", []string{"queue_bytes", "mean_ms", "p5_ms", "p95_ms"}, rows)
+	fmt.Println("\npaper shape: slow at tiny queues; flat optimum; time and p95")
+	fmt.Println("spread increase again for allocations in the >=8 MB class.")
+}
+
+func fig4Workers() int {
+	w := runtime.GOMAXPROCS(0) / 2
+	if w < 2 {
+		w = 2
+	}
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// summarize returns mean, p5 and p95 of xs.
+func summarize(xs []float64) (mean, p5, p95 float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean = sum / float64(len(sorted))
+	p5 = sorted[int(0.05*float64(len(sorted)-1))]
+	p95 = sorted[int(0.95*float64(len(sorted)-1))]
+	return mean, p5, p95
+}

@@ -1,0 +1,99 @@
+// Command raft-bench regenerates every table and figure of the RaftLib
+// paper's evaluation (PMAM '15, §5) plus the ablation studies listed in
+// DESIGN.md:
+//
+//	raft-bench -table1            hardware summary (paper Table 1)
+//	raft-bench -fig4              queue-size sweep, matmul (paper Figure 4)
+//	raft-bench -fig10             text search GB/s vs cores (paper Figure 10)
+//	raft-bench -ablate <name>     split | resize | clone | sched | monitor |
+//	                              map | tcp | model
+//	raft-bench -all               everything above
+//
+// Absolute numbers depend on the host; EXPERIMENTS.md records the shape
+// comparisons against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print the hardware summary (Table 1)")
+		fig4     = flag.Bool("fig4", false, "run the queue-size sweep (Figure 4)")
+		fig10    = flag.Bool("fig10", false, "run the text-search scaling study (Figure 10)")
+		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap")
+		all      = flag.Bool("all", false, "run every experiment")
+		corpusMB = flag.Int("corpus", 64, "text-search corpus size in MiB (Figure 10)")
+		reps     = flag.Int("reps", 10, "repetitions per configuration (Figure 4)")
+		coresArg = flag.String("cores", "", "comma-separated core counts for Figure 10 (default 1,2,4,...,NumCPU)")
+		csvOut   = flag.String("csv", "", "directory to also write figure data as CSV")
+	)
+	flag.Parse()
+	csvDir = *csvOut
+
+	cores := parseCores(*coresArg)
+
+	ran := false
+	if *table1 || *all {
+		runTable1()
+		ran = true
+	}
+	if *fig4 || *all {
+		runFig4(*reps)
+		ran = true
+	}
+	if *fig10 || *all {
+		runFig10(*corpusMB, cores)
+		ran = true
+	}
+	if *ablate != "" {
+		runAblation(*ablate, *corpusMB, cores)
+		ran = true
+	} else if *all {
+		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap"} {
+			runAblation(name, *corpusMB, cores)
+		}
+	}
+	if !ran && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// parseCores parses "1,2,4" or defaults to powers of two up to NumCPU.
+func parseCores(arg string) []int {
+	if arg != "" {
+		var out []int
+		for _, f := range strings.Split(arg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "raft-bench: bad -cores entry %q\n", f)
+				os.Exit(2)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	maxCores := runtime.GOMAXPROCS(0)
+	var out []int
+	for c := 1; c < maxCores; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, maxCores)
+}
+
+// header prints a section banner.
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n\n", title)
+}
+
+// gbps formats bytes/second as GB/s (decimal GB, as the paper plots).
+func gbps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.3f", bytesPerSec/1e9)
+}

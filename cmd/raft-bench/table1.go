@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// runTable1 prints the benchmarking-hardware summary in the format of the
+// paper's Table 1 ("Processor / Cores / RAM / OS Version"), alongside the
+// paper's own row for reference.
+func runTable1() {
+	header("Table 1: Summary of Benchmarking Hardware")
+	fmt.Printf("%-12s %-34s %-6s %-8s %s\n", "", "Processor", "Cores", "RAM", "OS Version")
+	fmt.Printf("%-12s %-34s %-6s %-8s %s\n", "paper", "Intel Xeon E5-2650", "16", "62 GB", "Linux 2.6.32")
+	fmt.Printf("%-12s %-34s %-6d %-8s %s\n", "this host",
+		cpuModel(), runtime.GOMAXPROCS(0), totalRAM(), osVersion())
+}
+
+// cpuModel reads the processor name from /proc/cpuinfo (best effort).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+// totalRAM reads MemTotal from /proc/meminfo (best effort).
+func totalRAM() string {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return "?"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "MemTotal:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				kb, err := strconv.ParseInt(fields[1], 10, 64)
+				if err == nil {
+					return fmt.Sprintf("%d GB", kb>>20)
+				}
+			}
+		}
+	}
+	return "?"
+}
+
+// osVersion reads the kernel release (best effort).
+func osVersion() string {
+	data, err := os.ReadFile("/proc/sys/kernel/osrelease")
+	if err != nil {
+		return runtime.GOOS
+	}
+	return runtime.GOOS + " " + strings.TrimSpace(string(data))
+}

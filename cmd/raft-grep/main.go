@@ -1,0 +1,101 @@
+// Command raft-grep is a grep-like exact string matcher built on the raft
+// streaming runtime — the application of the paper's §5 benchmark as a
+// usable tool:
+//
+//	raft-grep [-algo horspool|ahocorasick|boyermoore] [-cores N]
+//	          [-count] [-offsets] PATTERN FILE
+//
+// It prints matching lines by default, mirrors grep -c with -count, and
+// prints byte offsets with -offsets. The match kernels are replicated
+// across cores by the runtime.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"raftlib/internal/apps/textsearch"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "horspool", "match algorithm: horspool|ahocorasick|boyermoore|naive")
+		cores   = flag.Int("cores", runtime.GOMAXPROCS(0), "match kernel replicas")
+		count   = flag.Bool("count", false, "print only the match count (grep -c)")
+		offsets = flag.Bool("offsets", false, "print byte offsets instead of lines")
+		stats   = flag.Bool("stats", false, "print runtime statistics to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: raft-grep [flags] PATTERN FILE")
+		flag.Usage()
+		os.Exit(2)
+	}
+	pattern := []byte(flag.Arg(0))
+	path := flag.Arg(1)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raft-grep: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := textsearch.Run(data, textsearch.Config{
+		Algo:             *algo,
+		Pattern:          pattern,
+		Cores:            *cores,
+		CollectPositions: !*count,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raft-grep: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *count:
+		fmt.Println(res.Hits)
+	case *offsets:
+		sort.Slice(res.Positions, func(i, j int) bool { return res.Positions[i] < res.Positions[j] })
+		w := bufio.NewWriter(os.Stdout)
+		for _, p := range res.Positions {
+			fmt.Fprintln(w, p)
+		}
+		w.Flush()
+	default:
+		printMatchingLines(data, res.Positions)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "raft-grep: %d hits in %v (%.3f GB/s), %d kernels, scheduler %s\n",
+			res.Hits, res.Elapsed, res.Throughput(len(data))/1e9,
+			len(res.Report.Kernels), res.Report.Scheduler)
+	}
+}
+
+// printMatchingLines prints each line containing at least one match, in
+// file order, once.
+func printMatchingLines(data []byte, positions []int64) {
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	lastLineEnd := int64(-1)
+	for _, p := range positions {
+		if p <= lastLineEnd {
+			continue // same line as the previous match
+		}
+		start := int64(bytes.LastIndexByte(data[:p], '\n') + 1)
+		endRel := bytes.IndexByte(data[p:], '\n')
+		end := int64(len(data))
+		if endRel >= 0 {
+			end = p + int64(endRel)
+		}
+		w.Write(data[start:end])
+		w.WriteByte('\n')
+		lastLineEnd = end
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestPrintMatchingLines(t *testing.T) {
+	data := []byte("first needle line\nno match here\nsecond needle needle line\ntail needle")
+	// Positions of "needle": 6, 39, 46, 63.
+	positions := []int64{39, 6, 63, 46} // deliberately unsorted
+	out := captureStdout(t, func() { printMatchingLines(data, positions) })
+	want := "first needle line\nsecond needle needle line\ntail needle\n"
+	if out != want {
+		t.Fatalf("printed %q, want %q", out, want)
+	}
+}
+
+func TestPrintMatchingLinesDeduplicatesWithinLine(t *testing.T) {
+	data := []byte("aaa aaa aaa")
+	out := captureStdout(t, func() { printMatchingLines(data, []int64{0, 4, 8}) })
+	if out != "aaa aaa aaa\n" {
+		t.Fatalf("printed %q", out)
+	}
+}
+
+func TestPrintMatchingLinesEmpty(t *testing.T) {
+	out := captureStdout(t, func() { printMatchingLines([]byte("abc"), nil) })
+	if out != "" {
+		t.Fatalf("printed %q for no matches", out)
+	}
+}

@@ -1,0 +1,10 @@
+// Package raftlib is a Go reproduction of "RaftLib: A C++ Template Library
+// for High Performance Stream Parallel Processing" (Beard, Li &
+// Chamberlain, PMAM '15).
+//
+// The public API lives in the raft package (runtime, kernels, topology
+// building) and the kernels package (standard kernel library); see README.md
+// for a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-versus-measured record. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package raftlib

@@ -1,0 +1,57 @@
+// Text search: the paper's §5 benchmark application (Figures 8–9).
+//
+// A filereader kernel streams zero-copy chunks of a corpus to replicated
+// match kernels; hit counts are reduced to a total. The match algorithm is
+// selected by name, as Figure 9 selects the search template
+// specialization, and both §5 algorithms are run for comparison.
+//
+// Run with: go run ./examples/textsearch [-size MiB] [-pattern STR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"raftlib/internal/apps/textsearch"
+	"raftlib/internal/corpus"
+)
+
+func main() {
+	size := flag.Int("size", 32, "corpus size in MiB")
+	pattern := flag.String("pattern", corpus.DefaultPattern, "string to search for")
+	flag.Parse()
+
+	fmt.Printf("generating %d MiB corpus...\n", *size)
+	data := corpus.Generate(corpus.Spec{
+		Bytes:   *size << 20,
+		Seed:    42,
+		Pattern: *pattern,
+	})
+
+	cores := runtime.GOMAXPROCS(0)
+	for _, algo := range []string{"ahocorasick", "horspool"} {
+		res, err := textsearch.Run(data, textsearch.Config{
+			Algo:    algo,
+			Pattern: []byte(*pattern),
+			Cores:   cores,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %6d hits  %8v  %.3f GB/s  (%d kernels incl. %d match replicas)\n",
+			algo, res.Hits, res.Elapsed.Round(1e6), res.Throughput(len(data))/1e9,
+			len(res.Report.Kernels), groupWidth(res))
+	}
+	fmt.Println("\nthe paper's §5 finding: Boyer-Moore-Horspool outruns Aho-Corasick")
+	fmt.Println("for single patterns — swap algorithms, keep the topology.")
+}
+
+func groupWidth(res textsearch.Result) int {
+	if len(res.Report.Groups) > 0 {
+		return res.Report.Groups[0].MaxReplicas
+	}
+	return 1
+}

@@ -1,0 +1,135 @@
+// Word count: the "big data processing" workload the paper's introduction
+// motivates, on the raft runtime.
+//
+//	filereader ─> tokenize+count (×N, replicated) ─> merge partials ─> top-K
+//
+// Each tokenizer consumes zero-copy corpus chunks and emits one partial
+// frequency map per chunk; the reducer folds partials into the global
+// counts. Chunks overlap by the maximum word length, and a chunk skips its
+// leading partial word (it belongs to the previous chunk), so words
+// straddling chunk boundaries are counted exactly once.
+//
+// Run with: go run ./examples/wordcount [-size MiB] [-top K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"raftlib/internal/corpus"
+	"raftlib/kernels"
+	"raftlib/raft"
+)
+
+// maxWordLen bounds the chunk overlap; corpus words are far shorter.
+const maxWordLen = 32
+
+// counts is the per-chunk partial result streamed to the reducer.
+type counts map[string]int64
+
+// tokenize builds a cloneable kernel turning Chunks into partial counts.
+func tokenize() raft.Kernel {
+	return raft.NewLambdaCloneable(func() *raft.LambdaKernel {
+		return raft.NewLambdaIO[kernels.Chunk, counts](1, 1, func(k *raft.LambdaKernel) raft.Status {
+			c, err := raft.Pop[kernels.Chunk](k.In("0"))
+			if err != nil {
+				return raft.Stop
+			}
+			part := counts{}
+			data := c.Data
+			i := 0
+			if c.Off > 0 && !delim(c.Prev) {
+				// The chunk begins mid-word: that word started in (and is
+				// counted by) the previous chunk. A word starting exactly
+				// on the boundary (Prev is a delimiter) is ours.
+				for i < len(data) && !delim(data[i]) {
+					i++
+				}
+			}
+			for i < len(data) {
+				for i < len(data) && delim(data[i]) {
+					i++
+				}
+				start := i
+				for i < len(data) && !delim(data[i]) {
+					i++
+				}
+				if start >= c.Valid {
+					break // word starts in the overlap: next chunk owns it
+				}
+				if i > start {
+					part[string(data[start:i])]++
+				}
+			}
+			if err := raft.Push(k.Out("0"), part); err != nil {
+				return raft.Stop
+			}
+			return raft.Proceed
+		})
+	})
+}
+
+func delim(b byte) bool { return b == ' ' || b == '\n' }
+
+func main() {
+	size := flag.Int("size", 16, "corpus size in MiB")
+	top := flag.Int("top", 10, "how many top words to print")
+	flag.Parse()
+
+	data := corpus.Generate(corpus.Spec{Bytes: *size << 20, Seed: 7})
+
+	total := counts{}
+	m := raft.NewMap()
+	tok := tokenize()
+	if _, err := m.Link(kernels.NewBytesReader(data, 256<<10, maxWordLen), tok,
+		raft.AsOutOfOrder()); err != nil {
+		fail(err)
+	}
+	red := kernels.NewReduce(func(acc, part counts) counts {
+		for w, n := range part {
+			acc[w] += n
+		}
+		return acc
+	}, total, &total)
+	if _, err := m.Link(tok, red); err != nil {
+		fail(err)
+	}
+
+	rep, err := m.Exe(raft.WithAutoReplicate(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		fail(err)
+	}
+
+	type wc struct {
+		w string
+		n int64
+	}
+	var ranked []wc
+	var words int64
+	for w, n := range total {
+		ranked = append(ranked, wc{w, n})
+		words += n
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].w < ranked[j].w
+	})
+	fmt.Printf("counted %d words (%d distinct) in %v (%.3f GB/s)\n\n",
+		words, len(ranked), rep.Elapsed, float64(len(data))/rep.Elapsed.Seconds()/1e9)
+	if *top > len(ranked) {
+		*top = len(ranked)
+	}
+	for _, e := range ranked[:*top] {
+		fmt.Printf("%8d  %s\n", e.n, e.w)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module raftlib
+
+go 1.22

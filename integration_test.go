@@ -1,0 +1,131 @@
+package raftlib
+
+// Cross-system integration tests: the four Figure 10 systems must agree
+// exactly on the ground truth for the same corpus, and the distributed
+// runtime must agree with the local one. These are the correctness
+// counterparts of the throughput benchmarks in bench_test.go.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"raftlib/internal/apps/textsearch"
+	"raftlib/internal/baselines/pargrep"
+	"raftlib/internal/baselines/sparklet"
+	"raftlib/internal/corpus"
+	"raftlib/internal/oar"
+	"raftlib/kernels"
+	"raftlib/raft"
+)
+
+func TestAllFourSystemsAgree(t *testing.T) {
+	data := corpus.Generate(corpus.Spec{Bytes: 4 << 20, Seed: 1234})
+	pattern := []byte(corpus.DefaultPattern)
+	want := int64(bytes.Count(data, pattern))
+	if want == 0 {
+		t.Fatal("corpus has no hits")
+	}
+
+	if got := pargrep.GrepSerial(data, pattern); int64(got.Hits) != want {
+		t.Errorf("grep-serial: %d hits, want %d", got.Hits, want)
+	}
+	if got := pargrep.Run(data, pattern, pargrep.Config{Jobs: 3, DisableSpawnCost: true}); int64(got.Hits) != want {
+		t.Errorf("pargrep: %d hits, want %d", got.Hits, want)
+	}
+	if got, err := sparklet.TextSearchBM(sparklet.NewContext(3), data, pattern); err != nil || got.Hits != want {
+		t.Errorf("sparklet: %d hits (err %v), want %d", got.Hits, err, want)
+	}
+	for _, algo := range []string{"ahocorasick", "horspool", "boyermoore", "kmp", "rabinkarp"} {
+		got, err := textsearch.Run(data, textsearch.Config{Algo: algo, Cores: 3})
+		if err != nil || got.Hits != want {
+			t.Errorf("raft-%s: %d hits (err %v), want %d", algo, got.Hits, err, want)
+		}
+	}
+}
+
+// TestDistributedSearchAgrees ships corpus chunks to a remote search stage
+// over TCP and checks the distributed count equals the local ground truth.
+func TestDistributedSearchAgrees(t *testing.T) {
+	data := corpus.Generate(corpus.Spec{Bytes: 1 << 20, Seed: 777})
+	pattern := []byte(corpus.DefaultPattern)
+	want := int64(bytes.Count(data, pattern))
+
+	node, err := oar.NewNode("worker", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// The worker serves a per-chunk count stage ([]byte in, int64 out).
+	oar.RegisterStage[[]byte, int64](node, "count", func(args map[string]string) (raft.Kernel, error) {
+		cs, err := kernels.NewCountSearch(args["algo"], []byte(args["pattern"]))
+		if err != nil {
+			return nil, err
+		}
+		// Adapt Chunk-based kernel: wrap raw []byte into Chunks locally.
+		return raft.NewLambdaIO[[]byte, int64](1, 1, func(k *raft.LambdaKernel) raft.Status {
+			b, err := raft.Pop[[]byte](k.In("0"))
+			if err != nil {
+				return raft.Stop
+			}
+			_ = cs // the wrapped kernel's matcher does the counting below
+			n := int64(cs.CountBytes(b))
+			if err := raft.Push(k.Out("0"), n); err != nil {
+				return raft.Stop
+			}
+			return raft.Proceed
+		}), nil
+	})
+
+	send, recv, err := oar.RemoteStage[[]byte, int64](node.Addr(), "count",
+		map[string]string{"algo": "horspool", "pattern": string(pattern)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local producer: cut the corpus into non-overlapping whole chunks,
+	// scanning boundaries locally (overlap accounting stays local for
+	// simplicity; chunks are cut at pattern-safe newline boundaries).
+	chunks := cutAtLines(data, 64<<10)
+	producer := raft.NewMap()
+	src := kernels.NewReadEach(chunks)
+	producer.MustLink(src, send)
+
+	var total int64
+	consumer := raft.NewMap()
+	consumer.MustLink(recv, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total))
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = producer.Exe() }()
+	go func() { defer wg.Done(); _, errs[1] = consumer.Exe() }()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != want {
+		t.Fatalf("distributed count = %d, want %d", total, want)
+	}
+}
+
+// cutAtLines splits data into ~size chunks cut at newline boundaries, so a
+// pattern (which never spans lines in the generated corpus) is never
+// severed.
+func cutAtLines(data []byte, size int) [][]byte {
+	var out [][]byte
+	for off := 0; off < len(data); {
+		end := off + size
+		if end >= len(data) {
+			end = len(data)
+		} else if nl := bytes.LastIndexByte(data[off:end], '\n'); nl > 0 {
+			end = off + nl + 1
+		}
+		out = append(out, data[off:end])
+		off = end
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+// Package matmul is the streaming matrix-multiply application behind the
+// paper's Figure 4 queue-sizing experiment ("Queue sizes for a matrix
+// multiply application, shown for an individual queue (all queues sized
+// equally)").
+//
+// The topology streams the rows of A as *values* through the runtime's
+// FIFOs — exactly as the C++ original stores elements by value in its ring
+// buffers — so a queue of capacity k genuinely holds k × 2 KiB of payload
+// and "queue size in bytes" is a physical quantity: too-small queues stall
+// the pipeline, while very large queues drag in allocation, page-fault and
+// cache costs, reproducing Figure 4's shape.
+//
+//	rowSource --> multiply (×workers) --> rowSink
+package matmul
+
+import (
+	"fmt"
+	"time"
+
+	"raftlib/raft"
+)
+
+// Dim is the fixed matrix dimension: Dim×Dim float64 (a 512 KiB matrix).
+const Dim = 256
+
+// Row is one matrix row, passed by value through the stream (2 KiB).
+type Row [Dim]float64
+
+// Matrix is a Dim×Dim float64 matrix.
+type Matrix [Dim]Row
+
+// RowBytes is the in-queue payload size of one stream element.
+const RowBytes = Dim * 8
+
+// IndexedRow tags a row with its index so out-of-order multiplication can
+// scatter results into place.
+type IndexedRow struct {
+	Idx int32
+	Row Row
+}
+
+// NewRandom builds a deterministic pseudo-random matrix.
+func NewRandom(seed uint64) *Matrix {
+	if seed == 0 {
+		seed = 1
+	}
+	m := new(Matrix)
+	s := seed
+	for i := 0; i < Dim; i++ {
+		for j := 0; j < Dim; j++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			m[i][j] = float64(s%1000)/1000 - 0.5
+		}
+	}
+	return m
+}
+
+// Reference computes A×B with the straightforward triple loop (test
+// oracle).
+func Reference(a, b *Matrix) *Matrix {
+	c := new(Matrix)
+	for i := 0; i < Dim; i++ {
+		for k := 0; k < Dim; k++ {
+			aik := a[i][k]
+			for j := 0; j < Dim; j++ {
+				c[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return c
+}
+
+// rowSource streams A's rows by value.
+type rowSource struct {
+	raft.KernelBase
+	a *Matrix
+	i int
+}
+
+func newRowSource(a *Matrix) *rowSource {
+	k := &rowSource{a: a}
+	k.SetName("rowSource")
+	raft.AddOutput[IndexedRow](k, "out")
+	return k
+}
+
+func (s *rowSource) Run() raft.Status {
+	if s.i >= Dim {
+		return raft.Stop
+	}
+	el := IndexedRow{Idx: int32(s.i), Row: s.a[s.i]} // value copy into the queue
+	if err := raft.Push(s.Out("out"), el); err != nil {
+		return raft.Stop
+	}
+	s.i++
+	return raft.Proceed
+}
+
+// multiply computes one output row per input row: out = in · B.
+type multiply struct {
+	raft.KernelBase
+	b *Matrix
+}
+
+func newMultiply(b *Matrix) *multiply {
+	k := &multiply{b: b}
+	k.SetName("multiply")
+	raft.AddInput[IndexedRow](k, "in")
+	raft.AddOutput[IndexedRow](k, "out")
+	return k
+}
+
+func (m *multiply) Run() raft.Status {
+	in, err := raft.Pop[IndexedRow](m.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	var out IndexedRow
+	out.Idx = in.Idx
+	b := m.b
+	for k := 0; k < Dim; k++ {
+		aik := in.Row[k]
+		if aik == 0 {
+			continue
+		}
+		row := &b[k]
+		for j := 0; j < Dim; j++ {
+			out.Row[j] += aik * row[j]
+		}
+	}
+	if err := raft.Push(m.Out("out"), out); err != nil {
+		return raft.Stop
+	}
+	return raft.Proceed
+}
+
+// Clone implements raft.Cloner: replicas share the read-only B.
+func (m *multiply) Clone() raft.Kernel { return newMultiply(m.b) }
+
+// rowSink scatters result rows into C.
+type rowSink struct {
+	raft.KernelBase
+	c *Matrix
+}
+
+func newRowSink(c *Matrix) *rowSink {
+	k := &rowSink{c: c}
+	k.SetName("rowSink")
+	raft.AddInput[IndexedRow](k, "in")
+	return k
+}
+
+func (s *rowSink) Run() raft.Status {
+	v, err := raft.Pop[IndexedRow](s.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	s.c[v.Idx] = v.Row
+	return raft.Proceed
+}
+
+// Config parameterizes one streaming multiply.
+type Config struct {
+	// QueueCapBytes is the allocated size of each stream (Figure 4's
+	// x-axis); it is converted to elements of RowBytes each (min 1).
+	QueueCapBytes int
+	// Workers is the multiply-kernel replica count (1 = pure pipeline).
+	Workers int
+	// DynamicResize lets the monitor resize the queues during the run;
+	// Figure 4 fixes sizes, so it defaults to off here.
+	DynamicResize bool
+	// ExtraExeOpts are appended to the Exe options.
+	ExtraExeOpts []raft.Option
+}
+
+// Result is one streaming multiply outcome.
+type Result struct {
+	C       *Matrix
+	Elapsed time.Duration
+	Report  *raft.Report
+}
+
+// Run multiplies a×b through the streaming topology.
+func Run(a, b *Matrix, cfg Config) (Result, error) {
+	capElems := cfg.QueueCapBytes / RowBytes
+	if capElems < 1 {
+		capElems = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+
+	m := raft.NewMap()
+	src := newRowSource(a)
+	mul := newMultiply(b)
+	c := new(Matrix)
+	sink := newRowSink(c)
+
+	inOpts := []raft.LinkOption{raft.Cap(capElems), raft.AsOutOfOrder()}
+	outOpts := []raft.LinkOption{raft.Cap(capElems)}
+	if !cfg.DynamicResize {
+		inOpts = append(inOpts, raft.MaxCap(capElems))
+		outOpts = append(outOpts, raft.MaxCap(capElems))
+	}
+	if _, err := m.Link(src, mul, inOpts...); err != nil {
+		return Result{}, err
+	}
+	if _, err := m.Link(mul, sink, outOpts...); err != nil {
+		return Result{}, err
+	}
+
+	opts := []raft.Option{raft.WithDynamicResize(cfg.DynamicResize)}
+	if cfg.Workers > 1 {
+		opts = append(opts, raft.WithAutoReplicate(cfg.Workers))
+	}
+	opts = append(opts, cfg.ExtraExeOpts...)
+
+	start := time.Now()
+	rep, err := m.Exe(opts...)
+	if err != nil {
+		return Result{}, fmt.Errorf("matmul: %w", err)
+	}
+	return Result{C: c, Elapsed: time.Since(start), Report: rep}, nil
+}

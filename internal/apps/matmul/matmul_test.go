@@ -1,0 +1,204 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+)
+
+func matricesEqual(a, b *Matrix, tol float64) bool {
+	for i := 0; i < Dim; i++ {
+		for j := 0; j < Dim; j++ {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestNewRandomDeterministic(t *testing.T) {
+	a := NewRandom(5)
+	b := NewRandom(5)
+	if !matricesEqual(a, b, 0) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := NewRandom(6)
+	if matricesEqual(a, c, 0) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestStreamingMatchesReference(t *testing.T) {
+	a, b := NewRandom(1), NewRandom(2)
+	want := Reference(a, b)
+	res, err := Run(a, b, Config{QueueCapBytes: 16 * RowBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(res.C, want, 1e-9) {
+		t.Fatal("streaming result differs from reference")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestStreamingParallelMatchesReference(t *testing.T) {
+	a, b := NewRandom(3), NewRandom(4)
+	want := Reference(a, b)
+	res, err := Run(a, b, Config{QueueCapBytes: 64 * RowBytes, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(res.C, want, 1e-9) {
+		t.Fatal("parallel streaming result differs from reference")
+	}
+	if len(res.Report.Groups) != 1 {
+		t.Fatalf("expected replicated multiply group, got %+v", res.Report.Groups)
+	}
+}
+
+func TestTinyQueueStillCorrect(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(8)
+	want := Reference(a, b)
+	res, err := Run(a, b, Config{QueueCapBytes: 1}) // clamps to one element
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(res.C, want, 1e-9) {
+		t.Fatal("tiny-queue result differs from reference")
+	}
+	// Capacity must have stayed pinned (MaxCap == Cap, no dynamic resize).
+	for _, l := range res.Report.Links {
+		if l.FinalCap != 1 {
+			t.Fatalf("link %s final cap = %d, want pinned 1", l.Name, l.FinalCap)
+		}
+	}
+}
+
+func TestDynamicResizeGrowsTinyQueue(t *testing.T) {
+	a, b := NewRandom(9), NewRandom(10)
+	res, err := Run(a, b, Config{QueueCapBytes: 1, DynamicResize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := false
+	for _, l := range res.Report.Links {
+		if l.Grows > 0 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Skip("monitor did not fire on this machine's timing; non-deterministic")
+	}
+}
+
+func TestQueueCapacityConversion(t *testing.T) {
+	a, b := NewRandom(11), NewRandom(12)
+	res, err := Run(a, b, Config{QueueCapBytes: 8 * RowBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Report.Links {
+		if l.FinalCap != 8 {
+			t.Fatalf("link %s cap = %d elements, want 8", l.Name, l.FinalCap)
+		}
+	}
+}
+
+func randSized(rows, cols int, seed uint64) [][]float64 {
+	s := seed | 1
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			m[i][j] = float64(s%1000)/1000 - 0.5
+		}
+	}
+	return m
+}
+
+func sizedEqual(a, b [][]float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRunSizedRectangular(t *testing.T) {
+	a := randSized(37, 53, 1)
+	b := randSized(53, 19, 2)
+	want := ReferenceSized(a, b)
+	res, err := RunSized(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sizedEqual(res.C, want, 1e-9) {
+		t.Fatal("sized streaming result differs from reference")
+	}
+}
+
+func TestRunSizedParallel(t *testing.T) {
+	a := randSized(64, 64, 3)
+	b := randSized(64, 64, 4)
+	want := ReferenceSized(a, b)
+	res, err := RunSized(a, b, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sizedEqual(res.C, want, 1e-9) {
+		t.Fatal("parallel sized result differs from reference")
+	}
+	if len(res.Report.Groups) != 1 {
+		t.Fatalf("expected replicated multiply group, got %+v", res.Report.Groups)
+	}
+}
+
+func TestRunSizedShapeValidation(t *testing.T) {
+	good := randSized(4, 4, 5)
+	if _, err := RunSized(nil, good, Config{}); err == nil {
+		t.Fatal("empty A must error")
+	}
+	if _, err := RunSized(good, nil, Config{}); err == nil {
+		t.Fatal("empty B must error")
+	}
+	if _, err := RunSized(randSized(4, 5, 6), randSized(4, 4, 7), Config{}); err == nil {
+		t.Fatal("inner dimension mismatch must error")
+	}
+	ragged := randSized(4, 4, 8)
+	ragged[2] = ragged[2][:3]
+	if _, err := RunSized(ragged, good, Config{}); err == nil {
+		t.Fatal("ragged A must error")
+	}
+	raggedB := randSized(4, 4, 9)
+	raggedB[1] = raggedB[1][:2]
+	if _, err := RunSized(good, raggedB, Config{}); err == nil {
+		t.Fatal("ragged B must error")
+	}
+}
+
+func TestRunSizedSingleRow(t *testing.T) {
+	a := [][]float64{{1, 2, 3}}
+	b := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	res, err := RunSized(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{4, 5}}
+	if !sizedEqual(res.C, want, 1e-12) {
+		t.Fatalf("got %v", res.C)
+	}
+}

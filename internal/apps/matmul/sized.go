@@ -1,0 +1,184 @@
+package matmul
+
+import (
+	"fmt"
+	"time"
+
+	"raftlib/raft"
+)
+
+// The sized variant multiplies arbitrary rectangular matrices through the
+// same streaming topology as the fixed-dimension Figure 4 app. Rows travel
+// as slice headers (the payload is shared, not copied), so this variant
+// measures pipeline behaviour rather than queue-byte physicality — use Run
+// for the Figure 4 experiment and RunSized as the general-purpose library
+// entry point.
+
+// SizedRow tags a result row with its index for out-of-order scatter.
+type SizedRow struct {
+	Idx int32
+	Row []float64
+}
+
+// sizedSource streams A's rows.
+type sizedSource struct {
+	raft.KernelBase
+	a [][]float64
+	i int
+}
+
+func newSizedSource(a [][]float64) *sizedSource {
+	k := &sizedSource{a: a}
+	k.SetName("rowSource")
+	raft.AddOutput[SizedRow](k, "out")
+	return k
+}
+
+func (s *sizedSource) Run() raft.Status {
+	if s.i >= len(s.a) {
+		return raft.Stop
+	}
+	if err := raft.Push(s.Out("out"), SizedRow{Idx: int32(s.i), Row: s.a[s.i]}); err != nil {
+		return raft.Stop
+	}
+	s.i++
+	return raft.Proceed
+}
+
+// sizedMultiply computes one result row per input row against shared B.
+type sizedMultiply struct {
+	raft.KernelBase
+	b [][]float64
+	n int // result width
+}
+
+func newSizedMultiply(b [][]float64, n int) *sizedMultiply {
+	k := &sizedMultiply{b: b, n: n}
+	k.SetName("multiply")
+	raft.AddInput[SizedRow](k, "in")
+	raft.AddOutput[SizedRow](k, "out")
+	return k
+}
+
+func (m *sizedMultiply) Run() raft.Status {
+	in, err := raft.Pop[SizedRow](m.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	out := make([]float64, m.n)
+	for kk, aik := range in.Row {
+		if aik == 0 {
+			continue
+		}
+		brow := m.b[kk]
+		for j := range brow {
+			out[j] += aik * brow[j]
+		}
+	}
+	if err := raft.Push(m.Out("out"), SizedRow{Idx: in.Idx, Row: out}); err != nil {
+		return raft.Stop
+	}
+	return raft.Proceed
+}
+
+// Clone implements raft.Cloner: replicas share the read-only B.
+func (m *sizedMultiply) Clone() raft.Kernel { return newSizedMultiply(m.b, m.n) }
+
+// sizedSink scatters result rows into C.
+type sizedSink struct {
+	raft.KernelBase
+	c [][]float64
+}
+
+func newSizedSink(c [][]float64) *sizedSink {
+	k := &sizedSink{c: c}
+	k.SetName("rowSink")
+	raft.AddInput[SizedRow](k, "in")
+	return k
+}
+
+func (s *sizedSink) Run() raft.Status {
+	v, err := raft.Pop[SizedRow](s.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	s.c[v.Idx] = v.Row
+	return raft.Proceed
+}
+
+// SizedResult is a RunSized outcome.
+type SizedResult struct {
+	C       [][]float64
+	Elapsed time.Duration
+	Report  *raft.Report
+}
+
+// RunSized multiplies an m×k matrix A by a k×n matrix B through the
+// streaming topology, replicating the multiply kernel across cfg.Workers.
+// It validates shapes and returns the m×n product.
+func RunSized(a, b [][]float64, cfg Config) (SizedResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return SizedResult{}, fmt.Errorf("matmul: empty operand")
+	}
+	k := len(a[0])
+	for i, row := range a {
+		if len(row) != k {
+			return SizedResult{}, fmt.Errorf("matmul: A row %d has %d columns, want %d", i, len(row), k)
+		}
+	}
+	if len(b) != k {
+		return SizedResult{}, fmt.Errorf("matmul: inner dimensions disagree: A is ?x%d, B has %d rows", k, len(b))
+	}
+	n := len(b[0])
+	for i, row := range b {
+		if len(row) != n {
+			return SizedResult{}, fmt.Errorf("matmul: B row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	capElems := cfg.QueueCapBytes / RowBytes
+	if capElems < 1 {
+		capElems = 16
+	}
+
+	m := raft.NewMap()
+	src := newSizedSource(a)
+	mul := newSizedMultiply(b, n)
+	c := make([][]float64, len(a))
+	sink := newSizedSink(c)
+	if _, err := m.Link(src, mul, raft.Cap(capElems), raft.AsOutOfOrder()); err != nil {
+		return SizedResult{}, err
+	}
+	if _, err := m.Link(mul, sink, raft.Cap(capElems)); err != nil {
+		return SizedResult{}, err
+	}
+	opts := append([]raft.Option(nil), cfg.ExtraExeOpts...)
+	if cfg.Workers > 1 {
+		opts = append(opts, raft.WithAutoReplicate(cfg.Workers))
+	}
+	start := time.Now()
+	rep, err := m.Exe(opts...)
+	if err != nil {
+		return SizedResult{}, fmt.Errorf("matmul: %w", err)
+	}
+	return SizedResult{C: c, Elapsed: time.Since(start), Report: rep}, nil
+}
+
+// ReferenceSized is the triple-loop oracle for RunSized.
+func ReferenceSized(a, b [][]float64) [][]float64 {
+	k := len(a[0])
+	n := len(b[0])
+	c := make([][]float64, len(a))
+	for i := range c {
+		c[i] = make([]float64, n)
+		for kk := 0; kk < k; kk++ {
+			aik := a[i][kk]
+			for j := 0; j < n; j++ {
+				c[i][j] += aik * b[kk][j]
+			}
+		}
+	}
+	return c
+}

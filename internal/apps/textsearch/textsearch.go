@@ -1,0 +1,147 @@
+// Package textsearch builds the paper's §5 benchmark application on top of
+// the raft runtime: the Figure 8 topology
+//
+//	filereader --> match (×n, replicated) --> reduce
+//
+// with the match algorithm selected per Figure 9's template parameter
+// (search<ahocorasick> or search<boyermoore(-horspool)>). The file read is
+// zero copy: chunks alias the in-memory corpus, so the match kernels read
+// the corpus bytes directly from their inbound streams.
+package textsearch
+
+import (
+	"fmt"
+	"time"
+
+	"raftlib/internal/corpus"
+	"raftlib/kernels"
+	"raftlib/raft"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	// Algo is the match algorithm: "ahocorasick", "horspool", "boyermoore"
+	// or "naive".
+	Algo string
+	// Pattern is the needle (corpus.DefaultPattern if empty).
+	Pattern []byte
+	// Cores is the match-kernel replica budget (1 = sequential pipeline).
+	Cores int
+	// ChunkSize is the filereader window (default kernels.DefaultChunkSize).
+	ChunkSize int
+	// CollectPositions returns every match offset instead of just a count
+	// (slower: one stream element per hit instead of one per chunk).
+	CollectPositions bool
+	// QueueCap overrides the default stream capacity.
+	QueueCap int
+	// Policy selects the split strategy when Cores > 1.
+	Policy raft.SplitPolicy
+	// ExtraExeOpts are appended to the Exe options (scheduler, monitor,
+	// autoscale overrides).
+	ExtraExeOpts []raft.Option
+	// Analyze attaches flow-model advice (bottleneck, predicted max rate)
+	// to the result.
+	Analyze bool
+}
+
+// Result summarizes one run.
+type Result struct {
+	Hits      int64
+	Positions []int64 // only when CollectPositions
+	Elapsed   time.Duration
+	Report    *raft.Report
+	Advice    *raft.Advice // only when Config.Analyze
+}
+
+// Throughput returns corpus bytes per second.
+func (r Result) Throughput(corpusBytes int) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(corpusBytes) / r.Elapsed.Seconds()
+}
+
+// Run executes the text search over an in-memory corpus.
+func Run(corpusData []byte, cfg Config) (Result, error) {
+	if len(cfg.Pattern) == 0 {
+		cfg.Pattern = []byte(corpus.DefaultPattern)
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = kernels.DefaultChunkSize
+	}
+
+	m := raft.NewMap()
+	reader := kernels.NewBytesReader(corpusData, cfg.ChunkSize, len(cfg.Pattern)-1)
+
+	linkOpts := []raft.LinkOption{raft.AsOutOfOrder()}
+	if cfg.QueueCap > 0 {
+		linkOpts = append(linkOpts, raft.Cap(cfg.QueueCap))
+	}
+
+	var res Result
+	var matchKernel raft.Kernel
+	if cfg.CollectPositions {
+		k, err := kernels.NewSearch(cfg.Algo, cfg.Pattern)
+		if err != nil {
+			return res, err
+		}
+		matchKernel = k
+	} else {
+		k, err := kernels.NewCountSearch(cfg.Algo, cfg.Pattern)
+		if err != nil {
+			return res, err
+		}
+		matchKernel = k
+	}
+
+	if _, err := m.Link(reader, matchKernel, linkOpts...); err != nil {
+		return res, err
+	}
+
+	var total int64
+	var positions []int64
+	if cfg.CollectPositions {
+		if _, err := m.Link(matchKernel, kernels.NewWriteEach(&positions)); err != nil {
+			return res, err
+		}
+	} else {
+		red := kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total)
+		if _, err := m.Link(matchKernel, red); err != nil {
+			return res, err
+		}
+	}
+
+	exeOpts := append([]raft.Option(nil), cfg.ExtraExeOpts...)
+	if cfg.Cores > 1 {
+		exeOpts = append(exeOpts,
+			raft.WithAutoReplicate(cfg.Cores),
+			raft.WithSplitPolicy(cfg.Policy))
+	}
+
+	start := time.Now()
+	rep, err := m.Exe(exeOpts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		return res, fmt.Errorf("textsearch: %w", err)
+	}
+
+	if cfg.CollectPositions {
+		res.Positions = positions
+		res.Hits = int64(len(positions))
+	} else {
+		res.Hits = total
+	}
+	res.Elapsed = elapsed
+	res.Report = rep
+	if cfg.Analyze {
+		adv, err := raft.Analyze(m, rep)
+		if err != nil {
+			return res, fmt.Errorf("textsearch: analyze: %w", err)
+		}
+		res.Advice = adv
+	}
+	return res, nil
+}

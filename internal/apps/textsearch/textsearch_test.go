@@ -1,0 +1,109 @@
+package textsearch
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"raftlib/internal/corpus"
+)
+
+func testCorpus(t *testing.T, size int) ([]byte, int64) {
+	t.Helper()
+	data := corpus.Generate(corpus.Spec{Bytes: size, Seed: 4})
+	want := int64(bytes.Count(data, []byte(corpus.DefaultPattern)))
+	if want == 0 {
+		t.Fatal("no hits in corpus")
+	}
+	return data, want
+}
+
+func TestSequentialAllAlgorithms(t *testing.T) {
+	data, want := testCorpus(t, 1<<20)
+	for _, algo := range []string{"ahocorasick", "horspool", "boyermoore"} {
+		res, err := Run(data, Config{Algo: algo, Cores: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Hits != want {
+			t.Fatalf("%s: hits = %d, want %d", algo, res.Hits, want)
+		}
+		if res.Throughput(len(data)) <= 0 {
+			t.Fatalf("%s: no throughput", algo)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	data, want := testCorpus(t, 4<<20)
+	for _, cores := range []int{2, 4} {
+		res, err := Run(data, Config{Algo: "horspool", Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hits != want {
+			t.Fatalf("cores=%d: hits = %d, want %d", cores, res.Hits, want)
+		}
+		if len(res.Report.Groups) != 1 {
+			t.Fatalf("cores=%d: expected replicated group", cores)
+		}
+	}
+}
+
+func TestCollectPositions(t *testing.T) {
+	data, want := testCorpus(t, 1<<20)
+	res, err := Run(data, Config{Algo: "ahocorasick", Cores: 2, CollectPositions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != want {
+		t.Fatalf("hits = %d, want %d", res.Hits, want)
+	}
+	sort.Slice(res.Positions, func(i, j int) bool { return res.Positions[i] < res.Positions[j] })
+	pat := []byte(corpus.DefaultPattern)
+	for _, p := range res.Positions {
+		if !bytes.Equal(data[p:p+int64(len(pat))], pat) {
+			t.Fatalf("position %d is not a match", p)
+		}
+	}
+}
+
+func TestLeastUtilizedPolicy(t *testing.T) {
+	data, want := testCorpus(t, 2<<20)
+	res, err := Run(data, Config{Algo: "horspool", Cores: 3, Policy: 1 /* LeastUtilized */})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != want {
+		t.Fatalf("hits = %d, want %d", res.Hits, want)
+	}
+}
+
+func TestBadAlgorithm(t *testing.T) {
+	if _, err := Run([]byte("x"), Config{Algo: "nope"}); err == nil {
+		t.Fatal("bad algorithm must error")
+	}
+}
+
+func TestSmallChunks(t *testing.T) {
+	data, want := testCorpus(t, 256<<10)
+	res, err := Run(data, Config{Algo: "boyermoore", ChunkSize: 1000, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != want {
+		t.Fatalf("hits = %d, want %d", res.Hits, want)
+	}
+}
+
+func TestCustomPattern(t *testing.T) {
+	data := corpus.Generate(corpus.Spec{Bytes: 1 << 20, Seed: 66, Pattern: "xylophone", HitsPerMiB: 25})
+	want := int64(bytes.Count(data, []byte("xylophone")))
+	res, err := Run(data, Config{Algo: "horspool", Pattern: []byte("xylophone"), Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != want {
+		t.Fatalf("hits = %d, want %d", res.Hits, want)
+	}
+}

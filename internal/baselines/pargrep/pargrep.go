@@ -1,0 +1,161 @@
+// Package pargrep models the paper's GNU Parallel + GNU grep baseline
+// (§5): the corpus is cut into blocks by a single-threaded dispatcher and
+// each block is handed to a freshly spawned grep process.
+//
+// Substitution note (DESIGN.md §2): we cannot ship GNU grep 2.20 and GNU
+// Parallel 2014.10.22, so the baseline reproduces their *execution model*
+// in-process, keeping the two properties that shape the paper's Figure 10
+// curve:
+//
+//   - a serial dispatcher that — exactly like GNU Parallel's --pipe mode —
+//     reads the input itself, searches each block for a record (newline)
+//     boundary, and stages a private copy of the block for the child
+//     process's stdin;
+//   - a per-job process-spawn cost (fork/exec/pipe setup) paid for every
+//     block, overlapped across workers but never amortized.
+//
+// The scan itself uses a memchr-accelerated skip loop (bytes.IndexByte is
+// assembly-optimized in Go) so the single-core number is excellent — just
+// as the paper found for plain GNU grep — while the wrapper overheads keep
+// parallel scaling poor.
+package pargrep
+
+import (
+	"bytes"
+	"time"
+)
+
+// Config tunes the execution model.
+type Config struct {
+	// Jobs is the worker (concurrent grep process) count.
+	Jobs int
+	// BlockSize is the dispatcher's block size (GNU Parallel's --block,
+	// default 1 MiB).
+	BlockSize int
+	// SpawnOverhead is the per-job process start cost (default 4ms —
+	// fork+exec+dynamic linking of grep on the paper-era machine).
+	SpawnOverhead time.Duration
+	// DisableSpawnCost turns the spawn sleep off (for unit tests).
+	DisableSpawnCost bool
+}
+
+func (c *Config) fill() {
+	if c.Jobs < 1 {
+		c.Jobs = 1
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1 << 20
+	}
+	if c.SpawnOverhead <= 0 {
+		c.SpawnOverhead = 4 * time.Millisecond
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Hits    int
+	Elapsed time.Duration
+	Jobs    int
+	Blocks  int
+}
+
+// Throughput returns corpus bytes per second.
+func (r Result) Throughput(corpusBytes int) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(corpusBytes) / r.Elapsed.Seconds()
+}
+
+// GrepSerial is plain single-process grep -c: one pass over the whole
+// corpus with the skip-loop scanner. This is the paper's impressive
+// single-threaded GNU grep number (~1.2 GB/s on their machine).
+func GrepSerial(corpusData, pattern []byte) Result {
+	start := time.Now()
+	hits := scan(corpusData, pattern)
+	return Result{Hits: hits, Elapsed: time.Since(start), Jobs: 1, Blocks: 1}
+}
+
+// Run executes the GNU Parallel model: serial dispatcher, per-block spawn
+// cost, cfg.Jobs concurrent scanners.
+func Run(corpusData, pattern []byte, cfg Config) Result {
+	cfg.fill()
+	start := time.Now()
+
+	type block struct {
+		data  []byte // staged private copy, as --pipe writes to child stdin
+		valid int    // matches starting at [0, valid) belong to this block
+	}
+	jobs := make(chan block, cfg.Jobs)
+	results := make(chan int, cfg.Jobs)
+
+	for w := 0; w < cfg.Jobs; w++ {
+		go func() {
+			total := 0
+			for b := range jobs {
+				if !cfg.DisableSpawnCost {
+					time.Sleep(cfg.SpawnOverhead) // fork+exec of a grep process
+				}
+				total += scanBounded(b.data, pattern, b.valid)
+			}
+			results <- total
+		}()
+	}
+
+	// The dispatcher: GNU Parallel's single perl process. It must look at
+	// the data to find record boundaries and it writes each block into the
+	// child's pipe — a serial read + copy of the entire corpus.
+	overlap := len(pattern) - 1
+	blocks := 0
+	for off := 0; off < len(corpusData); {
+		end := off + cfg.BlockSize
+		if end >= len(corpusData) {
+			end = len(corpusData)
+		} else {
+			// Cut at a record (line) boundary like --pipe does.
+			if nl := bytes.LastIndexByte(corpusData[off:end], '\n'); nl > 0 {
+				end = off + nl + 1
+			}
+		}
+		scanEnd := end + overlap
+		if scanEnd > len(corpusData) {
+			scanEnd = len(corpusData)
+		}
+		// Stage a private copy for the child's stdin (the pipe write). The
+		// overlap suffix lets boundary-straddling matches complete; matches
+		// that *start* in the overlap are owned by the next block.
+		staged := make([]byte, scanEnd-off)
+		copy(staged, corpusData[off:scanEnd])
+		jobs <- block{data: staged, valid: end - off}
+		blocks++
+		off = end
+	}
+	close(jobs)
+
+	hits := 0
+	for w := 0; w < cfg.Jobs; w++ {
+		hits += <-results
+	}
+	return Result{Hits: hits, Elapsed: time.Since(start), Jobs: cfg.Jobs, Blocks: blocks}
+}
+
+// scan counts all pattern occurrences using the stdlib's
+// assembly-accelerated substring search — the closest Go analogue to GNU
+// grep's memchr-driven Boyer-Moore loop.
+func scan(data, pattern []byte) int {
+	return scanBounded(data, pattern, len(data))
+}
+
+// scanBounded counts occurrences whose start offset is below valid.
+func scanBounded(data, pattern []byte, valid int) int {
+	n := 0
+	for off := 0; off < valid; {
+		i := bytes.Index(data[off:], pattern)
+		if i < 0 || off+i >= valid {
+			return n
+		}
+		n++
+		off += i + 1
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package pargrep
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"raftlib/internal/corpus"
+)
+
+func testCorpus(t *testing.T, size int) ([]byte, int) {
+	t.Helper()
+	data := corpus.Generate(corpus.Spec{Bytes: size, Seed: 17})
+	want := bytes.Count(data, []byte(corpus.DefaultPattern))
+	if want == 0 {
+		t.Fatal("corpus contains no hits")
+	}
+	return data, want
+}
+
+func TestGrepSerialCounts(t *testing.T) {
+	data, want := testCorpus(t, 1<<20)
+	res := GrepSerial(data, []byte(corpus.DefaultPattern))
+	if res.Hits != want {
+		t.Fatalf("serial grep found %d, want %d", res.Hits, want)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+}
+
+func TestRunMatchesSerialAcrossJobCounts(t *testing.T) {
+	data, want := testCorpus(t, 2<<20)
+	for _, jobs := range []int{1, 2, 4, 8} {
+		res := Run(data, []byte(corpus.DefaultPattern), Config{
+			Jobs: jobs, BlockSize: 128 << 10, DisableSpawnCost: true,
+		})
+		if res.Hits != want {
+			t.Fatalf("jobs=%d: found %d, want %d", jobs, res.Hits, want)
+		}
+		if res.Jobs != jobs {
+			t.Fatalf("jobs=%d: result reports %d", jobs, res.Jobs)
+		}
+		if res.Blocks < 2 {
+			t.Fatalf("jobs=%d: only %d blocks", jobs, res.Blocks)
+		}
+	}
+}
+
+func TestRunBoundaryStraddlingMatches(t *testing.T) {
+	// Construct a corpus where the pattern straddles every block boundary.
+	pattern := []byte("needle")
+	var data []byte
+	for i := 0; i < 100; i++ {
+		data = append(data, bytes.Repeat([]byte("x"), 1021)...)
+		data = append(data, pattern...)
+	}
+	want := bytes.Count(data, pattern)
+	res := Run(data, pattern, Config{Jobs: 3, BlockSize: 1024, DisableSpawnCost: true})
+	if res.Hits != want {
+		t.Fatalf("found %d, want %d (boundary matches lost or double-counted)", res.Hits, want)
+	}
+}
+
+func TestRunTinyCorpus(t *testing.T) {
+	res := Run([]byte("needle"), []byte("needle"), Config{Jobs: 4, DisableSpawnCost: true})
+	if res.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", res.Hits)
+	}
+}
+
+func TestRunNoMatches(t *testing.T) {
+	res := Run(bytes.Repeat([]byte("a"), 1<<16), []byte("zz"), Config{Jobs: 2, DisableSpawnCost: true})
+	if res.Hits != 0 {
+		t.Fatalf("hits = %d, want 0", res.Hits)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.fill()
+	if cfg.Jobs != 1 || cfg.BlockSize != 1<<20 || cfg.SpawnOverhead <= 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	r := Result{Elapsed: 0}
+	if r.Throughput(100) != 0 {
+		t.Fatal("zero elapsed must yield zero throughput")
+	}
+	data, _ := testCorpus(t, 1<<20)
+	res := GrepSerial(data, []byte(corpus.DefaultPattern))
+	if res.Throughput(len(data)) <= 0 {
+		t.Fatal("expected positive throughput")
+	}
+}
+
+func TestSpawnOverheadSlowsSmallJobs(t *testing.T) {
+	// With spawn cost enabled and 1 job, wall time must be at least
+	// blocks × overhead; this pins the cost model the Fig. 10 curve
+	// depends on.
+	data, _ := testCorpus(t, 1<<20)
+	cfg := Config{Jobs: 1, BlockSize: 256 << 10, SpawnOverhead: 2 * time.Millisecond}
+	res := Run(data, []byte(corpus.DefaultPattern), cfg)
+	minElapsed := time.Duration(res.Blocks) * cfg.SpawnOverhead
+	if res.Elapsed < minElapsed {
+		t.Fatalf("elapsed %v < blocks×overhead %v", res.Elapsed, minElapsed)
+	}
+}

@@ -1,0 +1,45 @@
+package sparklet
+
+import (
+	"time"
+
+	"raftlib/internal/search"
+)
+
+// SearchResult summarizes one TextSearchBM run.
+type SearchResult struct {
+	Hits    int64
+	Elapsed time.Duration
+}
+
+// Throughput returns corpus bytes per second.
+func (r SearchResult) Throughput(corpusBytes int) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(corpusBytes) / r.Elapsed.Seconds()
+}
+
+// TextSearchBM is the paper's Spark benchmark job: read the corpus as an
+// RDD of lines, run Boyer-Moore over each record, and reduce the match
+// counts. Patterns containing a newline cannot match a line-records job,
+// exactly as in the original.
+func TextSearchBM(ctx *Context, corpusData, pattern []byte) (SearchResult, error) {
+	bm, err := search.NewBoyerMoore(pattern)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	start := time.Now()
+	lines := TextFile(ctx, corpusData, 4*ctx.Parallelism)
+	counts := Map(lines, func(line string) int64 {
+		// Record-at-a-time processing: the string→bytes view is free in
+		// Go, but the per-record closure dispatch and the earlier string
+		// materialization are the JVM-ish costs this baseline models.
+		return int64(bm.Count([]byte(line)))
+	})
+	total, err := Reduce(counts, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{Hits: total, Elapsed: time.Since(start)}, nil
+}

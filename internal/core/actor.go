@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"raftlib/internal/ringbuffer"
+	"raftlib/internal/stats"
+)
+
+// Actor is the engine's view of one schedulable compute kernel. The raft
+// package wraps each user kernel into an Actor; the engine and schedulers
+// never see kernel types directly.
+type Actor struct {
+	// ID is the actor's index within the engine (dense, 0-based).
+	ID int
+	// Name is a human-readable label used in reports and errors.
+	Name string
+	// Place is the mapper-assigned resource (index into the topology's
+	// place list); -1 when unmapped.
+	Place int
+	// Weight is the relative compute cost estimate used by the mapper.
+	Weight float64
+
+	// Init, if non-nil, runs once before the first Step.
+	Init func() error
+	// Step performs one kernel invocation.
+	Step func() Status
+	// Finish, if non-nil, runs once after the final Step (regardless of
+	// whether the actor stopped voluntarily or the engine shut it down);
+	// it must close the actor's output queues.
+	Finish func()
+
+	// Service accumulates per-invocation service times; the monitor reads
+	// it to estimate service rates for bottleneck detection and modeling.
+	Service stats.ServiceTimer
+
+	// Virtual marks actors that complete instantly (e.g. the paper's
+	// for_each source, which "appears as a kernel only momentarily",
+	// §4.2): the engine runs Finish immediately and never schedules Step.
+	Virtual bool
+
+	// Ready, when non-nil, reports whether one Step can make progress
+	// without blocking (inputs have data or are closed; outputs have
+	// space or are closed). Cooperative schedulers consult it before
+	// dispatching so a blocked kernel cannot capture a pooled worker;
+	// the goroutine-per-kernel scheduler ignores it.
+	Ready func() bool
+
+	// Finished is set by the scheduler once the actor's lifecycle ends;
+	// the monitor's deadlock detector ignores finished actors.
+	Finished atomic.Bool
+}
+
+// StepTimed invokes Step and records the service time.
+func (a *Actor) StepTimed() Status {
+	start := time.Now()
+	st := a.Step()
+	a.Service.Record(time.Since(start))
+	return st
+}
+
+// LinkInfo is the engine's view of one stream (queue) between two actors.
+type LinkInfo struct {
+	// ID is the link's index within the engine (dense, 0-based).
+	ID int
+	// Name is a human-readable "src.port -> dst.port" label.
+	Name string
+	// Queue is the untyped view of the stream's FIFO.
+	Queue ringbuffer.Queue
+	// SrcActor and DstActor are actor IDs (or -1 for external endpoints,
+	// e.g. a TCP peer).
+	SrcActor, DstActor int
+	// Occupancy accumulates monitor samples of queue length.
+	Occupancy stats.Occupancy
+	// ResizeEnabled gates the monitor's dynamic resize rules for this link.
+	ResizeEnabled bool
+	// MaxCap bounds monitor-driven growth (0 = unbounded).
+	MaxCap int
+	// LatencyClass is the mapper's estimate of the cost of crossing this
+	// link (e.g. same-core, cross-socket, TCP); informational.
+	LatencyClass string
+}
+
+func (l *LinkInfo) String() string {
+	return fmt.Sprintf("link %d [%s] cap=%d len=%d", l.ID, l.Name, l.Queue.Cap(), l.Queue.Len())
+}
+
+// Scaler is a control handle for a replicated kernel group: the monitor
+// widens or narrows the number of active replicas through it (the paper's
+// automatic parallelization, §4.1).
+type Scaler interface {
+	// Name identifies the group in reports.
+	Name() string
+	// Active returns the number of currently active replicas.
+	Active() int
+	// Max returns the replica ceiling chosen at graph construction.
+	Max() int
+	// SetActive requests n active replicas (clamped to [1, Max]).
+	SetActive(n int)
+	// InputLink returns the engine link feeding the group's distributor,
+	// whose pressure drives scale-up decisions; may be nil for sources.
+	InputLink() *LinkInfo
+	// OutputLink returns the engine link draining the group's collector;
+	// may be nil for sinks.
+	OutputLink() *LinkInfo
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"raftlib/internal/ringbuffer"
+)
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Proceed:    "proceed",
+		Stop:       "stop",
+		Stall:      "stall",
+		Status(99): "invalid",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestActorStepTimed(t *testing.T) {
+	a := &Actor{
+		Name: "worker",
+		Step: func() Status {
+			time.Sleep(100 * time.Microsecond)
+			return Proceed
+		},
+	}
+	if st := a.StepTimed(); st != Proceed {
+		t.Fatalf("status = %v", st)
+	}
+	if a.Service.Count() != 1 {
+		t.Fatalf("service count = %d", a.Service.Count())
+	}
+	if a.Service.MeanNanos() < float64(50*time.Microsecond) {
+		t.Fatalf("mean = %v ns, want >= 50µs", a.Service.MeanNanos())
+	}
+}
+
+func TestLinkInfoString(t *testing.T) {
+	r := ringbuffer.NewRing[int](8)
+	_ = r.Push(1, ringbuffer.SigNone)
+	li := &LinkInfo{ID: 3, Name: "a.out->b.in", Queue: r}
+	s := li.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+	// Must mention capacity and length.
+	if want := "cap=8"; !contains(s, want) {
+		t.Fatalf("%q missing %q", s, want)
+	}
+	if want := "len=1"; !contains(s, want) {
+		t.Fatalf("%q missing %q", s, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

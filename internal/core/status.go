@@ -1,0 +1,41 @@
+// Package core implements the RaftLib runtime engine: the actor abstraction
+// that drives compute kernels, the link bookkeeping consumed by the monitor
+// and schedulers, and the execution orchestration behind raft.Map.Exe.
+//
+// The package is deliberately free of any dependency on the public raft
+// package: the engine manipulates Actors and LinkInfos, never kernels, so
+// schedulers, the monitor and the mapper can be developed and tested in
+// isolation (the paper's modularity goal, §4: "RaftLib implements a simple
+// but effective scheduler that is straightforward to substitute").
+package core
+
+// Status is returned by one invocation of a kernel's Run method and tells
+// the scheduler how to proceed.
+type Status int
+
+const (
+	// Proceed indicates the kernel did useful work and should be invoked
+	// again (the paper's raft::proceed).
+	Proceed Status = iota
+	// Stop indicates the kernel has finished for good; its outputs will be
+	// closed and it will not be invoked again (raft::stop).
+	Stop
+	// Stall indicates the kernel could not make progress right now (e.g. a
+	// cooperative kernel found insufficient input); the scheduler should
+	// yield and retry later.
+	Stall
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Proceed:
+		return "proceed"
+	case Stop:
+		return "stop"
+	case Stall:
+		return "stall"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,107 @@
+// Package corpus deterministically generates English-like text used in
+// place of the paper's 30 GB Stack Exchange post-history dump (§5), which
+// is not redistributable here. The generator produces word-shaped tokens
+// from a fixed vocabulary via a seeded xorshift PRNG and injects the search
+// pattern at a controlled density, so benchmark corpora of any size are
+// reproducible byte-for-byte and the expected hit count is known
+// (DESIGN.md, substitutions).
+package corpus
+
+import "bytes"
+
+// DefaultPattern is the needle benchmarks search for.
+const DefaultPattern = "parallel"
+
+// vocabulary approximates English word statistics well enough to exercise
+// the matchers' shift tables the way prose does; it deliberately contains
+// words sharing prefixes/suffixes with DefaultPattern.
+var vocabulary = []string{
+	"the", "of", "and", "to", "in", "is", "that", "it", "for", "was",
+	"on", "are", "as", "with", "his", "they", "at", "be", "this", "have",
+	"from", "or", "one", "had", "by", "word", "but", "not", "what", "all",
+	"were", "we", "when", "your", "can", "said", "there", "use", "an",
+	"each", "which", "she", "do", "how", "their", "if", "will", "up",
+	"other", "about", "out", "many", "then", "them", "these", "so",
+	"some", "her", "would", "make", "like", "him", "into", "time", "has",
+	"look", "two", "more", "write", "go", "see", "number", "no", "way",
+	"could", "people", "my", "than", "first", "water", "been", "call",
+	"who", "oil", "its", "now", "find", "long", "down", "day", "did",
+	"get", "come", "made", "may", "part", "stream", "kernel", "queue",
+	"buffer", "thread", "process", "compute", "data", "code", "paradox",
+	"parable", "paragraph", "parse", "partial", "particle", "allel",
+	"parallax", "pipeline", "template", "library", "performance",
+}
+
+// rng is a 64-bit xorshift generator: tiny, fast, deterministic.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Spec describes a corpus to generate.
+type Spec struct {
+	// Bytes is the target size; the result is exactly this long.
+	Bytes int
+	// Seed selects the deterministic stream (0 is replaced by 1).
+	Seed uint64
+	// Pattern is the needle to inject (DefaultPattern if empty).
+	Pattern string
+	// HitsPerMiB is the injection density (default 40). The actual count
+	// can exceed it when the vocabulary happens to form extra matches.
+	HitsPerMiB int
+}
+
+func (s *Spec) fill() {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Pattern == "" {
+		s.Pattern = DefaultPattern
+	}
+	if s.HitsPerMiB <= 0 {
+		s.HitsPerMiB = 40
+	}
+}
+
+// Generate produces the corpus described by spec.
+func Generate(spec Spec) []byte {
+	spec.fill()
+	r := rng{s: spec.Seed}
+	var b bytes.Buffer
+	b.Grow(spec.Bytes + 64)
+
+	// Average gap between injected patterns, in words (≈6 bytes/word).
+	wordsPerMiB := (1 << 20) / 6
+	gap := wordsPerMiB / spec.HitsPerMiB
+	if gap < 2 {
+		gap = 2
+	}
+
+	wordCount := 0
+	lineLen := 0
+	for b.Len() < spec.Bytes {
+		var w string
+		if wordCount%gap == gap-1 {
+			w = spec.Pattern
+		} else {
+			w = vocabulary[r.intn(len(vocabulary))]
+		}
+		wordCount++
+		b.WriteString(w)
+		lineLen += len(w) + 1
+		if lineLen > 60+r.intn(20) {
+			b.WriteByte('\n')
+			lineLen = 0
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	out := b.Bytes()[:spec.Bytes]
+	return out
+}

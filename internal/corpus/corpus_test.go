@@ -1,0 +1,66 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateExactSize(t *testing.T) {
+	for _, n := range []int{1, 100, 1 << 16, 1<<20 + 3} {
+		got := Generate(Spec{Bytes: n, Seed: 3})
+		if len(got) != n {
+			t.Fatalf("size %d: got %d bytes", n, len(got))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Bytes: 1 << 18, Seed: 9})
+	b := Generate(Spec{Bytes: 1 << 18, Seed: 9})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same spec produced different corpora")
+	}
+	c := Generate(Spec{Bytes: 1 << 18, Seed: 10})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateInjectsPattern(t *testing.T) {
+	text := Generate(Spec{Bytes: 1 << 20, Seed: 5, HitsPerMiB: 40})
+	hits := bytes.Count(text, []byte(DefaultPattern))
+	// Injection plus accidental vocabulary formations: at least the target.
+	if hits < 40 {
+		t.Fatalf("found %d hits in 1 MiB, want >= 40", hits)
+	}
+	if hits > 400 {
+		t.Fatalf("found %d hits in 1 MiB; density far above target", hits)
+	}
+}
+
+func TestGenerateCustomPattern(t *testing.T) {
+	text := Generate(Spec{Bytes: 1 << 20, Seed: 5, Pattern: "xyzzy", HitsPerMiB: 10})
+	if hits := bytes.Count(text, []byte("xyzzy")); hits < 10 {
+		t.Fatalf("custom pattern hits = %d, want >= 10", hits)
+	}
+}
+
+func TestGenerateDensityScales(t *testing.T) {
+	lo := bytes.Count(Generate(Spec{Bytes: 1 << 20, Seed: 2, HitsPerMiB: 10}), []byte(DefaultPattern))
+	hi := bytes.Count(Generate(Spec{Bytes: 1 << 20, Seed: 2, HitsPerMiB: 100}), []byte(DefaultPattern))
+	if hi <= lo {
+		t.Fatalf("density didn't scale: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestGenerateLooksLikeText(t *testing.T) {
+	text := Generate(Spec{Bytes: 1 << 16, Seed: 1})
+	if bytes.IndexByte(text, '\n') < 0 {
+		t.Fatal("no line breaks in generated text")
+	}
+	for _, b := range text {
+		if (b < 'a' || b > 'z') && b != ' ' && b != '\n' {
+			t.Fatalf("unexpected byte %q in corpus", b)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package graph provides the streaming-topology representation and the
+// structural checks the runtime performs before execution.
+//
+// The paper (§4.2): "When the user runs the exe() function of map object,
+// the graph is first checked to ensure it is fully connected, then type
+// checking is performed across each link." This package implements those
+// checks (connectivity, endpoint/type validation hooks, source/sink
+// existence, cycle detection) over a lightweight node/edge model that is
+// independent of kernel types.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one compute kernel in the topology.
+type Node struct {
+	ID   int
+	Name string
+	// Weight is a relative cost estimate used by the mapper.
+	Weight float64
+}
+
+// Edge is one stream between two kernels.
+type Edge struct {
+	ID       int
+	Src, Dst int // node IDs
+	SrcPort  string
+	DstPort  string
+	// TypeName is the element type carried by the stream, used for
+	// link type checking.
+	TypeName string
+	// Weight is an estimated data rate used by the mapper (default 1).
+	Weight float64
+}
+
+// Graph is a directed multigraph of kernels and streams.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(name string, weight float64) int {
+	id := len(g.Nodes)
+	if weight <= 0 {
+		weight = 1
+	}
+	g.Nodes = append(g.Nodes, Node{ID: id, Name: name, Weight: weight})
+	return id
+}
+
+// AddEdge appends an edge and returns its ID.
+func (g *Graph) AddEdge(src, dst int, srcPort, dstPort, typeName string, weight float64) int {
+	id := len(g.Edges)
+	if weight <= 0 {
+		weight = 1
+	}
+	g.Edges = append(g.Edges, Edge{
+		ID: id, Src: src, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+		TypeName: typeName, Weight: weight,
+	})
+	return id
+}
+
+// Out returns the IDs of edges leaving node n.
+func (g *Graph) Out(n int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.Src == n {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// In returns the IDs of edges entering node n.
+func (g *Graph) In(n int) []int {
+	var in []int
+	for _, e := range g.Edges {
+		if e.Dst == n {
+			in = append(in, e.ID)
+		}
+	}
+	return in
+}
+
+// Sources returns nodes with no inbound edges, sorted by ID.
+func (g *Graph) Sources() []int {
+	return g.degreeZero(func(e Edge) int { return e.Dst })
+}
+
+// Sinks returns nodes with no outbound edges, sorted by ID.
+func (g *Graph) Sinks() []int {
+	return g.degreeZero(func(e Edge) int { return e.Src })
+}
+
+func (g *Graph) degreeZero(endpoint func(Edge) int) []int {
+	has := make([]bool, len(g.Nodes))
+	for _, e := range g.Edges {
+		has[endpoint(e)] = true
+	}
+	var out []int
+	for id := range g.Nodes {
+		if !has[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WeaklyConnected reports whether the graph forms a single weakly connected
+// component. An empty graph is trivially connected; a graph with nodes but
+// no edges is connected only if it has one node.
+func (g *Graph) WeaklyConnected() bool {
+	n := len(g.Nodes)
+	if n <= 1 {
+		return true
+	}
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// TopoSort returns a topological ordering of node IDs, or an error naming a
+// node on a cycle. Streaming graphs executed by the runtime must be acyclic
+// (a cycle of blocking FIFOs can deadlock), so exe() rejects cycles.
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make([]int, len(g.Nodes))
+	adj := make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.Dst]++
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	var queue []int
+	for id := range g.Nodes {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		for id, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("graph: cycle involving kernel %q", g.Nodes[id].Name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Verify runs the paper's pre-execution structural checks: the graph must
+// be non-empty and acyclic, and every kernel must lie on a path fed by a
+// source and draining to a sink (isolated kernels are rejected; a map may
+// legitimately hold several independent pipelines, so multiple weakly
+// connected components are allowed as long as each is well formed —
+// port-level completeness is checked separately by the runtime).
+func (g *Graph) Verify() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("graph: no kernels linked")
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	if len(g.Sources()) == 0 {
+		return fmt.Errorf("graph: no source kernel (every kernel has inputs)")
+	}
+	if len(g.Sinks()) == 0 {
+		return fmt.Errorf("graph: no sink kernel (every kernel has outputs)")
+	}
+	// A node that is both a source and a sink is isolated: it was added to
+	// the topology but never linked.
+	hasIn := make([]bool, len(g.Nodes))
+	hasOut := make([]bool, len(g.Nodes))
+	for _, e := range g.Edges {
+		hasIn[e.Dst] = true
+		hasOut[e.Src] = true
+	}
+	for id := range g.Nodes {
+		if !hasIn[id] && !hasOut[id] {
+			return fmt.Errorf("graph: kernel %q is isolated (no streams attached)", g.Nodes[id].Name)
+		}
+	}
+	return nil
+}

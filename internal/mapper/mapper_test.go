@@ -1,0 +1,236 @@
+package mapper
+
+import (
+	"testing"
+
+	"raftlib/internal/graph"
+)
+
+func pipeline(n int) *graph.Graph {
+	g := &graph.Graph{}
+	for i := 0; i < n; i++ {
+		g.AddNode("k", 1)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, "out", "in", "int", 1)
+	}
+	return g
+}
+
+func TestNewLocalShape(t *testing.T) {
+	top := NewLocal(8, 2)
+	if len(top.Places) != 8 {
+		t.Fatalf("places = %d", len(top.Places))
+	}
+	sockets := map[int]int{}
+	for _, p := range top.Places {
+		sockets[p.Socket]++
+	}
+	if len(sockets) != 2 || sockets[0] != 4 || sockets[1] != 4 {
+		t.Fatalf("socket split = %v", sockets)
+	}
+}
+
+func TestNewLocalClamps(t *testing.T) {
+	top := NewLocal(0, 0)
+	if len(top.Places) != 1 {
+		t.Fatalf("places = %d, want 1", len(top.Places))
+	}
+	top = NewLocal(2, 5) // sockets > cores
+	if len(top.Places) != 2 {
+		t.Fatalf("places = %d", len(top.Places))
+	}
+}
+
+func TestLatencyHierarchy(t *testing.T) {
+	top := NewLocal(4, 2)
+	node := top.AddRemoteNode(2)
+	if node != 1 {
+		t.Fatalf("remote node index = %d", node)
+	}
+	sameCore := top.Latency(0, 0)
+	crossCore := top.Latency(0, 1) // same socket
+	crossSock := top.Latency(0, 2) // other socket
+	crossNode := top.Latency(0, 4) // remote
+	if !(sameCore < crossCore && crossCore < crossSock && crossSock < crossNode) {
+		t.Fatalf("latency ordering violated: %v %v %v %v", sameCore, crossCore, crossSock, crossNode)
+	}
+}
+
+func TestAssignEmptyTopology(t *testing.T) {
+	if _, err := Assign(pipeline(3), Topology{}); err == nil {
+		t.Fatal("empty topology must error")
+	}
+}
+
+func TestAssignCoversAllKernels(t *testing.T) {
+	g := pipeline(10)
+	top := NewLocal(4, 1)
+	a, err := Assign(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 {
+		t.Fatalf("assignment len = %d", len(a))
+	}
+	used := map[int]bool{}
+	for _, p := range a {
+		if p < 0 || p >= 4 {
+			t.Fatalf("place %d out of range", p)
+		}
+		used[p] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("only %d places used for 10 kernels on 4 cores", len(used))
+	}
+}
+
+func TestAssignPipelineIsContiguous(t *testing.T) {
+	// A pipeline split across 2 sockets should cut exactly one edge at the
+	// socket boundary (the partitioner's whole point).
+	g := pipeline(8)
+	top := NewLocal(8, 2)
+	a, err := Assign(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings := 0
+	for _, e := range g.Edges {
+		if top.Places[a[e.Src]].Socket != top.Places[a[e.Dst]].Socket {
+			crossings++
+		}
+	}
+	if crossings > 1 {
+		t.Fatalf("%d cross-socket edges on a pipeline, want <= 1 (assignment %v)", crossings, a)
+	}
+}
+
+func TestAssignBeatsRandomOnCutCost(t *testing.T) {
+	g := pipeline(16)
+	top := NewLocal(8, 2)
+	smart, err := Assign(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smartCost := CutCost(g, top, smart)
+	worse := 0
+	for seed := int64(0); seed < 10; seed++ {
+		if CutCost(g, top, Random(g, top, seed)) >= smartCost {
+			worse++
+		}
+	}
+	if worse < 8 {
+		t.Fatalf("partitioner beat random only %d/10 times (cost %v)", worse, smartCost)
+	}
+}
+
+func TestAssignSingleCore(t *testing.T) {
+	g := pipeline(5)
+	top := NewLocal(1, 1)
+	a, err := Assign(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a {
+		if p != 0 {
+			t.Fatalf("assignment %v, want all 0", a)
+		}
+	}
+}
+
+func TestAssignWithRemoteNode(t *testing.T) {
+	g := pipeline(6)
+	top := NewLocal(2, 1)
+	top.AddRemoteNode(2)
+	a, err := Assign(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 6-kernel pipeline over 2 nodes: at most one cross-node edge.
+	crossings := 0
+	for _, e := range g.Edges {
+		if top.Places[a[e.Src]].Node != top.Places[a[e.Dst]].Node {
+			crossings++
+		}
+	}
+	if crossings > 1 {
+		t.Fatalf("%d cross-node edges, want <= 1", crossings)
+	}
+}
+
+func TestEvenSpread(t *testing.T) {
+	g := pipeline(6)
+	top := NewLocal(3, 1)
+	a := EvenSpread(g, top)
+	counts := map[int]int{}
+	for _, p := range a {
+		counts[p]++
+	}
+	for place, c := range counts {
+		if c != 2 {
+			t.Fatalf("place %d has %d kernels, want 2", place, c)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	g := pipeline(10)
+	top := NewLocal(4, 1)
+	a := Random(g, top, 42)
+	b := Random(g, top, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestCutCostZeroOnSinglePlace(t *testing.T) {
+	g := pipeline(4)
+	top := NewLocal(1, 1)
+	a, _ := Assign(g, top)
+	if c := CutCost(g, top, a); c != 0 {
+		t.Fatalf("cut cost on one core = %v, want 0", c)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	g := pipeline(12)
+	kernels := make([]int, 12)
+	for i := range kernels {
+		kernels[i] = i
+	}
+	inSet := map[int]bool{}
+	for _, k := range kernels {
+		inSet[k] = true
+	}
+	parts := partition(g, kernels, 4)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) == 0 {
+			t.Fatal("empty part for 12 kernels over 4 parts")
+		}
+		total += len(p)
+	}
+	if total != 12 {
+		t.Fatalf("parts cover %d kernels, want 12", total)
+	}
+}
+
+func TestPartitionMoreLikelyPartsThanKernels(t *testing.T) {
+	g := pipeline(2)
+	parts := partition(g, []int{0, 1}, 5)
+	if len(parts) != 5 {
+		t.Fatalf("parts = %d, want padded to 5", len(parts))
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n != 2 {
+		t.Fatalf("kernels placed = %d", n)
+	}
+}

@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"raftlib/internal/core"
+)
+
+// Deadlock detection. The runtime treats compute kernels as black boxes
+// behind blocking FIFOs, so a mis-designed application — e.g. a kernel
+// consuming its two inputs at different rates behind a broadcast — can
+// freeze with every kernel parked on a port operation that no other kernel
+// will ever complete. Rather than hang, the monitor detects the global
+// freeze and aborts the application with a diagnostic naming the parked
+// streams.
+//
+// Detection predicate, evaluated per tick against the link set:
+//
+//  1. every unfinished actor is parked on at least one of its streams
+//     (the producer side reports WriterBlockedFor > 0 or the consumer
+//     side ReaderStarvedFor > 0) — a computing kernel is never parked, so
+//     long computations cannot be misdiagnosed;
+//  2. total push+pop counts are unchanged since the previous tick (no
+//     in-flight progress racing the scan); and
+//  3. 1 and 2 have held continuously for the configured grace period.
+//
+// The predicate is conservative: adapters that sleep between polls (the
+// merge kernel's idle back-off) do not register as parked, so topologies
+// containing them simply never satisfy condition 1 — a missed detection,
+// never a false abort.
+
+// DeadlockWatch extends a Monitor with freeze detection.
+type DeadlockWatch struct {
+	actors []*core.Actor
+	links  []*core.LinkInfo
+	grace  time.Duration
+	abort  func(diagnostic string)
+
+	frozenSince time.Time
+	lastOps     uint64
+	fired       bool
+}
+
+// NewDeadlockWatch builds a watcher that calls abort with a diagnostic
+// once the application has been globally frozen for the grace period.
+func NewDeadlockWatch(actors []*core.Actor, links []*core.LinkInfo, grace time.Duration, abort func(string)) *DeadlockWatch {
+	if grace <= 0 {
+		grace = time.Second
+	}
+	return &DeadlockWatch{actors: actors, links: links, grace: grace, abort: abort}
+}
+
+// Check evaluates the predicate once; the Monitor calls it per tick.
+func (d *DeadlockWatch) Check(now time.Time) {
+	if d.fired {
+		return
+	}
+	frozen, ops := d.frozen()
+	if !frozen || ops != d.lastOps {
+		d.frozenSince = time.Time{}
+		d.lastOps = ops
+		return
+	}
+	if d.frozenSince.IsZero() {
+		d.frozenSince = now
+		return
+	}
+	if now.Sub(d.frozenSince) >= d.grace {
+		d.fired = true
+		d.abort(d.diagnose())
+	}
+}
+
+// Fired reports whether a deadlock was declared.
+func (d *DeadlockWatch) Fired() bool { return d.fired }
+
+// frozen reports whether every unfinished actor is parked, plus the total
+// operation count used for the progress check.
+func (d *DeadlockWatch) frozen() (bool, uint64) {
+	parked := map[int]bool{}
+	var ops uint64
+	for _, l := range d.links {
+		tel := l.Queue.Telemetry()
+		ops += tel.Pushes.Load() + tel.Pops.Load()
+		if l.Queue.WriterBlockedFor() > 0 {
+			parked[l.SrcActor] = true
+		}
+		if l.Queue.ReaderStarvedFor() > 0 {
+			parked[l.DstActor] = true
+		}
+	}
+	unfinished := 0
+	for _, a := range d.actors {
+		if a.Finished.Load() {
+			continue
+		}
+		unfinished++
+		if !parked[a.ID] {
+			return false, ops
+		}
+	}
+	return unfinished > 0, ops
+}
+
+// diagnose renders the parked streams for the abort error.
+func (d *DeadlockWatch) diagnose() string {
+	var b strings.Builder
+	b.WriteString("application deadlocked; parked streams:")
+	for _, l := range d.links {
+		w := l.Queue.WriterBlockedFor()
+		r := l.Queue.ReaderStarvedFor()
+		if w == 0 && r == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s: len=%d/%d", l.Name, l.Queue.Len(), l.Queue.Cap())
+		if w > 0 {
+			fmt.Fprintf(&b, " producer blocked %v", w.Round(time.Millisecond))
+		}
+		if r > 0 {
+			fmt.Fprintf(&b, " consumer starved %v", r.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}

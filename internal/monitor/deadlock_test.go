@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"raftlib/internal/core"
+	"raftlib/internal/ringbuffer"
+)
+
+// frozenFixture builds two actors around one full queue: the producer
+// blocked pushing, the consumer of a second empty queue blocked popping —
+// a fully parked two-kernel system.
+func frozenFixture(t *testing.T) ([]*core.Actor, []*core.LinkInfo, func()) {
+	t.Helper()
+	full := ringbuffer.NewRing[int](1)
+	if err := full.Push(0, ringbuffer.SigNone); err != nil {
+		t.Fatal(err)
+	}
+	empty := ringbuffer.NewRing[int](1)
+
+	// Producer actor 0 blocks pushing into the full queue.
+	go func() { _ = full.Push(1, ringbuffer.SigNone) }()
+	// Consumer actor 1 blocks popping from the empty queue.
+	go func() { _, _, _ = empty.Pop() }()
+	deadline := time.Now().Add(2 * time.Second)
+	for full.WriterBlockedFor() == 0 || empty.ReaderStarvedFor() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fixture goroutines never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	actors := []*core.Actor{{ID: 0, Name: "producer"}, {ID: 1, Name: "consumer"}}
+	links := []*core.LinkInfo{
+		{ID: 0, Name: "producer.out->x.in", Queue: full, SrcActor: 0, DstActor: 1},
+		{ID: 1, Name: "y.out->consumer.in", Queue: empty, SrcActor: 0, DstActor: 1},
+	}
+	cleanup := func() {
+		full.Close()
+		empty.Close()
+	}
+	return actors, links, cleanup
+}
+
+func TestDeadlockWatchFires(t *testing.T) {
+	actors, links, cleanup := frozenFixture(t)
+	defer cleanup()
+	var diag string
+	w := NewDeadlockWatch(actors, links, 10*time.Millisecond, func(d string) { diag = d })
+	base := time.Now()
+	w.Check(base)                           // establishes freeze start
+	w.Check(base.Add(5 * time.Millisecond)) // within grace: no fire
+	if w.Fired() {
+		t.Fatal("fired before grace elapsed")
+	}
+	w.Check(base.Add(20 * time.Millisecond)) // past grace: fire
+	if !w.Fired() {
+		t.Fatal("did not fire after grace")
+	}
+	if !strings.Contains(diag, "parked streams") || !strings.Contains(diag, "producer.out->x.in") {
+		t.Fatalf("diagnostic = %q", diag)
+	}
+	// One-shot: further checks do not re-fire.
+	diag = ""
+	w.Check(base.Add(time.Second))
+	if diag != "" {
+		t.Fatal("fired twice")
+	}
+}
+
+func TestDeadlockWatchResetOnProgress(t *testing.T) {
+	actors, links, cleanup := frozenFixture(t)
+	defer cleanup()
+	fired := false
+	w := NewDeadlockWatch(actors, links, 10*time.Millisecond, func(string) { fired = true })
+	base := time.Now()
+	w.Check(base)
+	// Simulate progress: bump a queue counter between checks.
+	links[0].Queue.Telemetry().Pushes.Inc()
+	w.Check(base.Add(15 * time.Millisecond))
+	if fired {
+		t.Fatal("fired despite progress between checks")
+	}
+}
+
+func TestDeadlockWatchIgnoresFinishedActors(t *testing.T) {
+	actors, links, cleanup := frozenFixture(t)
+	defer cleanup()
+	// Mark the consumer finished and unpark it; only the producer remains,
+	// and it is parked, so the watch must still fire.
+	actors[1].Finished.Store(true)
+	fired := false
+	w := NewDeadlockWatch(actors, links, 5*time.Millisecond, func(string) { fired = true })
+	base := time.Now()
+	w.Check(base)                            // syncs the op counter
+	w.Check(base.Add(10 * time.Millisecond)) // starts the freeze clock
+	w.Check(base.Add(20 * time.Millisecond)) // past grace
+	if !fired {
+		t.Fatal("watch ignored a parked unfinished actor")
+	}
+}
+
+func TestDeadlockWatchNotFrozenWhenActorRunning(t *testing.T) {
+	actors, links, cleanup := frozenFixture(t)
+	defer cleanup()
+	// A third actor with no parked streams is "running": never frozen.
+	actors = append(actors, &core.Actor{ID: 2, Name: "busy"})
+	fired := false
+	w := NewDeadlockWatch(actors, links, 5*time.Millisecond, func(string) { fired = true })
+	base := time.Now()
+	w.Check(base)
+	w.Check(base.Add(10 * time.Millisecond))
+	w.Check(base.Add(20 * time.Millisecond))
+	if fired {
+		t.Fatal("fired with an unparked actor present")
+	}
+}
+
+func TestDeadlockWatchDefaultGrace(t *testing.T) {
+	w := NewDeadlockWatch(nil, nil, 0, func(string) {})
+	if w.grace != time.Second {
+		t.Fatalf("default grace = %v", w.grace)
+	}
+}

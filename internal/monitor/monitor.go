@@ -1,0 +1,280 @@
+// Package monitor implements RaftLib's run-time optimization loop.
+//
+// The paper (§4.1) describes a monitoring thread updated every δ ← 10 µs
+// that (a) samples queue state for the performance instrumentation, (b)
+// resizes FIFOs dynamically — growing a queue whose writer has been blocked
+// for 3×δ, and handling consumers that request more items than the queue
+// can hold — and (c) drives coarser re-optimization such as widening a
+// replicated kernel group when it is the bottleneck.
+//
+// The defaults here follow the paper's constants where practical: Delta
+// defaults to 10 µs (Go's sleep granularity makes the effective tick a few
+// tens of microseconds on most systems, which the occupancy sampler simply
+// reflects), and the write-side trigger is WriterBlockedFor() >= 3×Delta.
+// Read-side over-demand is satisfied synchronously by the ring itself (see
+// internal/ringbuffer); the monitor additionally observes PendingDemand for
+// reporting.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"raftlib/internal/core"
+)
+
+// Config tunes the monitor loop.
+type Config struct {
+	// Delta is the monitor tick period (paper: 10 µs). <=0 selects the
+	// default.
+	Delta time.Duration
+	// Resize enables the dynamic queue resizing rules.
+	Resize bool
+	// BlockFactor is the write-block multiple of Delta that triggers a grow
+	// (paper: 3). <=0 selects 3.
+	BlockFactor int
+	// GrowFactor multiplies capacity on a grow (<=1 selects 2).
+	GrowFactor int
+	// Shrink enables conservative queue shrinking: a queue whose mean
+	// occupancy stays below 1/8 of capacity for ShrinkAfter consecutive
+	// ticks (and whose writer is not blocked) is halved.
+	Shrink bool
+	// ShrinkAfter is the hysteresis tick count for shrinking (<=0: 1000).
+	ShrinkAfter int
+	// AutoScale enables dynamic widening/narrowing of replicated kernel
+	// groups via their Scalers.
+	AutoScale bool
+	// ScaleUpFullFrac: widen when the group input queue has been observed
+	// near-full in at least this fraction of recent ticks (default 0.5).
+	ScaleUpFullFrac float64
+	// ScaleWindow is the number of ticks between scaling decisions
+	// (default 64).
+	ScaleWindow int
+}
+
+// DefaultDelta is the paper's monitor update period.
+const DefaultDelta = 10 * time.Microsecond
+
+func (c *Config) fill() {
+	if c.Delta <= 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.BlockFactor <= 0 {
+		c.BlockFactor = 3
+	}
+	if c.GrowFactor <= 1 {
+		c.GrowFactor = 2
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 1000
+	}
+	if c.ScaleUpFullFrac <= 0 {
+		c.ScaleUpFullFrac = 0.5
+	}
+	if c.ScaleWindow <= 0 {
+		c.ScaleWindow = 64
+	}
+}
+
+// Monitor periodically samples and re-optimizes a running streaming graph.
+type Monitor struct {
+	cfg     Config
+	links   []*core.LinkInfo
+	scalers []core.Scaler
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	// per-link shrink hysteresis counters
+	quiet []int
+	// per-scaler tick state
+	scaleTick  []int
+	fullTicks  []int
+	emptyTicks []int
+
+	mu      sync.Mutex
+	events  []Event
+	ticks   uint64
+	resizes uint64
+
+	deadlock *DeadlockWatch
+}
+
+// SetDeadlockWatch attaches a freeze detector evaluated every tick. Call
+// before Start.
+func (m *Monitor) SetDeadlockWatch(w *DeadlockWatch) { m.deadlock = w }
+
+// Event records one monitor decision, for reports and tests.
+type Event struct {
+	At     time.Time
+	Kind   string // "grow", "shrink", "scale-up", "scale-down"
+	Target string // link or group name
+	From   int
+	To     int
+}
+
+// New builds a Monitor over the engine's links and scalers.
+func New(cfg Config, links []*core.LinkInfo, scalers []core.Scaler) *Monitor {
+	cfg.fill()
+	return &Monitor{
+		cfg:        cfg,
+		links:      links,
+		scalers:    scalers,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		quiet:      make([]int, len(links)),
+		scaleTick:  make([]int, len(scalers)),
+		fullTicks:  make([]int, len(scalers)),
+		emptyTicks: make([]int, len(scalers)),
+	}
+}
+
+// Start launches the monitor goroutine.
+func (m *Monitor) Start() {
+	go m.loop()
+}
+
+// Stop terminates the monitor and waits for the loop to exit. Idempotent.
+func (m *Monitor) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Ticks returns the number of monitor iterations executed.
+func (m *Monitor) Ticks() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}
+
+// Events returns a copy of the recorded optimization events.
+func (m *Monitor) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Resizes returns the number of resize operations performed.
+func (m *Monitor) Resizes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resizes
+}
+
+func (m *Monitor) record(kind, target string, from, to int) {
+	m.mu.Lock()
+	m.events = append(m.events, Event{At: time.Now(), Kind: kind, Target: target, From: from, To: to})
+	if kind == "grow" || kind == "shrink" {
+		m.resizes++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.Tick()
+		time.Sleep(m.cfg.Delta)
+	}
+}
+
+// Tick performs one monitor iteration. Exported so tests (and the ablation
+// harness) can drive the monitor deterministically without timing races.
+func (m *Monitor) Tick() {
+	threshold := time.Duration(m.cfg.BlockFactor) * m.cfg.Delta
+	for i, l := range m.links {
+		qlen, qcap := l.Queue.Len(), l.Queue.Cap()
+		l.Occupancy.Sample(qlen, qcap)
+
+		if !m.cfg.Resize || !l.ResizeEnabled {
+			continue
+		}
+		// Write-side rule (§4.1): writer blocked for >= BlockFactor×δ.
+		if blocked := l.Queue.WriterBlockedFor(); blocked >= threshold {
+			if l.MaxCap <= 0 || qcap < l.MaxCap {
+				target := qcap * m.cfg.GrowFactor
+				if l.MaxCap > 0 && target > l.MaxCap {
+					target = l.MaxCap
+				}
+				if target > qcap && l.Queue.Resize(target) == nil {
+					m.record("grow", l.Name, qcap, target)
+					m.quiet[i] = 0
+					continue
+				}
+			}
+		}
+		// Conservative shrink with hysteresis.
+		if m.cfg.Shrink {
+			if qlen*8 < qcap && l.Queue.WriterBlockedFor() == 0 {
+				m.quiet[i]++
+				if m.quiet[i] >= m.cfg.ShrinkAfter && qcap > 1 {
+					target := qcap / 2
+					if target < qlen {
+						target = qlen
+					}
+					if target >= 1 && target < qcap && l.Queue.Resize(target) == nil {
+						m.record("shrink", l.Name, qcap, target)
+					}
+					m.quiet[i] = 0
+				}
+			} else {
+				m.quiet[i] = 0
+			}
+		}
+	}
+
+	if m.cfg.AutoScale {
+		for i, s := range m.scalers {
+			m.scaleTick[i]++
+			in := s.InputLink()
+			if in == nil {
+				continue
+			}
+			qlen, qcap := in.Queue.Len(), in.Queue.Cap()
+			if qcap > 0 && qlen >= qcap-(qcap>>3) {
+				m.fullTicks[i]++
+			}
+			if qlen == 0 {
+				m.emptyTicks[i]++
+			}
+			if m.scaleTick[i] < m.cfg.ScaleWindow {
+				continue
+			}
+			window := float64(m.scaleTick[i])
+			fullFrac := float64(m.fullTicks[i]) / window
+			emptyFrac := float64(m.emptyTicks[i]) / window
+			m.scaleTick[i], m.fullTicks[i], m.emptyTicks[i] = 0, 0, 0
+
+			switch {
+			case fullFrac >= m.cfg.ScaleUpFullFrac && s.Active() < s.Max():
+				from := s.Active()
+				s.SetActive(from + 1)
+				m.record("scale-up", s.Name(), from, from+1)
+			case emptyFrac >= 0.9 && s.Active() > 1:
+				from := s.Active()
+				s.SetActive(from - 1)
+				m.record("scale-down", s.Name(), from, from-1)
+			}
+		}
+	}
+
+	if m.deadlock != nil {
+		m.deadlock.Check(time.Now())
+		if m.deadlock.Fired() {
+			m.record("deadlock", "application", 0, 0)
+			m.deadlock = nil // one-shot
+		}
+	}
+
+	m.mu.Lock()
+	m.ticks++
+	m.mu.Unlock()
+}

@@ -1,0 +1,209 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"raftlib/internal/core"
+	"raftlib/internal/ringbuffer"
+)
+
+func mkLink(capacity int, maxCap int) (*core.LinkInfo, *ringbuffer.Ring[int]) {
+	r := ringbuffer.NewRing[int](capacity)
+	if maxCap > 0 {
+		r.SetMaxCap(maxCap)
+	}
+	return &core.LinkInfo{Name: "l", Queue: r, ResizeEnabled: true, MaxCap: maxCap}, r
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.Delta != DefaultDelta || c.BlockFactor != 3 || c.GrowFactor != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestTickSamplesOccupancy(t *testing.T) {
+	li, r := mkLink(4, 0)
+	for i := 0; i < 3; i++ {
+		if err := r.Push(i, ringbuffer.SigNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := New(Config{}, []*core.LinkInfo{li}, nil)
+	m.Tick()
+	m.Tick()
+	if li.Occupancy.Samples() != 2 {
+		t.Fatalf("samples = %d", li.Occupancy.Samples())
+	}
+	if li.Occupancy.Mean() != 3 {
+		t.Fatalf("mean occupancy = %v, want 3", li.Occupancy.Mean())
+	}
+}
+
+func TestWriteBlockTriggersGrow(t *testing.T) {
+	li, r := mkLink(1, 0)
+	if err := r.Push(0, ringbuffer.SigNone); err != nil {
+		t.Fatal(err)
+	}
+	// Block a producer.
+	done := make(chan error, 1)
+	go func() { done <- r.Push(1, ringbuffer.SigNone) }()
+	for r.WriterBlockedFor() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	// Wait until the block age exceeds 3δ, then tick manually.
+	cfg := Config{Delta: time.Microsecond, Resize: true}
+	m := New(cfg, []*core.LinkInfo{li}, nil)
+	time.Sleep(time.Millisecond)
+	m.Tick()
+	if r.Cap() != 2 {
+		t.Fatalf("cap after grow = %d, want 2", r.Cap())
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Kind != "grow" || evs[0].From != 1 || evs[0].To != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if m.Resizes() != 1 {
+		t.Fatalf("resizes = %d", m.Resizes())
+	}
+}
+
+func TestGrowRespectsMaxCap(t *testing.T) {
+	li, r := mkLink(2, 2) // already at the cap
+	_ = r.Push(0, ringbuffer.SigNone)
+	_ = r.Push(1, ringbuffer.SigNone)
+	go func() { _ = r.Push(2, ringbuffer.SigNone) }()
+	for r.WriterBlockedFor() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	m := New(Config{Delta: time.Microsecond, Resize: true}, []*core.LinkInfo{li}, nil)
+	time.Sleep(time.Millisecond)
+	m.Tick()
+	if r.Cap() != 2 {
+		t.Fatalf("cap = %d, must not exceed MaxCap", r.Cap())
+	}
+	r.Close()
+}
+
+func TestResizeDisabled(t *testing.T) {
+	li, r := mkLink(1, 0)
+	li.ResizeEnabled = false
+	_ = r.Push(0, ringbuffer.SigNone)
+	go func() { _ = r.Push(1, ringbuffer.SigNone) }()
+	for r.WriterBlockedFor() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	m := New(Config{Delta: time.Microsecond, Resize: true}, []*core.LinkInfo{li}, nil)
+	time.Sleep(time.Millisecond)
+	m.Tick()
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d; per-link disable ignored", r.Cap())
+	}
+	r.Close()
+}
+
+func TestShrinkAfterHysteresis(t *testing.T) {
+	li, r := mkLink(64, 0)
+	m := New(Config{Delta: time.Microsecond, Resize: true, Shrink: true, ShrinkAfter: 10},
+		[]*core.LinkInfo{li}, nil)
+	for i := 0; i < 10; i++ {
+		m.Tick()
+	}
+	if r.Cap() != 32 {
+		t.Fatalf("cap after shrink = %d, want 32", r.Cap())
+	}
+	// A busy queue must not shrink.
+	for i := 0; i < 30; i++ {
+		_ = r.Push(i, ringbuffer.SigNone)
+	}
+	for i := 0; i < 20; i++ {
+		m.Tick()
+	}
+	if r.Cap() != 32 {
+		t.Fatalf("cap = %d; busy queue shrank", r.Cap())
+	}
+}
+
+type fakeScaler struct {
+	name   string
+	active int
+	max    int
+	in     *core.LinkInfo
+}
+
+func (f *fakeScaler) Name() string               { return f.name }
+func (f *fakeScaler) Active() int                { return f.active }
+func (f *fakeScaler) Max() int                   { return f.max }
+func (f *fakeScaler) SetActive(n int)            { f.active = n }
+func (f *fakeScaler) InputLink() *core.LinkInfo  { return f.in }
+func (f *fakeScaler) OutputLink() *core.LinkInfo { return nil }
+
+func TestAutoScaleUpOnPressure(t *testing.T) {
+	li, r := mkLink(4, 4)
+	li.ResizeEnabled = false
+	for i := 0; i < 4; i++ { // keep the input queue full
+		_ = r.Push(i, ringbuffer.SigNone)
+	}
+	sc := &fakeScaler{name: "grp", active: 1, max: 4, in: li}
+	m := New(Config{Delta: time.Microsecond, AutoScale: true, ScaleWindow: 8},
+		[]*core.LinkInfo{li}, []core.Scaler{sc})
+	for i := 0; i < 8; i++ {
+		m.Tick()
+	}
+	if sc.active != 2 {
+		t.Fatalf("active = %d, want scaled to 2", sc.active)
+	}
+	evs := m.Events()
+	if len(evs) == 0 || evs[len(evs)-1].Kind != "scale-up" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestAutoScaleDownWhenIdle(t *testing.T) {
+	li, _ := mkLink(4, 4)
+	li.ResizeEnabled = false
+	sc := &fakeScaler{name: "grp", active: 3, max: 4, in: li}
+	m := New(Config{Delta: time.Microsecond, AutoScale: true, ScaleWindow: 8},
+		[]*core.LinkInfo{li}, []core.Scaler{sc})
+	for i := 0; i < 8; i++ { // queue stays empty
+		m.Tick()
+	}
+	if sc.active != 2 {
+		t.Fatalf("active = %d, want scaled down to 2", sc.active)
+	}
+}
+
+func TestAutoScaleNilInputLink(t *testing.T) {
+	sc := &fakeScaler{name: "grp", active: 1, max: 4, in: nil}
+	m := New(Config{Delta: time.Microsecond, AutoScale: true, ScaleWindow: 2}, nil, []core.Scaler{sc})
+	m.Tick()
+	m.Tick() // must not panic
+	if sc.active != 1 {
+		t.Fatalf("active changed to %d with no input link", sc.active)
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	li, _ := mkLink(4, 0)
+	m := New(Config{Delta: 100 * time.Microsecond}, []*core.LinkInfo{li}, nil)
+	m.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Ticks() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("monitor loop did not tick")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	n := m.Ticks()
+	time.Sleep(5 * time.Millisecond)
+	if m.Ticks() != n {
+		t.Fatal("monitor ticked after Stop")
+	}
+}

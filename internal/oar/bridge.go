@@ -1,0 +1,194 @@
+package oar
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"raftlib/raft"
+)
+
+// A bridge tunnels one raft stream over a TCP connection: the Sender is a
+// sink kernel in the producing process's map, the Receiver a source kernel
+// in the consuming process's map. Apart from replacing one Link call with
+// the bridge pair, no kernel code changes — the paper's "no difference
+// between a distributed and a non-distributed program from the perspective
+// of the developer" (§4.1).
+//
+// Wire format: a header line ("stream <name>\n") then a sequence of
+// gob-encoded frames, each carrying a batch of elements with their
+// synchronized signals; an EOF frame closes the stream.
+
+// frame is one wire batch.
+type frame[T any] struct {
+	Vals []T
+	Sigs []raft.Signal
+	EOF  bool
+}
+
+// senderBatch bounds elements per frame (amortizes encoder overhead
+// without adding much latency).
+const senderBatch = 256
+
+// Sender is the producing end of a bridge: a sink kernel with input port
+// "in" whose elements are encoded onto the TCP connection.
+type Sender[T any] struct {
+	raft.KernelBase
+	addr   string
+	stream string
+	conn   net.Conn
+	enc    *gob.Encoder
+	// flush, when non-nil, runs after every encoded frame (compressed
+	// bridges flush their flate layer per frame).
+	flush func() error
+}
+
+// NewSender returns a bridge sender that will dial the receiver node at
+// addr and feed the named stream.
+func NewSender[T any](addr, stream string) *Sender[T] {
+	k := &Sender[T]{addr: addr, stream: stream}
+	k.SetName("tcp-send[" + stream + "]")
+	raft.AddInput[T](k, "in")
+	return k
+}
+
+// Init implements raft.Initializer by dialing the receiver.
+func (s *Sender[T]) Init() error {
+	conn, err := net.DialTimeout("tcp", s.addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("oar: sender dial %s: %w", s.addr, err)
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s\n", hdrStream, s.stream); err != nil {
+		conn.Close()
+		return err
+	}
+	s.conn = conn
+	s.enc = gob.NewEncoder(conn)
+	return nil
+}
+
+// Run implements raft.Kernel: gather a batch, encode a frame.
+func (s *Sender[T]) Run() raft.Status {
+	in := s.In("in")
+	var f frame[T]
+	v, sig, err := raft.PopSig[T](in)
+	if err != nil {
+		return s.finish()
+	}
+	f.Vals = append(f.Vals, v)
+	f.Sigs = append(f.Sigs, sig)
+	for len(f.Vals) < senderBatch {
+		v, ok, err := raft.TryPop[T](in)
+		if err != nil || !ok {
+			break
+		}
+		f.Vals = append(f.Vals, v)
+		f.Sigs = append(f.Sigs, raft.SigNone)
+	}
+	if err := s.enc.Encode(f); err != nil {
+		return s.finish()
+	}
+	if s.flush != nil {
+		if err := s.flush(); err != nil {
+			return s.finish()
+		}
+	}
+	return raft.Proceed
+}
+
+// finish sends the EOF frame and stops.
+func (s *Sender[T]) finish() raft.Status {
+	if s.enc != nil {
+		_ = s.enc.Encode(frame[T]{EOF: true})
+		if s.flush != nil {
+			_ = s.flush()
+		}
+	}
+	return raft.Stop
+}
+
+// Finalize implements raft.Finalizer by closing the connection.
+func (s *Sender[T]) Finalize() {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+}
+
+// Receiver is the consuming end of a bridge: a source kernel with output
+// port "out" fed by the TCP stream registered on its node.
+type Receiver[T any] struct {
+	raft.KernelBase
+	node    *Node
+	stream  string
+	accept  <-chan net.Conn
+	conn    net.Conn
+	dec     *gob.Decoder
+	timeout time.Duration
+}
+
+// NewReceiver registers the named stream endpoint on node and returns the
+// source kernel delivering its elements.
+func NewReceiver[T any](node *Node, stream string) (*Receiver[T], error) {
+	ch, err := node.registerStream(stream)
+	if err != nil {
+		return nil, err
+	}
+	k := &Receiver[T]{node: node, stream: stream, accept: ch, timeout: 30 * time.Second}
+	k.SetName("tcp-recv[" + stream + "]")
+	raft.AddOutput[T](k, "out")
+	return k, nil
+}
+
+// Init implements raft.Initializer by waiting for the sender to connect.
+func (r *Receiver[T]) Init() error {
+	select {
+	case conn := <-r.accept:
+		r.conn = conn
+		r.dec = gob.NewDecoder(conn)
+		return nil
+	case <-time.After(r.timeout):
+		return fmt.Errorf("oar: receiver %q: no sender connected within %v", r.stream, r.timeout)
+	}
+}
+
+// Run implements raft.Kernel: decode one frame, push its elements.
+func (r *Receiver[T]) Run() raft.Status {
+	var f frame[T]
+	if err := r.dec.Decode(&f); err != nil {
+		return raft.Stop // connection lost: propagate EOF downstream
+	}
+	if f.EOF {
+		return raft.Stop
+	}
+	out := r.Out("out")
+	for i, v := range f.Vals {
+		sig := raft.SigNone
+		if i < len(f.Sigs) {
+			sig = f.Sigs[i]
+		}
+		if err := raft.PushSig(out, v, sig); err != nil {
+			return raft.Stop
+		}
+	}
+	return raft.Proceed
+}
+
+// Finalize implements raft.Finalizer by closing the connection.
+func (r *Receiver[T]) Finalize() {
+	if r.conn != nil {
+		r.conn.Close()
+	}
+}
+
+// Bridge wires a sender/receiver pair for the named stream terminating at
+// recvNode. Link the sender as a sink in the producing map and the
+// receiver as a source in the consuming map.
+func Bridge[T any](recvNode *Node, stream string) (*Sender[T], *Receiver[T], error) {
+	recv, err := NewReceiver[T](recvNode, stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	send := NewSender[T](recvNode.Addr(), stream)
+	return send, recv, nil
+}

@@ -1,0 +1,280 @@
+package oar
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"raftlib/kernels"
+	"raftlib/raft"
+)
+
+func newTestNode(t *testing.T, id string) *Node {
+	t.Helper()
+	n, err := NewNode(id, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestNodeIdentity(t *testing.T) {
+	n := newTestNode(t, "alpha")
+	if n.ID() != "alpha" {
+		t.Fatalf("id = %q", n.ID())
+	}
+	if n.Addr() == "" {
+		t.Fatal("no address")
+	}
+	self := n.Self()
+	if self.Cores < 1 || self.Addr != n.Addr() {
+		t.Fatalf("self = %+v", self)
+	}
+}
+
+func TestJoinExchangesInfo(t *testing.T) {
+	a := newTestNode(t, "a")
+	b := newTestNode(t, "b")
+	if err := a.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// a learned b.
+	peers := a.Peers()
+	if len(peers) != 1 || peers[0].ID != "b" {
+		t.Fatalf("a's peers = %+v", peers)
+	}
+	// b learned a (the exchange is bidirectional).
+	peers = b.Peers()
+	if len(peers) != 1 || peers[0].ID != "a" {
+		t.Fatalf("b's peers = %+v", peers)
+	}
+}
+
+func TestGossipTransitivity(t *testing.T) {
+	a := newTestNode(t, "a")
+	b := newTestNode(t, "b")
+	c := newTestNode(t, "c")
+	// a<->b, then c->b: c must learn about a through b.
+	if err := a.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, p := range c.Peers() {
+		ids[p.ID] = true
+	}
+	if !ids["a"] || !ids["b"] {
+		t.Fatalf("c's view = %v, want a and b", ids)
+	}
+}
+
+func TestGossipLoadPropagates(t *testing.T) {
+	a := newTestNode(t, "a")
+	b := newTestNode(t, "b")
+	b.SetLoad(0.75)
+	if err := a.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for _, p := range a.Peers() {
+		if p.ID == "b" {
+			got = p.Load
+		}
+	}
+	if got != 0.75 {
+		t.Fatalf("propagated load = %v, want 0.75", got)
+	}
+}
+
+func TestStartGossipRefreshes(t *testing.T) {
+	a := newTestNode(t, "a")
+	b := newTestNode(t, "b")
+	if err := a.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	a.StartGossip(20 * time.Millisecond)
+	b.SetLoad(0.5)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var load float64
+		for _, p := range a.Peers() {
+			if p.ID == "b" {
+				load = p.Load
+			}
+		}
+		if load == 0.5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip loop never refreshed b's load")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServiceCall(t *testing.T) {
+	n := newTestNode(t, "svc")
+	n.RegisterService("add", func(req map[string]string) (map[string]string, error) {
+		x, _ := strconv.Atoi(req["x"])
+		y, _ := strconv.Atoi(req["y"])
+		return map[string]string{"sum": strconv.Itoa(x + y)}, nil
+	})
+	resp, err := Call(n.Addr(), "add", map[string]string{"x": "2", "y": "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp["sum"] != "42" {
+		t.Fatalf("sum = %q", resp["sum"])
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	n := newTestNode(t, "svc")
+	n.RegisterService("boom", func(req map[string]string) (map[string]string, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	if _, err := Call(n.Addr(), "boom", nil); err == nil {
+		t.Fatal("service error must propagate")
+	}
+	if _, err := Call(n.Addr(), "missing", nil); err == nil {
+		t.Fatal("unknown service must error")
+	}
+}
+
+func TestCallUnreachable(t *testing.T) {
+	if _, err := Call("127.0.0.1:1", "x", nil); err == nil {
+		t.Fatal("dial failure must error")
+	}
+}
+
+func TestStreamDuplicateRegistration(t *testing.T) {
+	n := newTestNode(t, "dup")
+	if _, err := NewReceiver[int](n, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReceiver[int](n, "s"); err == nil {
+		t.Fatal("duplicate stream registration must error")
+	}
+}
+
+// TestBridgeDistributedSum runs the paper's distributed claim end to end:
+// the same sum application, with the producer half and consumer half in
+// separate maps connected by a real TCP stream.
+func TestBridgeDistributedSum(t *testing.T) {
+	node := newTestNode(t, "worker")
+	const n = 10_000
+
+	send, recv, err := Bridge[int64](node, "numbers")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Producer process: generate -> tcp-send.
+	producer := raft.NewMap()
+	if _, err := producer.Link(kernels.NewGenerate(n, func(i int64) int64 { return i }), send); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer process: tcp-recv -> reduce.
+	var total int64
+	consumer := raft.NewMap()
+	red := kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total)
+	if _, err := consumer.Link(recv, red); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = producer.Exe() }()
+	go func() { defer wg.Done(); _, errs[1] = consumer.Exe() }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+	want := int64(n) * (n - 1) / 2
+	if total != want {
+		t.Fatalf("distributed sum = %d, want %d", total, want)
+	}
+}
+
+func TestBridgeCarriesSignals(t *testing.T) {
+	node := newTestNode(t, "sig")
+	send, recv, err := Bridge[int32](node, "sigs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := raft.NewMap()
+	src := raft.NewLambda[int32](0, 1, func(k *raft.LambdaKernel) raft.Status {
+		if err := raft.PushSig(k.Out("0"), int32(5), raft.SigUser); err != nil {
+			return raft.Stop
+		}
+		return raft.Stop
+	})
+	if _, err := producer.Link(src, send); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotSig raft.Signal
+	consumer := raft.NewMap()
+	sink := raft.NewLambda[int32](1, 0, func(k *raft.LambdaKernel) raft.Status {
+		_, s, err := raft.PopSig[int32](k.In("0"))
+		if err != nil {
+			return raft.Stop
+		}
+		gotSig = s
+		return raft.Proceed
+	})
+	if _, err := consumer.Link(recv, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _ = producer.Exe() }()
+	go func() { defer wg.Done(); _, _ = consumer.Exe() }()
+	wg.Wait()
+	if gotSig != raft.SigUser {
+		t.Fatalf("signal over TCP = %v, want user", gotSig)
+	}
+}
+
+func TestReceiverTimesOutWithoutSender(t *testing.T) {
+	node := newTestNode(t, "lonely")
+	recv, err := NewReceiver[int](node, "never")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv.timeout = 50 * time.Millisecond
+	if err := recv.Init(); err == nil {
+		t.Fatal("receiver must time out when no sender connects")
+	}
+}
+
+func TestMergeNewestStampWins(t *testing.T) {
+	n := newTestNode(t, "self")
+	now := time.Now()
+	n.merge(NodeInfo{ID: "p", Load: 0.9, Stamp: now})
+	n.merge(NodeInfo{ID: "p", Load: 0.1, Stamp: now.Add(-time.Second)}) // stale
+	peers := n.Peers()
+	if len(peers) != 1 || peers[0].Load != 0.9 {
+		t.Fatalf("stale record overwrote newer: %+v", peers)
+	}
+	n.merge(NodeInfo{ID: "p", Load: 0.2, Stamp: now.Add(time.Second)}) // fresher
+	if got := n.Peers()[0].Load; got != 0.2 {
+		t.Fatalf("fresher record ignored: %v", got)
+	}
+	// Self and empty IDs are never merged.
+	n.merge(NodeInfo{ID: "self", Stamp: now.Add(time.Hour)})
+	n.merge(NodeInfo{ID: "", Stamp: now.Add(time.Hour)})
+	if len(n.Peers()) != 1 {
+		t.Fatalf("self/empty merged: %+v", n.Peers())
+	}
+}

@@ -1,0 +1,224 @@
+package oar
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"raftlib/raft"
+)
+
+// Remote stages realize the paper's remote kernel execution (§4.1: the oar
+// system "provides a means to remotely compile and execute kernels so that
+// a user can have a simple compile and forget experience"). A node
+// registers named stage factories; a peer splices a registered stage into
+// its local topology with RemoteStage, which returns a (sender, receiver)
+// kernel pair:
+//
+//	local upstream -> sender ==tcp==> [recv -> kernel -> send] ==tcp==> receiver -> local downstream
+//
+// The remote half runs as a full raft application on the serving node, one
+// instance per RemoteStage call, full-duplex on a single TCP connection.
+// Go cannot compile shipped source at runtime, so factories are registered
+// ahead of time — the substitution recorded in DESIGN.md.
+
+// stageHdr is the connection header kind for stage spawns.
+const stageHdr = "spawn"
+
+// RegisterStage exposes a kernel factory under name on node n. T and U are
+// the stage's input and output element types; the factory must return a
+// kernel with exactly one input port of T and one output port of U.
+func RegisterStage[T, U any](n *Node, name string, factory func(args map[string]string) (raft.Kernel, error)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stages[name] = func(conn net.Conn, br *bufio.Reader) {
+		serveStageConn[T, U](conn, br, factory)
+	}
+}
+
+// serveStageConn runs one remote stage instance over an accepted
+// connection.
+func serveStageConn[T, U any](conn net.Conn, br *bufio.Reader, factory func(args map[string]string) (raft.Kernel, error)) {
+	defer conn.Close()
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(conn)
+	var args map[string]string
+	if err := dec.Decode(&args); err != nil {
+		return
+	}
+	kernel, err := factory(args)
+	if err != nil {
+		// Closing without an ack tells the peer the spawn failed.
+		return
+	}
+	// Ack the spawn so the caller can distinguish setup errors.
+	if err := enc.Encode(true); err != nil {
+		return
+	}
+
+	src := &stageConnSource[T]{dec: dec}
+	src.SetName("stage-recv")
+	raft.AddOutput[T](src, "out")
+	sink := &stageConnSink[U]{enc: enc}
+	sink.SetName("stage-send")
+	raft.AddInput[U](sink, "in")
+
+	m := raft.NewMap()
+	if _, err := m.Link(src, kernel); err != nil {
+		return
+	}
+	if _, err := m.Link(kernel, sink); err != nil {
+		return
+	}
+	_, _ = m.Exe() // errors surface to the peer as a closed connection
+}
+
+// stageConnSource feeds decoded frames into the remote pipeline.
+type stageConnSource[T any] struct {
+	raft.KernelBase
+	dec *gob.Decoder
+}
+
+func (s *stageConnSource[T]) Run() raft.Status {
+	var f frame[T]
+	if err := s.dec.Decode(&f); err != nil {
+		return raft.Stop
+	}
+	if f.EOF {
+		return raft.Stop
+	}
+	out := s.Out("out")
+	for i, v := range f.Vals {
+		sig := raft.SigNone
+		if i < len(f.Sigs) {
+			sig = f.Sigs[i]
+		}
+		if err := raft.PushSig(out, v, sig); err != nil {
+			return raft.Stop
+		}
+	}
+	return raft.Proceed
+}
+
+// stageConnSink returns the remote pipeline's results to the peer.
+type stageConnSink[U any] struct {
+	raft.KernelBase
+	enc *gob.Encoder
+}
+
+func (s *stageConnSink[U]) Run() raft.Status {
+	in := s.In("in")
+	v, sig, err := raft.PopSig[U](in)
+	if err != nil {
+		_ = s.enc.Encode(frame[U]{EOF: true})
+		return raft.Stop
+	}
+	f := frame[U]{Vals: []U{v}, Sigs: []raft.Signal{sig}}
+	for len(f.Vals) < senderBatch {
+		v, ok, err := raft.TryPop[U](in)
+		if err != nil || !ok {
+			break
+		}
+		f.Vals = append(f.Vals, v)
+		f.Sigs = append(f.Sigs, raft.SigNone)
+	}
+	if err := s.enc.Encode(f); err != nil {
+		return raft.Stop
+	}
+	return raft.Proceed
+}
+
+// RemoteStage splices the named registered stage of the node at addr into
+// a local topology. The returned sender kernel (input port "in", type T)
+// forwards local elements to the remote stage; the returned receiver
+// kernel (output port "out", type U) delivers the stage's results.
+func RemoteStage[T, U any](addr, stage string, args map[string]string) (raft.Kernel, raft.Kernel, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oar: stage dial %s: %w", addr, err)
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s\n", stageHdr, stage); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if args == nil {
+		args = map[string]string{}
+	}
+	if err := enc.Encode(args); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	var ok bool
+	if err := dec.Decode(&ok); err != nil || !ok {
+		conn.Close()
+		return nil, nil, fmt.Errorf("oar: node %s rejected stage %q (unregistered or factory error)", addr, stage)
+	}
+
+	send := &stageLocalSender[T]{conn: conn, enc: enc}
+	send.SetName("remote-stage-send[" + stage + "]")
+	raft.AddInput[T](send, "in")
+	recv := &stageLocalReceiver[U]{dec: dec}
+	recv.SetName("remote-stage-recv[" + stage + "]")
+	raft.AddOutput[U](recv, "out")
+	return send, recv, nil
+}
+
+// stageLocalSender forwards the local upstream to the remote stage.
+type stageLocalSender[T any] struct {
+	raft.KernelBase
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+func (s *stageLocalSender[T]) Run() raft.Status {
+	in := s.In("in")
+	v, sig, err := raft.PopSig[T](in)
+	if err != nil {
+		_ = s.enc.Encode(frame[T]{EOF: true})
+		return raft.Stop
+	}
+	f := frame[T]{Vals: []T{v}, Sigs: []raft.Signal{sig}}
+	for len(f.Vals) < senderBatch {
+		v, ok, err := raft.TryPop[T](in)
+		if err != nil || !ok {
+			break
+		}
+		f.Vals = append(f.Vals, v)
+		f.Sigs = append(f.Sigs, raft.SigNone)
+	}
+	if err := s.enc.Encode(f); err != nil {
+		return raft.Stop
+	}
+	return raft.Proceed
+}
+
+// stageLocalReceiver delivers the remote stage's results locally.
+type stageLocalReceiver[U any] struct {
+	raft.KernelBase
+	dec *gob.Decoder
+}
+
+func (r *stageLocalReceiver[U]) Run() raft.Status {
+	var f frame[U]
+	if err := r.dec.Decode(&f); err != nil {
+		return raft.Stop
+	}
+	if f.EOF {
+		return raft.Stop
+	}
+	out := r.Out("out")
+	for i, v := range f.Vals {
+		sig := raft.SigNone
+		if i < len(f.Sigs) {
+			sig = f.Sigs[i]
+		}
+		if err := raft.PushSig(out, v, sig); err != nil {
+			return raft.Stop
+		}
+	}
+	return raft.Proceed
+}

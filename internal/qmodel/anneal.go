@@ -1,0 +1,122 @@
+package qmodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Problem defines a discrete optimization instance for simulated annealing:
+// minimize Cost over integer vectors x with Lo[i] <= x[i] <= Hi[i].
+type Problem struct {
+	// Initial is the starting point (copied, not mutated).
+	Initial []int
+	// Lo and Hi bound each coordinate inclusively.
+	Lo, Hi []int
+	// Cost evaluates a candidate; lower is better. It must be pure.
+	Cost func(x []int) float64
+	// Steps is the number of annealing iterations (<=0 selects 2000).
+	Steps int
+	// Seed makes runs reproducible.
+	Seed int64
+	// StartTemp and EndTemp bound the geometric cooling schedule, in cost
+	// units (<=0 selects StartTemp = initial cost, EndTemp = 1e-3).
+	StartTemp, EndTemp float64
+}
+
+// Anneal runs simulated annealing and returns the best vector found and
+// its cost. The search is deterministic for a fixed Problem (including
+// Seed).
+func Anneal(p Problem) ([]int, float64) {
+	n := len(p.Initial)
+	cur := append([]int(nil), p.Initial...)
+	clamp(cur, p.Lo, p.Hi)
+	curCost := p.Cost(cur)
+	best := append([]int(nil), cur...)
+	bestCost := curCost
+
+	steps := p.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	startT := p.StartTemp
+	if startT <= 0 {
+		startT = curCost
+		if startT <= 0 {
+			startT = 1
+		}
+	}
+	endT := p.EndTemp
+	if endT <= 0 {
+		endT = 1e-3
+	}
+	cooling := math.Pow(endT/startT, 1/float64(steps))
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	temp := startT
+	cand := make([]int, n)
+	for i := 0; i < steps; i++ {
+		copy(cand, cur)
+		mutate(cand, p.Lo, p.Hi, rng)
+		c := p.Cost(cand)
+		if accept(c-curCost, temp, rng) {
+			copy(cur, cand)
+			curCost = c
+			if c < bestCost {
+				copy(best, cand)
+				bestCost = c
+			}
+		}
+		temp *= cooling
+	}
+	return best, bestCost
+}
+
+// mutate nudges one random coordinate by a temperature-independent step
+// proportional to its range.
+func mutate(x, lo, hi []int, rng *rand.Rand) {
+	if len(x) == 0 {
+		return
+	}
+	i := rng.Intn(len(x))
+	span := hi[i] - lo[i]
+	if span <= 0 {
+		return
+	}
+	step := span / 8
+	if step < 1 {
+		step = 1
+	}
+	delta := rng.Intn(2*step+1) - step
+	if delta == 0 {
+		delta = 1
+	}
+	x[i] += delta
+	if x[i] < lo[i] {
+		x[i] = lo[i]
+	}
+	if x[i] > hi[i] {
+		x[i] = hi[i]
+	}
+}
+
+func clamp(x, lo, hi []int) {
+	for i := range x {
+		if i < len(lo) && x[i] < lo[i] {
+			x[i] = lo[i]
+		}
+		if i < len(hi) && x[i] > hi[i] {
+			x[i] = hi[i]
+		}
+	}
+}
+
+// accept implements the Metropolis criterion.
+func accept(delta, temp float64, rng *rand.Rand) bool {
+	if delta <= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-delta/temp)
+}

@@ -1,0 +1,91 @@
+package qmodel
+
+import "math"
+
+// MMc models an M/M/c queue: Poisson arrivals at rate Lambda served by C
+// identical exponential servers of rate Mu each — the natural model of a
+// replicated kernel group behind a split adapter (§4.1's automatic
+// parallelization), refining the flow model's capacity-scaling view with
+// waiting-time estimates.
+type MMc struct {
+	Lambda float64
+	Mu     float64
+	C      int
+}
+
+// Rho returns the per-server utilization λ/(cµ).
+func (q MMc) Rho() float64 {
+	if q.Mu <= 0 || q.C < 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda / (float64(q.C) * q.Mu)
+}
+
+// Stable reports whether the system is stable (ρ < 1).
+func (q MMc) Stable() bool { return q.Rho() < 1 }
+
+// ErlangC returns the probability an arrival must wait (all c servers
+// busy) — the Erlang C formula. It returns 1 for unstable systems.
+func (q MMc) ErlangC() float64 {
+	if !q.Stable() {
+		return 1
+	}
+	c := q.C
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	rho := q.Rho()
+
+	// Sum a^k/k! for k<c and the a^c/c! tail, computed incrementally to
+	// avoid overflow for moderate c.
+	term := 1.0 // a^0/0!
+	sum := term
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(c) // a^c/c!
+	top = top / (1 - rho)
+	return top / (sum + top)
+}
+
+// MeanQueueLength returns the expected number waiting (not in service):
+// Lq = ErlangC × ρ/(1-ρ).
+func (q MMc) MeanQueueLength() float64 {
+	rho := q.Rho()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return q.ErlangC() * rho / (1 - rho)
+}
+
+// MeanWait returns the expected waiting time before service (Wq) via
+// Little's law.
+func (q MMc) MeanWait() float64 {
+	if q.Lambda <= 0 {
+		return 0
+	}
+	lq := q.MeanQueueLength()
+	if math.IsInf(lq, 1) {
+		return math.Inf(1)
+	}
+	return lq / q.Lambda
+}
+
+// MinServers returns the smallest server count for which the system is
+// stable and the waiting probability is below eps, capped at maxServers.
+// This is the analytic answer to "how many replicas does this kernel
+// need?" for a measured arrival and service rate.
+func MinServers(lambda, mu, eps float64, maxServers int) int {
+	if maxServers < 1 {
+		maxServers = 1
+	}
+	if eps <= 0 {
+		eps = 0.2
+	}
+	for c := 1; c <= maxServers; c++ {
+		q := MMc{Lambda: lambda, Mu: mu, C: c}
+		if q.Stable() && q.ErlangC() < eps {
+			return c
+		}
+	}
+	return maxServers
+}

@@ -1,0 +1,101 @@
+package qmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMMcReducesToMM1(t *testing.T) {
+	// With c=1, Erlang C equals the M/M/1 delay probability rho, and Lq
+	// matches the M/M/1 formula.
+	q1 := MM1{Lambda: 60, Mu: 100}
+	qc := MMc{Lambda: 60, Mu: 100, C: 1}
+	if math.Abs(qc.ErlangC()-q1.Rho()) > 1e-12 {
+		t.Fatalf("ErlangC(c=1) = %v, want rho %v", qc.ErlangC(), q1.Rho())
+	}
+	if math.Abs(qc.MeanQueueLength()-q1.MeanQueueLength()) > 1e-12 {
+		t.Fatalf("Lq = %v, want %v", qc.MeanQueueLength(), q1.MeanQueueLength())
+	}
+}
+
+func TestMMcKnownValue(t *testing.T) {
+	// Classic textbook instance: λ=2/min, µ=1.2/min, c=2 → a=5/3, ρ=5/6,
+	// Erlang C ≈ 0.7576.
+	q := MMc{Lambda: 2, Mu: 1.2, C: 2}
+	if got := q.ErlangC(); math.Abs(got-0.7576) > 1e-3 {
+		t.Fatalf("ErlangC = %v, want ~0.7576", got)
+	}
+	if !q.Stable() {
+		t.Fatal("should be stable")
+	}
+	if w := q.MeanWait(); w <= 0 || math.IsInf(w, 1) {
+		t.Fatalf("Wq = %v", w)
+	}
+}
+
+func TestMMcUnstable(t *testing.T) {
+	q := MMc{Lambda: 10, Mu: 1, C: 2}
+	if q.Stable() {
+		t.Fatal("should be unstable")
+	}
+	if q.ErlangC() != 1 {
+		t.Fatalf("unstable ErlangC = %v, want 1", q.ErlangC())
+	}
+	if !math.IsInf(q.MeanQueueLength(), 1) || !math.IsInf(q.MeanWait(), 1) {
+		t.Fatal("unstable metrics must be infinite")
+	}
+	if !math.IsInf(MMc{Lambda: 1, Mu: 0, C: 1}.Rho(), 1) {
+		t.Fatal("zero mu rho must be infinite")
+	}
+}
+
+func TestMMcZeroLambdaWait(t *testing.T) {
+	q := MMc{Lambda: 0, Mu: 5, C: 2}
+	if q.MeanWait() != 0 {
+		t.Fatalf("Wq = %v, want 0", q.MeanWait())
+	}
+}
+
+func TestMMcPropertyMoreServersHelp(t *testing.T) {
+	f := func(lamSeed, muSeed uint8) bool {
+		lambda := float64(lamSeed%50) + 1
+		mu := float64(muSeed%20) + 1
+		prev := math.Inf(1)
+		for c := 1; c <= 8; c++ {
+			q := MMc{Lambda: lambda, Mu: mu, C: c}
+			if !q.Stable() {
+				continue
+			}
+			cur := q.MeanWait()
+			if cur > prev+1e-9 {
+				return false // adding a server must never lengthen waits
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinServers(t *testing.T) {
+	// λ=300/s, µ=100/s per server: needs >3 servers for stability.
+	c := MinServers(300, 100, 0.2, 32)
+	if c < 4 {
+		t.Fatalf("MinServers = %d, want >= 4", c)
+	}
+	q := MMc{Lambda: 300, Mu: 100, C: c}
+	if !q.Stable() || q.ErlangC() >= 0.2 {
+		t.Fatalf("returned c=%d does not meet the target (P(wait)=%v)", c, q.ErlangC())
+	}
+	// Cap honored even when infeasible.
+	if got := MinServers(1000, 1, 0.2, 8); got != 8 {
+		t.Fatalf("capped MinServers = %d, want 8", got)
+	}
+	// Defaults.
+	if got := MinServers(1, 100, 0, 0); got != 1 {
+		t.Fatalf("default MinServers = %d, want 1", got)
+	}
+}

@@ -1,0 +1,13 @@
+package ringbuffer
+
+import "sync/atomic"
+
+// counter64 is a pad-free atomic counter local to this package so the queue
+// types carry no external dependencies on their hot paths.
+type counter64 struct {
+	v atomic.Uint64
+}
+
+func (c *counter64) Add(n uint64) { c.v.Add(n) }
+func (c *counter64) Inc()         { c.v.Add(1) }
+func (c *counter64) Load() uint64 { return c.v.Load() }

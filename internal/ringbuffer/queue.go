@@ -1,0 +1,134 @@
+// Package ringbuffer implements the FIFO stream queues that connect RaftLib
+// compute kernels.
+//
+// Each stream in the paper's model is a FIFO queue whose allocation is
+// chosen by the runtime (§1, §4.2). Three implementations are provided:
+//
+//   - Ring[T]: the default dynamically resizable queue. Every slot carries a
+//     value plus a synchronized signal (§4.2: "downstream kernels will
+//     receive the signal at the same time the corresponding data element is
+//     received"). A monitor thread may grow or shrink it at runtime using
+//     the paper's §4.1 rules.
+//   - SPSC[T]: a fixed-capacity lock-free single-producer single-consumer
+//     ring used when dynamic optimization is disabled; exists so the cost
+//     of resizability can be measured (ablation A2).
+//   - NewRingFromSlice: a pre-filled read-only ring that aliases caller
+//     memory, realizing the paper's zero-copy for_each source (§4.2,
+//     Fig. 6).
+//
+// All queues expose the untyped Queue interface consumed by the runtime
+// monitor; element-typed access goes through the generic methods.
+package ringbuffer
+
+import (
+	"errors"
+	"time"
+)
+
+// Signal is an in-band message that travels the stream synchronized with a
+// data element (paper §4.2). SigEOF marks the last element from a producer.
+type Signal uint8
+
+// Predefined signals. User signals occupy SigUser and above.
+const (
+	SigNone Signal = iota
+	// SigEOF arrives synchronized with (immediately after) the final data
+	// element of a stream, analogous to an end-of-file marker.
+	SigEOF
+	// SigTerm requests immediate termination regardless of pending data.
+	SigTerm
+	// SigUser is the first value available for application-defined signals.
+	SigUser Signal = 16
+)
+
+// String returns a human-readable signal name.
+func (s Signal) String() string {
+	switch s {
+	case SigNone:
+		return "none"
+	case SigEOF:
+		return "eof"
+	case SigTerm:
+		return "term"
+	default:
+		if s >= SigUser {
+			return "user"
+		}
+		return "reserved"
+	}
+}
+
+// ErrClosed is returned by read operations once a queue has been closed by
+// its producer and fully drained, and by write operations on a closed queue.
+var ErrClosed = errors.New("ringbuffer: queue closed")
+
+// ErrTooSmall is returned by Resize when the requested capacity cannot hold
+// the elements currently buffered.
+var ErrTooSmall = errors.New("ringbuffer: new capacity smaller than current length")
+
+// Queue is the element-type-agnostic view of a stream queue used by the
+// runtime scheduler and monitor.
+type Queue interface {
+	// Len returns the number of buffered elements.
+	Len() int
+	// Cap returns the current capacity.
+	Cap() int
+	// Resize changes capacity, preserving buffered elements. Growing is
+	// always legal; shrinking below Len returns ErrTooSmall.
+	Resize(newCap int) error
+	// Close marks the producer side finished. Buffered elements remain
+	// readable; subsequent reads return ErrClosed once drained.
+	Close()
+	// Closed reports whether the producer has closed the queue.
+	Closed() bool
+	// WriterBlockedFor returns how long the producer has currently been
+	// blocked waiting for space (zero if it is not blocked). This feeds the
+	// paper's 3×δ write-side resize trigger.
+	WriterBlockedFor() time.Duration
+	// ReaderStarvedFor returns how long the consumer has currently been
+	// blocked waiting for data (zero if it is not blocked). The monitor's
+	// deadlock detector reads it.
+	ReaderStarvedFor() time.Duration
+	// PendingDemand returns the largest outstanding consumer request that
+	// exceeds availability (e.g. a PeekRange(n) with n > Cap). This feeds
+	// the paper's read-side resize trigger.
+	PendingDemand() int
+	// Telemetry returns the queue's performance counters.
+	Telemetry() *Telemetry
+}
+
+// Telemetry aggregates per-queue performance counters. The hot-path cost is
+// a handful of atomic adds; see package stats for the primitives.
+type Telemetry struct {
+	Pushes       counter64
+	Pops         counter64
+	WriteBlockNs counter64 // cumulative producer block time
+	ReadBlockNs  counter64 // cumulative consumer block time
+	Resizes      counter64
+	Grows        counter64
+	Shrinks      counter64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	return TelemetrySnapshot{
+		Pushes:       t.Pushes.Load(),
+		Pops:         t.Pops.Load(),
+		WriteBlockNs: t.WriteBlockNs.Load(),
+		ReadBlockNs:  t.ReadBlockNs.Load(),
+		Resizes:      t.Resizes.Load(),
+		Grows:        t.Grows.Load(),
+		Shrinks:      t.Shrinks.Load(),
+	}
+}
+
+// TelemetrySnapshot is an immutable copy of Telemetry.
+type TelemetrySnapshot struct {
+	Pushes       uint64
+	Pops         uint64
+	WriteBlockNs uint64
+	ReadBlockNs  uint64
+	Resizes      uint64
+	Grows        uint64
+	Shrinks      uint64
+}

@@ -1,0 +1,511 @@
+package ringbuffer
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the initial capacity used when a caller passes a
+// non-positive capacity to NewRing.
+const DefaultCapacity = 64
+
+// Ring is the dynamically resizable FIFO connecting two compute kernels.
+// One producer goroutine and one consumer goroutine may use it
+// concurrently; a third party (the runtime monitor) may call Resize, Len,
+// Cap and the telemetry accessors at any time.
+//
+// Values and their synchronized signals are stored in parallel arrays so
+// that PeekRange can hand the consumer a contiguous, copy-free view of the
+// element array whenever the buffered region does not wrap (the same
+// "non-wrapped position" the paper exploits for fast resizing, §4.1).
+type Ring[T any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+
+	vals []T
+	sigs []Signal
+	head int // index of the oldest element
+	n    int // number of buffered elements
+
+	closed   bool
+	readOnly bool // slice-backed rings reject writes and resizes
+	maxCap   int  // growth bound; 0 means unbounded
+
+	// writerBlockSince/readerBlockSince hold the UnixNano at which the
+	// producer/consumer began waiting, or 0 when not blocked. They are
+	// written by the blocking side and read lock-free by the monitor.
+	writerBlockSince atomic.Int64
+	readerBlockSince atomic.Int64
+
+	// pendingDemand records the largest consumer request observed to exceed
+	// capacity since the last Resize, for monitor visibility.
+	pendingDemand atomic.Int64
+
+	tel Telemetry
+}
+
+// NewRing returns a Ring with the given initial capacity (DefaultCapacity
+// if capacity <= 0).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Ring[T]{
+		vals: make([]T, capacity),
+		sigs: make([]Signal, capacity),
+	}
+	r.notFull.L = &r.mu
+	r.notEmpty.L = &r.mu
+	return r
+}
+
+// NewRingFromSlice returns a read-only Ring whose element storage aliases
+// data: no copy of the payload is ever made. It realizes the paper's
+// zero-copy for_each source (§4.2, Fig. 6): the caller's array is used
+// directly as the queue. The ring is created closed, so consumers drain
+// data and then observe EOF.
+func NewRingFromSlice[T any](data []T) *Ring[T] {
+	r := &Ring[T]{
+		vals:     data,
+		sigs:     nil, // all SigNone; saves len(data) bytes and a fill pass
+		head:     0,
+		n:        len(data),
+		closed:   true,
+		readOnly: true,
+	}
+	r.notFull.L = &r.mu
+	r.notEmpty.L = &r.mu
+	return r
+}
+
+// SetMaxCap bounds the capacity the ring may grow to (the paper's "buffer
+// cap" engineering solution for effectively unbounded queues, §4.1).
+// A value <= 0 removes the bound.
+func (r *Ring[T]) SetMaxCap(n int) {
+	r.mu.Lock()
+	r.maxCap = n
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered elements.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the current capacity.
+func (r *Ring[T]) Cap() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.vals)
+}
+
+// Closed reports whether the producer closed the queue.
+func (r *Ring[T]) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Close marks the producer side finished and wakes any waiters. Buffered
+// elements remain readable. Close is idempotent.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+}
+
+// sigAt returns the signal stored at ring index i.
+func (r *Ring[T]) sigAt(i int) Signal {
+	if r.sigs == nil {
+		return SigNone
+	}
+	return r.sigs[i]
+}
+
+// setSigAt stores signal s at ring index i, materializing the signal array
+// for slice-backed rings only when a non-default signal appears.
+func (r *Ring[T]) setSigAt(i int, s Signal) {
+	if r.sigs == nil {
+		if s == SigNone {
+			return
+		}
+		r.sigs = make([]Signal, len(r.vals))
+	}
+	r.sigs[i] = s
+}
+
+// Push appends v with signal sig, blocking while the ring is full. It
+// returns ErrClosed if the ring is or becomes closed.
+func (r *Ring[T]) Push(v T, sig Signal) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.waitForSpaceLocked(1); err != nil {
+		return err
+	}
+	i := r.index(r.n)
+	r.vals[i] = v
+	r.setSigAt(i, sig)
+	r.n++
+	r.tel.Pushes.Inc()
+	r.notEmpty.Signal()
+	return nil
+}
+
+// TryPush appends v with signal sig without blocking. It reports whether
+// the element was accepted; err is ErrClosed when the ring is closed.
+func (r *Ring[T]) TryPush(v T, sig Signal) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.readOnly {
+		return false, ErrClosed
+	}
+	if r.n == len(r.vals) {
+		return false, nil
+	}
+	i := r.index(r.n)
+	r.vals[i] = v
+	r.setSigAt(i, sig)
+	r.n++
+	r.tel.Pushes.Inc()
+	r.notEmpty.Signal()
+	return true, nil
+}
+
+// PushBatch appends all of vs; the final element carries sig, earlier ones
+// SigNone. It blocks as needed and returns ErrClosed on a closed ring.
+func (r *Ring[T]) PushBatch(vs []T, sig Signal) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(vs) > 0 {
+		if err := r.waitForSpaceLocked(1); err != nil {
+			return err
+		}
+		free := len(r.vals) - r.n
+		k := min(free, len(vs))
+		for j := 0; j < k; j++ {
+			i := r.index(r.n)
+			r.vals[i] = vs[j]
+			s := SigNone
+			if j == k-1 && k == len(vs) {
+				s = sig
+			}
+			r.setSigAt(i, s)
+			r.n++
+		}
+		r.tel.Pushes.Add(uint64(k))
+		vs = vs[k:]
+		r.notEmpty.Broadcast()
+	}
+	return nil
+}
+
+// Pop removes and returns the oldest element and its signal, blocking while
+// the ring is empty. Once the ring is closed and drained it returns
+// ErrClosed.
+func (r *Ring[T]) Pop() (T, Signal, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.waitForItemsLocked(1); err != nil {
+		var zero T
+		return zero, SigNone, err
+	}
+	v := r.vals[r.head]
+	s := r.sigAt(r.head)
+	r.dropLocked(1)
+	return v, s, nil
+}
+
+// TryPop removes the oldest element without blocking. ok reports whether an
+// element was returned; err is ErrClosed once the ring is closed and empty.
+func (r *Ring[T]) TryPop() (v T, s Signal, ok bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		if r.closed {
+			return v, SigNone, false, ErrClosed
+		}
+		return v, SigNone, false, nil
+	}
+	v = r.vals[r.head]
+	s = r.sigAt(r.head)
+	r.dropLocked(1)
+	return v, s, true, nil
+}
+
+// Peek returns the element at offset i from the head without removing it,
+// blocking until at least i+1 elements are buffered. It returns ErrClosed
+// if the ring closes before enough elements arrive.
+func (r *Ring[T]) Peek(i int) (T, Signal, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.waitForItemsLocked(i + 1); err != nil {
+		var zero T
+		return zero, SigNone, err
+	}
+	idx := r.index(i)
+	return r.vals[idx], r.sigAt(idx), nil
+}
+
+// PeekRange blocks until n elements are available and returns a view of
+// them ordered oldest-first. Whenever the buffered region does not wrap,
+// the returned slice aliases the ring's storage and no copy occurs; the
+// view is valid until the next Recycle/Pop/Resize. This is the paper's
+// sliding-window peek_range accessor (§3).
+//
+// If the ring closes with fewer than n elements buffered, PeekRange returns
+// what remains along with ErrClosed. If n exceeds the current capacity the
+// ring grows to accommodate the request — the read-side resize rule of
+// §4.1 ("if the reading compute kernel requests more items than the queue
+// has available then the queue is tagged for resizing"), performed
+// synchronously by the reader so the request is always fulfilled.
+func (r *Ring[T]) PeekRange(n int) ([]T, []Signal, error) {
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > len(r.vals) && !r.readOnly && !r.closed {
+		r.pendingDemand.Store(int64(n))
+		if r.maxCap > 0 && n > r.maxCap {
+			// Correctness trumps the growth bound: a window request the
+			// queue can never hold would deadlock the consumer (§4.1: "if a
+			// kernel asks to receive five items and the buffer size is only
+			// allocated for two, the program cannot continue").
+			r.maxCap = n
+		}
+		if err := r.resizeLocked(growTarget(n, r.maxCap)); err != nil {
+			return nil, nil, err
+		}
+		r.pendingDemand.Store(0)
+	}
+	if err := r.waitForItemsLocked(n); err != nil {
+		// Closed with fewer than n elements: surface the remainder.
+		n = r.n
+		if n == 0 {
+			return nil, nil, err
+		}
+		vs, ss := r.viewLocked(n)
+		return vs, ss, err
+	}
+	vs, ss := r.viewLocked(n)
+	return vs, ss, nil
+}
+
+// viewLocked returns the first n buffered elements, aliasing storage when
+// the region is contiguous and copying only when it wraps.
+func (r *Ring[T]) viewLocked(n int) ([]T, []Signal) {
+	if r.head+n <= len(r.vals) {
+		var ss []Signal
+		if r.sigs != nil {
+			ss = r.sigs[r.head : r.head+n]
+		}
+		return r.vals[r.head : r.head+n], ss
+	}
+	vs := make([]T, n)
+	first := len(r.vals) - r.head
+	copy(vs, r.vals[r.head:])
+	copy(vs[first:], r.vals[:n-first])
+	var ss []Signal
+	if r.sigs != nil {
+		ss = make([]Signal, n)
+		copy(ss, r.sigs[r.head:])
+		copy(ss[first:], r.sigs[:n-first])
+	}
+	return vs, ss
+}
+
+// Recycle discards the n oldest elements (after a PeekRange). It panics if
+// n exceeds the buffered count, which indicates a consumer logic error.
+func (r *Ring[T]) Recycle(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n {
+		panic("ringbuffer: Recycle past end of buffered data")
+	}
+	r.dropLocked(n)
+}
+
+// dropLocked removes k elements from the head and wakes the producer.
+func (r *Ring[T]) dropLocked(k int) {
+	// Release references so the GC can reclaim popped payloads.
+	var zero T
+	for j := 0; j < k; j++ {
+		r.vals[r.index0(r.head+j)] = zero
+	}
+	r.head = r.index0(r.head + k)
+	r.n -= k
+	if r.n == 0 {
+		r.head = 0 // keep the buffer in the fast non-wrapped position
+	}
+	r.tel.Pops.Add(uint64(k))
+	r.notFull.Broadcast()
+}
+
+// Resize changes the capacity to newCap, preserving buffered elements and
+// leaving the buffer in the non-wrapped position (head == 0), which is the
+// efficient layout the paper's resizer targets. Shrinking below the current
+// length returns ErrTooSmall; resizing a slice-backed read-only ring or a
+// ring whose buffered region is borrowed by an outstanding zero-copy view
+// is the monitor's responsibility to avoid (the runtime only resizes
+// between consumer windows).
+func (r *Ring[T]) Resize(newCap int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resizeLocked(newCap)
+}
+
+func (r *Ring[T]) resizeLocked(newCap int) error {
+	if r.readOnly {
+		return ErrClosed
+	}
+	if newCap < 1 {
+		newCap = 1
+	}
+	if r.maxCap > 0 && newCap > r.maxCap {
+		newCap = r.maxCap
+	}
+	if newCap < r.n {
+		return ErrTooSmall
+	}
+	if newCap == len(r.vals) {
+		return nil
+	}
+	grew := newCap > len(r.vals)
+	nv := make([]T, newCap)
+	ns := make([]Signal, newCap)
+	for j := 0; j < r.n; j++ {
+		idx := r.index0(r.head + j)
+		nv[j] = r.vals[idx]
+		if r.sigs != nil {
+			ns[j] = r.sigs[idx]
+		}
+	}
+	r.vals = nv
+	r.sigs = ns
+	r.head = 0
+	r.tel.Resizes.Inc()
+	if grew {
+		r.tel.Grows.Inc()
+	} else {
+		r.tel.Shrinks.Inc()
+	}
+	// Capacity changed in the producer's favor (or consumer demand can now
+	// be met); wake both sides to re-evaluate.
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+	return nil
+}
+
+// WriterBlockedFor returns how long the producer has currently been blocked
+// waiting for free space, or zero if it is not blocked. Lock-free; intended
+// for the monitor's 3×δ resize rule.
+func (r *Ring[T]) WriterBlockedFor() time.Duration {
+	since := r.writerBlockSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(nowNanos() - since)
+}
+
+// ReaderStarvedFor returns how long the consumer has currently been blocked
+// waiting for data, or zero if it is not blocked.
+func (r *Ring[T]) ReaderStarvedFor() time.Duration {
+	since := r.readerBlockSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(nowNanos() - since)
+}
+
+// PendingDemand returns the largest outstanding consumer request observed
+// to exceed capacity, or zero.
+func (r *Ring[T]) PendingDemand() int { return int(r.pendingDemand.Load()) }
+
+// Telemetry returns the ring's performance counters.
+func (r *Ring[T]) Telemetry() *Telemetry { return &r.tel }
+
+// waitForSpaceLocked blocks until at least k free slots exist. It must be
+// called with r.mu held; it returns ErrClosed for closed/read-only rings.
+func (r *Ring[T]) waitForSpaceLocked(k int) error {
+	if r.readOnly {
+		return ErrClosed
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	if len(r.vals)-r.n >= k {
+		return nil
+	}
+	start := nowNanos()
+	r.writerBlockSince.Store(start)
+	for len(r.vals)-r.n < k && !r.closed {
+		r.notFull.Wait()
+	}
+	r.writerBlockSince.Store(0)
+	r.tel.WriteBlockNs.Add(uint64(nowNanos() - start))
+	if r.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// waitForItemsLocked blocks until at least k elements are buffered. It must
+// be called with r.mu held; it returns ErrClosed if the ring closes first.
+func (r *Ring[T]) waitForItemsLocked(k int) error {
+	if r.n >= k {
+		return nil
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	start := nowNanos()
+	r.readerBlockSince.Store(start)
+	for r.n < k && !r.closed {
+		r.notEmpty.Wait()
+	}
+	r.readerBlockSince.Store(0)
+	r.tel.ReadBlockNs.Add(uint64(nowNanos() - start))
+	if r.n < k {
+		return ErrClosed
+	}
+	return nil
+}
+
+// index maps a logical offset from the head to a physical index.
+func (r *Ring[T]) index(off int) int { return r.index0(r.head + off) }
+
+// index0 wraps a physical index into the buffer.
+func (r *Ring[T]) index0(i int) int {
+	if i >= len(r.vals) {
+		i -= len(r.vals)
+	}
+	return i
+}
+
+// growTarget doubles up from the demand to leave headroom, honoring maxCap.
+func growTarget(demand, maxCap int) int {
+	target := 1
+	for target < demand {
+		target <<= 1
+	}
+	if maxCap > 0 && target > maxCap {
+		target = maxCap
+	}
+	if target < demand {
+		target = demand // maxCap smaller than demand: fulfill the request
+	}
+	return target
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+var _ Queue = (*Ring[int])(nil)

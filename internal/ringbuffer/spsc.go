@@ -1,0 +1,218 @@
+package ringbuffer
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// SPSC is a fixed-capacity lock-free single-producer single-consumer ring.
+// It trades the dynamic resizing of Ring for a pure atomic fast path: one
+// goroutine may push, one may pop, with no mutex on either side. It exists
+// so the cost of the resizable queue can be measured (DESIGN.md ablation
+// A2) and serves as the allocation choice when the runtime's dynamic
+// optimization is turned off.
+//
+// The implementation uses monotonically increasing head/tail sequence
+// counters (never wrapped), masked into a power-of-two buffer — the
+// classic Lamport queue with cache-line padding between the producer and
+// consumer fields to avoid false sharing.
+type SPSC[T any] struct {
+	mask uint64
+	vals []T
+	sigs []Signal
+
+	_pad0 [64]byte
+	tail  atomic.Uint64 // next write sequence (producer-owned)
+	_pad1 [64]byte
+	head  atomic.Uint64 // next read sequence (consumer-owned)
+	_pad2 [64]byte
+
+	closed atomic.Bool
+	tel    Telemetry
+
+	writerBlockSince atomic.Int64
+	readerBlockSince atomic.Int64
+}
+
+// NewSPSC returns a lock-free ring whose capacity is capacity rounded up to
+// a power of two (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{
+		mask: uint64(n - 1),
+		vals: make([]T, n),
+		sigs: make([]Signal, n),
+	}
+}
+
+// Len returns the number of buffered elements.
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// Cap returns the fixed capacity.
+func (q *SPSC[T]) Cap() int { return len(q.vals) }
+
+// Resize is unsupported on the lock-free ring; it returns ErrTooSmall when
+// asked to shrink below Len and nil (no-op) otherwise so that a monitor
+// treating all queues uniformly degrades gracefully.
+func (q *SPSC[T]) Resize(newCap int) error {
+	if newCap < q.Len() {
+		return ErrTooSmall
+	}
+	return nil
+}
+
+// Close marks the producer finished. Idempotent.
+func (q *SPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether the producer closed the queue.
+func (q *SPSC[T]) Closed() bool { return q.closed.Load() }
+
+// TryPush appends v without blocking; it reports whether the element was
+// accepted and returns ErrClosed on a closed queue.
+func (q *SPSC[T]) TryPush(v T, sig Signal) (bool, error) {
+	if q.closed.Load() {
+		return false, ErrClosed
+	}
+	t := q.tail.Load()
+	if t-q.head.Load() > q.mask {
+		return false, nil // full
+	}
+	i := t & q.mask
+	q.vals[i] = v
+	q.sigs[i] = sig
+	q.tail.Store(t + 1) // release: publishes the slot
+	q.tel.Pushes.Inc()
+	return true, nil
+}
+
+// Push appends v, spinning (with escalating back-off) while the queue is
+// full. It returns ErrClosed if the queue is closed.
+func (q *SPSC[T]) Push(v T, sig Signal) error {
+	var spins int
+	var blockedAt int64
+	for {
+		ok, err := q.TryPush(v, sig)
+		if err != nil {
+			q.clearWriterBlock(blockedAt)
+			return err
+		}
+		if ok {
+			q.clearWriterBlock(blockedAt)
+			return nil
+		}
+		if blockedAt == 0 {
+			blockedAt = nowNanos()
+			q.writerBlockSince.Store(blockedAt)
+		}
+		backoff(&spins)
+	}
+}
+
+func (q *SPSC[T]) clearWriterBlock(blockedAt int64) {
+	if blockedAt != 0 {
+		q.writerBlockSince.Store(0)
+		q.tel.WriteBlockNs.Add(uint64(nowNanos() - blockedAt))
+	}
+}
+
+// TryPop removes the oldest element without blocking. ok reports whether an
+// element was returned; err is ErrClosed once the queue is closed and empty.
+func (q *SPSC[T]) TryPop() (v T, s Signal, ok bool, err error) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		if q.closed.Load() {
+			// Re-check emptiness after observing closed: the producer may
+			// have pushed between our tail load and its Close.
+			if h == q.tail.Load() {
+				return v, SigNone, false, ErrClosed
+			}
+		} else {
+			return v, SigNone, false, nil
+		}
+	}
+	i := h & q.mask
+	v = q.vals[i]
+	s = q.sigs[i]
+	var zero T
+	q.vals[i] = zero
+	q.head.Store(h + 1)
+	q.tel.Pops.Inc()
+	return v, s, true, nil
+}
+
+// Pop removes the oldest element, spinning while the queue is empty. Once
+// the queue is closed and drained it returns ErrClosed.
+func (q *SPSC[T]) Pop() (T, Signal, error) {
+	var spins int
+	var blockedAt int64
+	for {
+		v, s, ok, err := q.TryPop()
+		if err != nil {
+			q.clearReaderBlock(blockedAt)
+			var zero T
+			return zero, SigNone, err
+		}
+		if ok {
+			q.clearReaderBlock(blockedAt)
+			return v, s, nil
+		}
+		if blockedAt == 0 {
+			blockedAt = nowNanos()
+			q.readerBlockSince.Store(blockedAt)
+		}
+		backoff(&spins)
+	}
+}
+
+func (q *SPSC[T]) clearReaderBlock(blockedAt int64) {
+	if blockedAt != 0 {
+		q.readerBlockSince.Store(0)
+		q.tel.ReadBlockNs.Add(uint64(nowNanos() - blockedAt))
+	}
+}
+
+// WriterBlockedFor returns how long the producer has been spinning on a
+// full queue, or zero.
+func (q *SPSC[T]) WriterBlockedFor() time.Duration {
+	since := q.writerBlockSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(nowNanos() - since)
+}
+
+// ReaderStarvedFor returns how long the consumer has been spinning on an
+// empty queue, or zero.
+func (q *SPSC[T]) ReaderStarvedFor() time.Duration {
+	since := q.readerBlockSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(nowNanos() - since)
+}
+
+// PendingDemand always returns 0: SPSC consumers cannot request windows.
+func (q *SPSC[T]) PendingDemand() int { return 0 }
+
+// Telemetry returns the queue's performance counters.
+func (q *SPSC[T]) Telemetry() *Telemetry { return &q.tel }
+
+// backoff escalates from busy spinning to Gosched to short sleeps so a
+// blocked side does not monopolize a core indefinitely.
+func backoff(spins *int) {
+	*spins++
+	switch {
+	case *spins < 64:
+		// busy spin
+	case *spins < 256:
+		runtime.Gosched()
+	default:
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+var _ Queue = (*SPSC[int])(nil)

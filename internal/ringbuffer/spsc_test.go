@@ -1,0 +1,265 @@
+package ringbuffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	cases := []struct{ in, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {64, 64}, {65, 128}}
+	for _, c := range cases {
+		q := NewSPSC[int](c.in)
+		if q.Cap() != c.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", c.in, q.Cap(), c.want)
+		}
+	}
+}
+
+func TestSPSCPushPopOrder(t *testing.T) {
+	q := NewSPSC[int](8)
+	for i := 0; i < 8; i++ {
+		if err := q.Push(i, SigNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 8 {
+		t.Fatalf("len = %d, want 8", q.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, _, err := q.Pop()
+		if err != nil || v != i {
+			t.Fatalf("pop = (%d, %v), want %d", v, err, i)
+		}
+	}
+}
+
+func TestSPSCTryOps(t *testing.T) {
+	q := NewSPSC[int](2)
+	ok, err := q.TryPush(1, SigEOF)
+	if !ok || err != nil {
+		t.Fatalf("TryPush = (%v, %v)", ok, err)
+	}
+	if ok, _ = q.TryPush(2, SigNone); !ok {
+		t.Fatal("second TryPush should fit")
+	}
+	if ok, _ = q.TryPush(3, SigNone); ok {
+		t.Fatal("TryPush on full queue should fail")
+	}
+	v, s, ok, err := q.TryPop()
+	if !ok || err != nil || v != 1 || s != SigEOF {
+		t.Fatalf("TryPop = (%d, %v, %v, %v)", v, s, ok, err)
+	}
+	_, _, _, _ = q.TryPop()
+	if _, _, ok, _ = q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue should miss")
+	}
+}
+
+func TestSPSCCloseSemantics(t *testing.T) {
+	q := NewSPSC[int](4)
+	if err := q.Push(1, SigNone); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("should report closed")
+	}
+	if _, err := q.TryPush(2, SigNone); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPush closed = %v, want ErrClosed", err)
+	}
+	if err := q.Push(2, SigNone); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push closed = %v, want ErrClosed", err)
+	}
+	// Drain buffered then ErrClosed.
+	if v, _, err := q.Pop(); err != nil || v != 1 {
+		t.Fatalf("pop = (%d, %v)", v, err)
+	}
+	if _, _, err := q.Pop(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained pop = %v, want ErrClosed", err)
+	}
+}
+
+func TestSPSCBlockedProducerUnblocks(t *testing.T) {
+	q := NewSPSC[int](2)
+	if err := q.Push(0, SigNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(1, SigNone); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Push(2, SigNone) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for q.WriterBlockedFor() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never blocked")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if _, _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPSCReaderStarvationVisible(t *testing.T) {
+	q := NewSPSC[int](2)
+	got := make(chan int, 1)
+	go func() {
+		v, _, err := q.Pop()
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for q.ReaderStarvedFor() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never starved")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if err := q.Push(9, SigNone); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 9 {
+		t.Fatalf("pop = %d, want 9", v)
+	}
+}
+
+func TestSPSCResizeContract(t *testing.T) {
+	q := NewSPSC[int](4)
+	if err := q.Push(1, SigNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resize(0); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("shrink below len = %v, want ErrTooSmall", err)
+	}
+	if err := q.Resize(1024); err != nil {
+		t.Fatalf("grow request = %v, want nil no-op", err)
+	}
+	if q.Cap() != 4 {
+		t.Fatalf("cap changed to %d; SPSC must be fixed", q.Cap())
+	}
+	if q.PendingDemand() != 0 {
+		t.Fatal("SPSC PendingDemand must be 0")
+	}
+}
+
+func TestSPSCConcurrentThroughput(t *testing.T) {
+	const total = 200_000
+	q := NewSPSC[int](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := q.Push(i, SigNone); err != nil {
+				t.Errorf("push: %v", err)
+				return
+			}
+		}
+		q.Close()
+	}()
+	next := 0
+	for {
+		v, _, err := q.Pop()
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != next {
+			t.Fatalf("out of order: got %d, want %d", v, next)
+		}
+		next++
+	}
+	wg.Wait()
+	if next != total {
+		t.Fatalf("received %d, want %d", next, total)
+	}
+	tel := q.Telemetry().Snapshot()
+	if tel.Pushes != total || tel.Pops != total {
+		t.Fatalf("telemetry = %+v", tel)
+	}
+}
+
+func TestSPSCPropertyFIFO(t *testing.T) {
+	f := func(vals []int16, capSeed uint8) bool {
+		q := NewSPSC[int16](int(capSeed%32) + 1)
+		go func() {
+			for _, v := range vals {
+				if err := q.Push(v, SigNone); err != nil {
+					return
+				}
+			}
+			q.Close()
+		}()
+		for i := 0; ; i++ {
+			v, _, err := q.Pop()
+			if errors.Is(err, ErrClosed) {
+				return i == len(vals)
+			}
+			if err != nil || i >= len(vals) || v != vals[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing[int](1024)
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			_ = r.Push(i, SigNone)
+		}
+		r.Close()
+	}()
+	for {
+		_, _, err := r.Pop()
+		if err != nil {
+			break
+		}
+	}
+}
+
+func BenchmarkSPSCPushPop(b *testing.B) {
+	q := NewSPSC[int](1024)
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			_ = q.Push(i, SigNone)
+		}
+		q.Close()
+	}()
+	for {
+		_, _, err := q.Pop()
+		if err != nil {
+			break
+		}
+	}
+}
+
+func BenchmarkGoChannelPushPop(b *testing.B) {
+	ch := make(chan int, 1024)
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	for range ch {
+	}
+}

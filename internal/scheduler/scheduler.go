@@ -1,0 +1,222 @@
+// Package scheduler provides the kernel-execution strategies for the
+// RaftLib runtime.
+//
+// The paper's initial scheduling algorithm "is simply the default
+// thread-level scheduler provided by the underlying operating system"
+// (§4.1) — in Go terms, one goroutine per kernel multiplexed by the Go
+// runtime. That is the Goroutine scheduler here and the default. The paper
+// also stresses that RaftLib "allows the substitution of any scheduler
+// desired"; the Scheduler interface plus the Pool implementation (a fixed
+// worker pool with cooperative re-queuing) realize that substitution point
+// and power the A4 scheduler ablation.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"raftlib/internal/core"
+)
+
+// Scheduler drives a set of actors to completion.
+type Scheduler interface {
+	// Run executes every actor until it stops, then returns the combined
+	// error (nil on clean completion). Run handles actor Init/Finish.
+	Run(actors []*core.Actor) error
+	// Name identifies the scheduler in reports.
+	Name() string
+}
+
+// runActorLifecycle executes one actor: Init, the Step loop, then Finish.
+// yield is invoked on Stall. Panics inside kernel code are recovered and
+// converted into errors so one faulty kernel cannot crash the process.
+func runActorLifecycle(a *core.Actor, yield func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("kernel %q panicked: %v", a.Name, r)
+		}
+		if a.Finish != nil {
+			a.Finish()
+		}
+		a.Finished.Store(true)
+	}()
+	if a.Init != nil {
+		if err := a.Init(); err != nil {
+			return fmt.Errorf("kernel %q init: %w", a.Name, err)
+		}
+	}
+	if a.Virtual {
+		return nil
+	}
+	for {
+		switch a.StepTimed() {
+		case core.Proceed:
+		case core.Stop:
+			return nil
+		case core.Stall:
+			yield()
+		}
+	}
+}
+
+// Goroutine runs one goroutine per actor — the Go analogue of the paper's
+// "default OS thread scheduler" choice. It is the runtime's default.
+type Goroutine struct{}
+
+// Name implements Scheduler.
+func (Goroutine) Name() string { return "goroutine-per-kernel" }
+
+// Run implements Scheduler.
+func (Goroutine) Run(actors []*core.Actor) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(actors))
+	for i, a := range actors {
+		wg.Add(1)
+		go func(i int, a *core.Actor) {
+			defer wg.Done()
+			errs[i] = runActorLifecycle(a, runtime.Gosched)
+		}(i, a)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Pool multiplexes all actors over a fixed number of worker goroutines.
+//
+// Because kernel port operations may block inside Step (waiting for input
+// or output space), a pooled worker can be held by a blocked kernel. The
+// pool therefore guarantees progress only when Workers is at least the
+// maximum number of simultaneously blocked kernels; for arbitrary graphs
+// the safe configuration is Workers >= number of actors, which still wins
+// when kernels are cooperative (return Stall instead of blocking). This
+// caveat is inherent to pooling blocking kernels and is documented in
+// DESIGN.md (ablation A4).
+type Pool struct {
+	// Workers is the number of worker goroutines (defaults to GOMAXPROCS).
+	Workers int
+	// StallSleep is how long a fully stalled pass sleeps before retrying
+	// (defaults to 50µs).
+	StallSleep time.Duration
+}
+
+// Name implements Scheduler.
+func (p Pool) Name() string { return fmt.Sprintf("pool-%d", p.workers()) }
+
+func (p Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run implements Scheduler.
+func (p Pool) Run(actors []*core.Actor) error {
+	type job struct {
+		a   *core.Actor
+		idx int
+	}
+	stallSleep := p.StallSleep
+	if stallSleep <= 0 {
+		stallSleep = 50 * time.Microsecond
+	}
+
+	queue := make(chan job, len(actors))
+	errs := make([]error, len(actors))
+	var errMu sync.Mutex
+	var pending sync.WaitGroup // counts unfinished actors
+
+	// Initialize all actors up front; failures mark the actor finished.
+	live := make([]job, 0, len(actors))
+	for i, a := range actors {
+		if a.Init != nil {
+			if err := a.Init(); err != nil {
+				errs[i] = fmt.Errorf("kernel %q init: %w", a.Name, err)
+				if a.Finish != nil {
+					a.Finish()
+				}
+				a.Finished.Store(true)
+				continue
+			}
+		}
+		if a.Virtual {
+			if a.Finish != nil {
+				a.Finish()
+			}
+			a.Finished.Store(true)
+			continue
+		}
+		live = append(live, job{a: a, idx: i})
+	}
+	pending.Add(len(live))
+	for _, j := range live {
+		queue <- j
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				p.stepQuantum(j.a, j.idx, errs, &errMu, func(done bool) {
+					if done {
+						pending.Done()
+					} else {
+						queue <- j // cooperative requeue
+					}
+				}, stallSleep)
+			}
+		}()
+	}
+
+	pending.Wait()
+	close(queue)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// stepQuantum runs a bounded burst of Steps for one actor, then either
+// finishes it or hands it back via done(false).
+func (p Pool) stepQuantum(a *core.Actor, idx int, errs []error, errMu *sync.Mutex, done func(bool), stallSleep time.Duration) {
+	finished := false
+	defer func() {
+		if r := recover(); r != nil {
+			errMu.Lock()
+			errs[idx] = fmt.Errorf("kernel %q panicked: %v", a.Name, r)
+			errMu.Unlock()
+			finished = true
+		}
+		if finished {
+			if a.Finish != nil {
+				a.Finish()
+			}
+			a.Finished.Store(true)
+			done(true)
+		} else {
+			done(false)
+		}
+	}()
+	const quantum = 64
+	for i := 0; i < quantum; i++ {
+		// Readiness gate: never let a kernel that would block on a port
+		// capture this worker — requeue it and serve someone who can run.
+		if a.Ready != nil && !a.Ready() {
+			if i == 0 {
+				time.Sleep(stallSleep)
+			}
+			return
+		}
+		switch a.StepTimed() {
+		case core.Proceed:
+		case core.Stop:
+			finished = true
+			return
+		case core.Stall:
+			time.Sleep(stallSleep)
+			return
+		}
+	}
+}

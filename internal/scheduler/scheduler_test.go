@@ -1,0 +1,190 @@
+package scheduler
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"raftlib/internal/core"
+)
+
+// counterActor runs n steps then stops, tracking lifecycle calls.
+func counterActor(name string, n int) (*core.Actor, *atomic.Int64, *atomic.Int64) {
+	var steps, finished atomic.Int64
+	remaining := int64(n)
+	a := &core.Actor{
+		Name: name,
+		Step: func() core.Status {
+			if remaining <= 0 {
+				return core.Stop
+			}
+			remaining--
+			steps.Add(1)
+			return core.Proceed
+		},
+		Finish: func() { finished.Add(1) },
+	}
+	return a, &steps, &finished
+}
+
+func testSchedulerRunsAll(t *testing.T, s Scheduler) {
+	t.Helper()
+	var actors []*core.Actor
+	var stepCounts []*atomic.Int64
+	var finCounts []*atomic.Int64
+	for i := 0; i < 5; i++ {
+		a, st, fin := counterActor("k", 100)
+		actors = append(actors, a)
+		stepCounts = append(stepCounts, st)
+		finCounts = append(finCounts, fin)
+	}
+	if err := s.Run(actors); err != nil {
+		t.Fatal(err)
+	}
+	for i := range actors {
+		if got := stepCounts[i].Load(); got != 100 {
+			t.Fatalf("actor %d ran %d steps, want 100", i, got)
+		}
+		if finCounts[i].Load() != 1 {
+			t.Fatalf("actor %d finished %d times", i, finCounts[i].Load())
+		}
+	}
+}
+
+func TestGoroutineRunsAll(t *testing.T) { testSchedulerRunsAll(t, Goroutine{}) }
+
+func TestPoolRunsAll(t *testing.T) { testSchedulerRunsAll(t, Pool{Workers: 2}) }
+
+func TestPoolFewerWorkersThanActors(t *testing.T) {
+	testSchedulerRunsAll(t, Pool{Workers: 1})
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (Goroutine{}).Name() != "goroutine-per-kernel" {
+		t.Fatal((Goroutine{}).Name())
+	}
+	if !strings.HasPrefix((Pool{Workers: 3}).Name(), "pool-3") {
+		t.Fatal((Pool{Workers: 3}).Name())
+	}
+	if (Pool{}).workers() < 1 {
+		t.Fatal("default workers must be >= 1")
+	}
+}
+
+func testPanicRecovered(t *testing.T, s Scheduler) {
+	t.Helper()
+	bad := &core.Actor{
+		Name: "bomb",
+		Step: func() core.Status { panic("boom") },
+	}
+	good, steps, _ := counterActor("good", 50)
+	err := s.Run([]*core.Actor{bad, good})
+	if err == nil || !strings.Contains(err.Error(), "bomb") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+	if steps.Load() != 50 {
+		t.Fatalf("healthy actor ran %d steps", steps.Load())
+	}
+}
+
+func TestGoroutinePanicRecovered(t *testing.T) { testPanicRecovered(t, Goroutine{}) }
+
+func TestPoolPanicRecovered(t *testing.T) { testPanicRecovered(t, Pool{Workers: 2}) }
+
+func testInitError(t *testing.T, s Scheduler) {
+	t.Helper()
+	var ran atomic.Bool
+	var finished atomic.Bool
+	a := &core.Actor{
+		Name:   "noinit",
+		Init:   func() error { return errors.New("init failed") },
+		Step:   func() core.Status { ran.Store(true); return core.Stop },
+		Finish: func() { finished.Store(true) },
+	}
+	err := s.Run([]*core.Actor{a})
+	if err == nil || !strings.Contains(err.Error(), "init failed") {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() {
+		t.Fatal("Step ran after failed Init")
+	}
+	if !finished.Load() {
+		t.Fatal("Finish must still run for cleanup after failed Init")
+	}
+}
+
+func TestGoroutineInitError(t *testing.T) { testInitError(t, Goroutine{}) }
+
+func TestPoolInitError(t *testing.T) { testInitError(t, Pool{Workers: 2}) }
+
+func testVirtualActorSkipped(t *testing.T, s Scheduler) {
+	t.Helper()
+	var stepped, finished atomic.Bool
+	a := &core.Actor{
+		Name:    "virtual",
+		Virtual: true,
+		Step:    func() core.Status { stepped.Store(true); return core.Stop },
+		Finish:  func() { finished.Store(true) },
+	}
+	if err := s.Run([]*core.Actor{a}); err != nil {
+		t.Fatal(err)
+	}
+	if stepped.Load() {
+		t.Fatal("virtual actor must never step")
+	}
+	if !finished.Load() {
+		t.Fatal("virtual actor must still finish (close outputs)")
+	}
+}
+
+func TestGoroutineVirtualActor(t *testing.T) { testVirtualActorSkipped(t, Goroutine{}) }
+
+func TestPoolVirtualActor(t *testing.T) { testVirtualActorSkipped(t, Pool{Workers: 1}) }
+
+func testStallThenFinish(t *testing.T, s Scheduler) {
+	t.Helper()
+	stalls := 3
+	a := &core.Actor{
+		Name: "staller",
+		Step: func() core.Status {
+			if stalls > 0 {
+				stalls--
+				return core.Stall
+			}
+			return core.Stop
+		},
+	}
+	if err := s.Run([]*core.Actor{a}); err != nil {
+		t.Fatal(err)
+	}
+	if stalls != 0 {
+		t.Fatalf("stalls remaining = %d", stalls)
+	}
+}
+
+func TestGoroutineStall(t *testing.T) { testStallThenFinish(t, Goroutine{}) }
+
+func TestPoolStall(t *testing.T) { testStallThenFinish(t, Pool{Workers: 1}) }
+
+func TestServiceTimeRecorded(t *testing.T) {
+	a, _, _ := counterActor("timed", 10)
+	if err := (Goroutine{}).Run([]*core.Actor{a}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Service.Count() != 11 { // 10 Proceeds + final Stop
+		t.Fatalf("service count = %d, want 11", a.Service.Count())
+	}
+	if a.Service.MeanNanos() < 0 {
+		t.Fatal("negative mean service time")
+	}
+}
+
+func TestEmptyActorList(t *testing.T) {
+	if err := (Goroutine{}).Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Pool{Workers: 2}).Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}

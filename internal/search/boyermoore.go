@@ -1,0 +1,92 @@
+package search
+
+import "fmt"
+
+// BoyerMoore implements the full Boyer-Moore algorithm with both the
+// bad-character and good-suffix rules — the algorithm behind the paper's
+// Apache Spark baseline ("a text matching application implemented using
+// the Boyer-Moore algorithm implemented in Scala", §5).
+type BoyerMoore struct {
+	pattern []byte
+	badChar [256]int
+	goodSfx []int
+}
+
+// NewBoyerMoore compiles the shift tables for a non-empty pattern.
+func NewBoyerMoore(pattern []byte) (*BoyerMoore, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("search: empty pattern")
+	}
+	bm := &BoyerMoore{pattern: append([]byte(nil), pattern...)}
+	m := len(pattern)
+
+	// Bad character rule: rightmost occurrence of each byte.
+	for i := range bm.badChar {
+		bm.badChar[i] = -1
+	}
+	for i, b := range pattern {
+		bm.badChar[b] = i
+	}
+
+	// Good suffix rule, classic two-case preprocessing.
+	bm.goodSfx = make([]int, m+1)
+	border := make([]int, m+1)
+	i, j := m, m+1
+	border[i] = j
+	for i > 0 {
+		for j <= m && pattern[i-1] != pattern[j-1] {
+			if bm.goodSfx[j] == 0 {
+				bm.goodSfx[j] = j - i
+			}
+			j = border[j]
+		}
+		i--
+		j--
+		border[i] = j
+	}
+	j = border[0]
+	for i = 0; i <= m; i++ {
+		if bm.goodSfx[i] == 0 {
+			bm.goodSfx[i] = j
+		}
+		if i == j {
+			j = border[j]
+		}
+	}
+	return bm, nil
+}
+
+// Name implements Matcher.
+func (bm *BoyerMoore) Name() string { return "boyermoore" }
+
+// PatternLen implements Matcher.
+func (bm *BoyerMoore) PatternLen() int { return len(bm.pattern) }
+
+// Find implements Matcher.
+func (bm *BoyerMoore) Find(dst []int, text []byte) []int {
+	p := bm.pattern
+	m := len(p)
+	s := 0
+	for s+m <= len(text) {
+		j := m - 1
+		for j >= 0 && p[j] == text[s+j] {
+			j--
+		}
+		if j < 0 {
+			dst = append(dst, s)
+			s += bm.goodSfx[0]
+		} else {
+			bcShift := j - bm.badChar[text[s+j]]
+			gsShift := bm.goodSfx[j+1]
+			if bcShift > gsShift {
+				s += bcShift
+			} else {
+				s += gsShift
+			}
+		}
+	}
+	return dst
+}
+
+// Count implements Matcher.
+func (bm *BoyerMoore) Count(text []byte) int { return len(bm.Find(nil, text)) }

@@ -1,0 +1,107 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMatchersAgree cross-validates every optimized matcher against the
+// naive scanner on fuzzer-chosen inputs. Run the seeds with go test, or
+// explore with: go test -fuzz FuzzMatchersAgree ./internal/search
+func FuzzMatchersAgree(f *testing.F) {
+	f.Add([]byte("ab"), []byte("abcabcab"))
+	f.Add([]byte("aa"), []byte("aaaaaa"))
+	f.Add([]byte("needle"), []byte("haystack with a needle inside"))
+	f.Add([]byte{0, 1}, []byte{0, 1, 0, 1, 0})
+	f.Add([]byte("x"), []byte(""))
+	f.Fuzz(func(t *testing.T, pattern, text []byte) {
+		if len(pattern) == 0 || len(pattern) > 64 || len(text) > 1<<16 {
+			t.Skip()
+		}
+		naive, err := NewNaive(pattern)
+		if err != nil {
+			t.Skip()
+		}
+		want := naive.Find(nil, text)
+		for _, algo := range []string{"horspool", "boyermoore", "kmp", "rabinkarp", "ahocorasick"} {
+			m, err := New(algo, pattern)
+			if err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			got := m.Find(nil, text)
+			if len(got) != len(want) {
+				t.Fatalf("%s found %d matches, naive found %d (pattern %q)",
+					algo, len(got), len(want), pattern)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s match[%d] = %d, want %d", algo, i, got[i], want[i])
+				}
+			}
+			if c := m.Count(text); c != len(want) {
+				t.Fatalf("%s Count = %d, want %d", algo, c, len(want))
+			}
+		}
+	})
+}
+
+// FuzzStreamingEqualsWhole verifies the stateful Aho-Corasick scanner over
+// arbitrary chunkings.
+func FuzzStreamingEqualsWhole(f *testing.F) {
+	f.Add([]byte("abba"), []byte("abbaabba"), uint8(3))
+	f.Add([]byte("zz"), []byte("zzzz"), uint8(1))
+	f.Fuzz(func(t *testing.T, pattern, text []byte, chunkSeed uint8) {
+		if len(pattern) == 0 || len(pattern) > 32 || len(text) > 1<<14 {
+			t.Skip()
+		}
+		ac, err := NewAhoCorasick([][]byte{pattern})
+		if err != nil {
+			t.Skip()
+		}
+		want := ac.Find(nil, text)
+		chunk := int(chunkSeed%32) + 1
+		var st StreamState
+		var got []int
+		for off := 0; off < len(text); off += chunk {
+			end := off + chunk
+			if end > len(text) {
+				end = len(text)
+			}
+			got = ac.FindStream(&st, got, text[off:end])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("stream found %d, whole found %d (pattern %q, chunk %d)",
+				len(got), len(want), pattern, chunk)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("stream[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzCountChunked verifies overlapped-chunk counting (the streaming
+// kernels' access pattern) for every matcher.
+func FuzzCountChunked(f *testing.F) {
+	f.Add([]byte("abc"), []byte("xxabcxxabc"), uint16(4))
+	f.Fuzz(func(t *testing.T, pattern, text []byte, chunkSeed uint16) {
+		if len(pattern) == 0 || len(pattern) > 32 || len(text) > 1<<14 {
+			t.Skip()
+		}
+		if bytes.IndexByte(pattern, 0) >= 0 {
+			// fine, but keep the corpus printable-ish for failure dumps
+		}
+		chunk := int(chunkSeed%512) + 1
+		for _, algo := range []string{"horspool", "ahocorasick", "kmp"} {
+			m, err := New(algo, pattern)
+			if err != nil {
+				t.Skip()
+			}
+			whole := m.Count(text)
+			if got := CountChunked(m, text, chunk); got != whole {
+				t.Fatalf("%s chunk=%d: %d != whole %d", algo, chunk, got, whole)
+			}
+		}
+	})
+}

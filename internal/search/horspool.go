@@ -1,0 +1,65 @@
+package search
+
+import "fmt"
+
+// Horspool implements Boyer-Moore-Horspool [Horspool 1980], "often much
+// faster for single pattern matching" (paper §5): the simplified
+// Boyer-Moore using only the bad-character shift of the last window byte.
+type Horspool struct {
+	pattern []byte
+	shift   [256]int
+}
+
+// NewHorspool compiles the shift table for a non-empty pattern.
+func NewHorspool(pattern []byte) (*Horspool, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("search: empty pattern")
+	}
+	h := &Horspool{pattern: append([]byte(nil), pattern...)}
+	m := len(pattern)
+	for i := range h.shift {
+		h.shift[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		h.shift[pattern[i]] = m - 1 - i
+	}
+	return h, nil
+}
+
+// Name implements Matcher.
+func (h *Horspool) Name() string { return "horspool" }
+
+// PatternLen implements Matcher.
+func (h *Horspool) PatternLen() int { return len(h.pattern) }
+
+// Find implements Matcher.
+func (h *Horspool) Find(dst []int, text []byte) []int {
+	p := h.pattern
+	m := len(p)
+	last := p[m-1]
+	for i := 0; i+m <= len(text); {
+		c := text[i+m-1]
+		if c == last && matchAt(text, i, p) {
+			dst = append(dst, i)
+		}
+		i += h.shift[c]
+	}
+	return dst
+}
+
+// Count implements Matcher.
+func (h *Horspool) Count(text []byte) int {
+	p := h.pattern
+	m := len(p)
+	last := p[m-1]
+	n := 0
+	shift := &h.shift
+	for i := 0; i+m <= len(text); {
+		c := text[i+m-1]
+		if c == last && matchAt(text, i, p) {
+			n++
+		}
+		i += shift[c]
+	}
+	return n
+}

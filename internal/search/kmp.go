@@ -1,0 +1,80 @@
+package search
+
+import "fmt"
+
+// KMP implements Knuth-Morris-Pratt matching. The paper's §4.2 grep
+// example wants a "search" kernel expressible with multiple interchangeable
+// algorithms; KMP rounds out the set with a worst-case-linear matcher
+// whose throughput is input-independent (no skip heuristics), making it
+// the conservative member of a kernel group.
+type KMP struct {
+	pattern []byte
+	fail    []int
+}
+
+// NewKMP compiles the failure function for a non-empty pattern.
+func NewKMP(pattern []byte) (*KMP, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("search: empty pattern")
+	}
+	k := &KMP{pattern: append([]byte(nil), pattern...)}
+	m := len(pattern)
+	k.fail = make([]int, m)
+	j := 0
+	for i := 1; i < m; i++ {
+		for j > 0 && pattern[i] != pattern[j] {
+			j = k.fail[j-1]
+		}
+		if pattern[i] == pattern[j] {
+			j++
+		}
+		k.fail[i] = j
+	}
+	return k, nil
+}
+
+// Name implements Matcher.
+func (k *KMP) Name() string { return "kmp" }
+
+// PatternLen implements Matcher.
+func (k *KMP) PatternLen() int { return len(k.pattern) }
+
+// Find implements Matcher.
+func (k *KMP) Find(dst []int, text []byte) []int {
+	p, fail := k.pattern, k.fail
+	m := len(p)
+	j := 0
+	for i := 0; i < len(text); i++ {
+		for j > 0 && text[i] != p[j] {
+			j = fail[j-1]
+		}
+		if text[i] == p[j] {
+			j++
+		}
+		if j == m {
+			dst = append(dst, i-m+1)
+			j = fail[j-1]
+		}
+	}
+	return dst
+}
+
+// Count implements Matcher.
+func (k *KMP) Count(text []byte) int {
+	p, fail := k.pattern, k.fail
+	m := len(p)
+	j, n := 0, 0
+	for i := 0; i < len(text); i++ {
+		for j > 0 && text[i] != p[j] {
+			j = fail[j-1]
+		}
+		if text[i] == p[j] {
+			j++
+		}
+		if j == m {
+			n++
+			j = fail[j-1]
+		}
+	}
+	return n
+}

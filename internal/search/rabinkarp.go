@@ -1,0 +1,61 @@
+package search
+
+import "fmt"
+
+// RabinKarp implements Rabin-Karp matching with a rolling polynomial hash
+// and explicit verification on hash hits. Its per-byte cost is constant
+// (one multiply-add per position), placing it between KMP and the
+// skip-loop matchers in the kernel-group algorithm spectrum.
+type RabinKarp struct {
+	pattern []byte
+	hash    uint32
+	pow     uint32 // base^(m-1)
+}
+
+// rkBase is the polynomial hash base (same prime the Go stdlib uses).
+const rkBase = 16777619
+
+// NewRabinKarp precomputes the pattern hash for a non-empty pattern.
+func NewRabinKarp(pattern []byte) (*RabinKarp, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("search: empty pattern")
+	}
+	rk := &RabinKarp{pattern: append([]byte(nil), pattern...), pow: 1}
+	for _, b := range pattern {
+		rk.hash = rk.hash*rkBase + uint32(b)
+	}
+	for i := 0; i < len(pattern)-1; i++ {
+		rk.pow *= rkBase
+	}
+	return rk, nil
+}
+
+// Name implements Matcher.
+func (rk *RabinKarp) Name() string { return "rabinkarp" }
+
+// PatternLen implements Matcher.
+func (rk *RabinKarp) PatternLen() int { return len(rk.pattern) }
+
+// Find implements Matcher.
+func (rk *RabinKarp) Find(dst []int, text []byte) []int {
+	m := len(rk.pattern)
+	if len(text) < m {
+		return dst
+	}
+	var h uint32
+	for i := 0; i < m; i++ {
+		h = h*rkBase + uint32(text[i])
+	}
+	for i := 0; ; i++ {
+		if h == rk.hash && matchAt(text, i, rk.pattern) {
+			dst = append(dst, i)
+		}
+		if i+m >= len(text) {
+			return dst
+		}
+		h = (h-uint32(text[i])*rk.pow)*rkBase + uint32(text[i+m])
+	}
+}
+
+// Count implements Matcher.
+func (rk *RabinKarp) Count(text []byte) int { return len(rk.Find(nil, text)) }

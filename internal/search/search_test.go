@@ -1,0 +1,278 @@
+package search
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"raftlib/internal/corpus"
+)
+
+func allMatchers(t *testing.T, pattern []byte) []Matcher {
+	t.Helper()
+	var ms []Matcher
+	for _, algo := range []string{"naive", "horspool", "boyermoore", "ahocorasick", "kmp", "rabinkarp"} {
+		m, err := New(algo, pattern)
+		if err != nil {
+			t.Fatalf("New(%s): %v", algo, err)
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func TestNewUnknownAlgorithm(t *testing.T) {
+	if _, err := New("quantum", []byte("x")); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	for _, algo := range []string{"naive", "horspool", "boyermoore", "ahocorasick", "kmp", "rabinkarp"} {
+		if _, err := New(algo, nil); err == nil {
+			t.Errorf("%s accepted empty pattern", algo)
+		}
+	}
+}
+
+func TestKnownPositions(t *testing.T) {
+	text := []byte("abracadabra abra abracadabra")
+	want := map[string][]int{
+		"abra":        {0, 7, 12, 17, 24},
+		"cad":         {4, 21},
+		"a":           {0, 3, 5, 7, 10, 12, 15, 17, 20, 22, 24, 27},
+		"abracadabra": {0, 17},
+		"zzz":         nil,
+	}
+	for pat, positions := range want {
+		for _, m := range allMatchers(t, []byte(pat)) {
+			got := m.Find(nil, text)
+			if !reflect.DeepEqual(got, positions) {
+				t.Errorf("%s.Find(%q) = %v, want %v", m.Name(), pat, got, positions)
+			}
+			if c := m.Count(text); c != len(positions) {
+				t.Errorf("%s.Count(%q) = %d, want %d", m.Name(), pat, c, len(positions))
+			}
+		}
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	text := []byte("aaaaa")
+	for _, m := range allMatchers(t, []byte("aa")) {
+		got := m.Find(nil, text)
+		want := []int{0, 1, 2, 3}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s overlapping = %v, want %v", m.Name(), got, want)
+		}
+	}
+}
+
+func TestPatternLongerThanText(t *testing.T) {
+	for _, m := range allMatchers(t, []byte("longpattern")) {
+		if got := m.Find(nil, []byte("short")); len(got) != 0 {
+			t.Errorf("%s found %v in shorter text", m.Name(), got)
+		}
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	for _, m := range allMatchers(t, []byte("x")) {
+		if got := m.Count(nil); got != 0 {
+			t.Errorf("%s.Count(nil) = %d", m.Name(), got)
+		}
+	}
+}
+
+func TestPatternEqualsText(t *testing.T) {
+	for _, m := range allMatchers(t, []byte("exact")) {
+		got := m.Find(nil, []byte("exact"))
+		if !reflect.DeepEqual(got, []int{0}) {
+			t.Errorf("%s = %v, want [0]", m.Name(), got)
+		}
+	}
+}
+
+// Property: every optimized matcher agrees with the naive scanner on
+// random binary inputs over a small alphabet (maximizing accidental
+// matches and shift-table stress).
+func TestPropertyAgreesWithNaive(t *testing.T) {
+	f := func(patSeed []byte, textSeed []byte) bool {
+		// Map onto a 4-letter alphabet; bound pattern length to [1, 8].
+		alphabet := []byte("abab") // heavy overlap on purpose
+		mk := func(src []byte, maxLen int) []byte {
+			if len(src) > maxLen {
+				src = src[:maxLen]
+			}
+			out := make([]byte, len(src))
+			for i, b := range src {
+				out[i] = alphabet[int(b)%len(alphabet)]
+			}
+			return out
+		}
+		pat := mk(patSeed, 8)
+		if len(pat) == 0 {
+			pat = []byte("a")
+		}
+		text := mk(textSeed, 4096)
+
+		naive, _ := NewNaive(pat)
+		want := naive.Find(nil, text)
+		for _, algo := range []string{"horspool", "boyermoore", "ahocorasick", "kmp", "rabinkarp"} {
+			m, err := New(algo, pat)
+			if err != nil {
+				return false
+			}
+			got := m.Find(nil, text)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedEqualsWhole(t *testing.T) {
+	text := corpus.Generate(corpus.Spec{Bytes: 1 << 20, Seed: 7})
+	pat := []byte(corpus.DefaultPattern)
+	for _, m := range allMatchers(t, pat) {
+		whole := m.Count(text)
+		if whole == 0 {
+			t.Fatalf("%s found no hits in generated corpus", m.Name())
+		}
+		for _, chunk := range []int{333, 4 << 10, 64 << 10} {
+			if got := CountChunked(m, text, chunk); got != whole {
+				t.Errorf("%s chunk=%d: count %d, want %d", m.Name(), chunk, got, whole)
+			}
+		}
+	}
+}
+
+func TestCountChunkedDefaultSize(t *testing.T) {
+	m, _ := NewHorspool([]byte("ab"))
+	if got := CountChunked(m, []byte("abxab"), 0); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestAhoCorasickMultiPattern(t *testing.T) {
+	ac, err := NewAhoCorasick([][]byte{[]byte("he"), []byte("she"), []byte("his"), []byte("hers")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("ushers")
+	got := ac.FindAll(nil, text)
+	// "she" at 1, "he" at 2, "hers" at 2.
+	want := []Match{{Pos: 1, Pattern: 1}, {Pos: 2, Pattern: 0}, {Pos: 2, Pattern: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FindAll = %v, want %v", got, want)
+	}
+	if ac.Count(text) != 3 {
+		t.Fatalf("Count = %d, want 3", ac.Count(text))
+	}
+	if ac.PatternLen() != 4 {
+		t.Fatalf("PatternLen = %d, want 4", ac.PatternLen())
+	}
+}
+
+func TestAhoCorasickRejectsEmptyInputs(t *testing.T) {
+	if _, err := NewAhoCorasick(nil); err == nil {
+		t.Fatal("no patterns must error")
+	}
+	if _, err := NewAhoCorasick([][]byte{[]byte("ok"), nil}); err == nil {
+		t.Fatal("empty pattern must error")
+	}
+}
+
+func TestAhoCorasickStreaming(t *testing.T) {
+	ac, err := NewAhoCorasick([][]byte{[]byte("needle")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := bytes.Repeat([]byte("hayneedlehay"), 100)
+	want := ac.Find(nil, text)
+
+	// Feed in awkward chunk sizes that split the needle.
+	for _, chunk := range []int{1, 3, 5, 7, 64} {
+		var st StreamState
+		var got []int
+		for off := 0; off < len(text); off += chunk {
+			end := off + chunk
+			if end > len(text) {
+				end = len(text)
+			}
+			got = ac.FindStream(&st, got, text[off:end])
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk=%d: stream found %d, whole found %d", chunk, len(got), len(want))
+		}
+	}
+}
+
+func TestPropertyStreamingEqualsWhole(t *testing.T) {
+	f := func(textSeed []byte, chunkSeed uint8) bool {
+		alphabet := []byte("ab")
+		text := make([]byte, len(textSeed))
+		for i, b := range textSeed {
+			text[i] = alphabet[int(b)%2]
+		}
+		ac, err := NewAhoCorasick([][]byte{[]byte("abba"), []byte("aa")})
+		if err != nil {
+			return false
+		}
+		want := ac.FindAll(nil, text)
+		chunk := int(chunkSeed%16) + 1
+		var st StreamState
+		var got []int
+		for off := 0; off < len(text); off += chunk {
+			end := off + chunk
+			if end > len(text) {
+				end = len(text)
+			}
+			got = ac.FindStream(&st, got, text[off:end])
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHorspoolVsBoyerMooreOnCorpus(t *testing.T) {
+	text := corpus.Generate(corpus.Spec{Bytes: 256 << 10, Seed: 42})
+	pat := []byte(corpus.DefaultPattern)
+	h, _ := NewHorspool(pat)
+	b, _ := NewBoyerMoore(pat)
+	a, _ := NewAhoCorasick([][]byte{pat})
+	n, _ := NewNaive(pat)
+	hc, bc, acnt, nc := h.Count(text), b.Count(text), a.Count(text), n.Count(text)
+	if hc != nc || bc != nc || acnt != nc {
+		t.Fatalf("counts differ: horspool=%d boyermoore=%d ac=%d naive=%d", hc, bc, acnt, nc)
+	}
+}
+
+func BenchmarkMatchers(b *testing.B) {
+	text := corpus.Generate(corpus.Spec{Bytes: 4 << 20, Seed: 11})
+	pat := []byte(corpus.DefaultPattern)
+	for _, algo := range Algorithms() {
+		m, err := New(algo, pat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(algo, func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				m.Count(text)
+			}
+		})
+	}
+}

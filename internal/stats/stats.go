@@ -1,0 +1,329 @@
+// Package stats provides the low-overhead performance instrumentation used
+// by the RaftLib runtime: atomic counters, exponentially weighted rate
+// estimators, log-scale histograms and occupancy samplers.
+//
+// The paper (§4.1) stresses that "the data collection process itself is
+// optimized to reduce overhead" (citing the TimeTrial profiler work). The
+// implementations here follow the same discipline: the hot path is one or
+// two uncontended atomic operations; aggregation work happens only when a
+// monitor thread asks for a snapshot.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for concurrent
+// use. The zero value is ready to use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// Gauge is an instantaneous value that can move in both directions.
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Rate estimates an event rate (events per second) using an exponentially
+// weighted moving average over observation windows. Observe is cheap (one
+// atomic add); the EWMA update is performed by the sampler that calls Tick.
+type Rate struct {
+	events atomic.Uint64
+
+	mu       sync.Mutex
+	lastN    uint64
+	lastTick time.Time
+	ewma     float64
+	alpha    float64
+	primed   bool
+}
+
+// NewRate returns a rate estimator with smoothing factor alpha in (0, 1].
+// Larger alpha weights recent windows more heavily.
+func NewRate(alpha float64) *Rate {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.25
+	}
+	return &Rate{alpha: alpha}
+}
+
+// Observe records n events. Safe for concurrent use.
+func (r *Rate) Observe(n uint64) { r.events.Add(n) }
+
+// Tick folds the events recorded since the previous Tick into the EWMA.
+// It is intended to be called periodically by a single monitor goroutine.
+func (r *Rate) Tick(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.events.Load()
+	if r.lastTick.IsZero() {
+		r.lastTick = now
+		r.lastN = total
+		return
+	}
+	dt := now.Sub(r.lastTick).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := float64(total-r.lastN) / dt
+	if !r.primed {
+		r.ewma = inst
+		r.primed = true
+	} else {
+		r.ewma = r.alpha*inst + (1-r.alpha)*r.ewma
+	}
+	r.lastN = total
+	r.lastTick = now
+}
+
+// PerSecond returns the smoothed events-per-second estimate.
+func (r *Rate) PerSecond() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ewma
+}
+
+// Total returns the total number of events observed.
+func (r *Rate) Total() uint64 { return r.events.Load() }
+
+// nBuckets is the number of power-of-two histogram buckets. Bucket i counts
+// values v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0 and v == 1).
+const nBuckets = 64
+
+// Histogram is a log2-bucketed histogram of non-negative integer samples
+// (durations in nanoseconds, queue occupancies, batch sizes...). Recording
+// is a single atomic increment; percentile queries walk the 64 buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [nBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+	max     atomic.Uint64
+}
+
+func bucketIndex(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(v) - 1
+}
+
+// Record adds one sample with value v.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of recorded samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
+// using the bucket upper edges. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < nBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			if i == 63 {
+				return math.MaxUint64
+			}
+			return (uint64(1) << uint(i+1)) - 1
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot returns a point-in-time copy of the bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram's state.
+type HistogramSnapshot struct {
+	Buckets [nBuckets]uint64
+	Sum     uint64
+	Count   uint64
+	Max     uint64
+}
+
+// String renders the non-empty buckets, one per line.
+func (s HistogramSnapshot) String() string {
+	var b strings.Builder
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = uint64(1) << uint(i)
+		}
+		fmt.Fprintf(&b, "[%d..): %d\n", lo, n)
+	}
+	return b.String()
+}
+
+// Occupancy tracks queue occupancy over time. The monitor thread calls
+// Sample with the instantaneous length; consumers read the running mean,
+// a log-bucketed distribution, and the fraction of samples at/above a
+// utilization threshold (used for bottleneck detection).
+type Occupancy struct {
+	hist      Histogram
+	samples   atomic.Uint64
+	fullCount atomic.Uint64 // samples where len >= hi-water fraction of cap
+	zeroCount atomic.Uint64 // samples where len == 0 (starvation)
+}
+
+// Sample records one observation of a queue with length n and capacity c.
+func (o *Occupancy) Sample(n, c int) {
+	if n < 0 {
+		n = 0
+	}
+	o.hist.Record(uint64(n))
+	o.samples.Add(1)
+	if c > 0 && n >= c-(c>>3) { // within 12.5% of full
+		o.fullCount.Add(1)
+	}
+	if n == 0 {
+		o.zeroCount.Add(1)
+	}
+}
+
+// Mean returns the mean observed occupancy.
+func (o *Occupancy) Mean() float64 { return o.hist.Mean() }
+
+// Samples returns the number of observations.
+func (o *Occupancy) Samples() uint64 { return o.samples.Load() }
+
+// FullFraction returns the fraction of samples observed near capacity.
+func (o *Occupancy) FullFraction() float64 {
+	s := o.samples.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(o.fullCount.Load()) / float64(s)
+}
+
+// StarvedFraction returns the fraction of samples observed empty.
+func (o *Occupancy) StarvedFraction() float64 {
+	s := o.samples.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(o.zeroCount.Load()) / float64(s)
+}
+
+// Hist exposes the underlying occupancy histogram.
+func (o *Occupancy) Hist() *Histogram { return &o.hist }
+
+// ServiceTimer measures per-invocation service times of a kernel with a
+// log-scale histogram. Use Start/Stop pairs or the Time helper.
+type ServiceTimer struct {
+	hist Histogram
+	busy atomic.Uint64 // cumulative busy nanoseconds
+}
+
+// Time runs fn and records its wall-clock duration.
+func (t *ServiceTimer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Record(time.Since(start))
+}
+
+// Record adds one observed service duration.
+func (t *ServiceTimer) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.hist.Record(uint64(d))
+	t.busy.Add(uint64(d))
+}
+
+// Count returns the number of recorded invocations.
+func (t *ServiceTimer) Count() uint64 { return t.hist.Count() }
+
+// MeanNanos returns the mean service time in nanoseconds.
+func (t *ServiceTimer) MeanNanos() float64 { return t.hist.Mean() }
+
+// BusyNanos returns cumulative busy time in nanoseconds.
+func (t *ServiceTimer) BusyNanos() uint64 { return t.busy.Load() }
+
+// RatePerSecond converts the mean service time into a service rate
+// (invocations per second). Returns 0 when no samples exist.
+func (t *ServiceTimer) RatePerSecond() float64 {
+	m := t.hist.Mean()
+	if m <= 0 {
+		return 0
+	}
+	return 1e9 / m
+}
+
+// Quantile returns the q-quantile of service time in nanoseconds.
+func (t *ServiceTimer) Quantile(q float64) uint64 { return t.hist.Quantile(q) }

@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value count = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("count = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	if got := g.Add(-3); got != 7 {
+		t.Fatalf("Add = %d, want 7", got)
+	}
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+}
+
+func TestRateEstimation(t *testing.T) {
+	r := NewRate(1.0) // no smoothing: rate == last window
+	t0 := time.Unix(0, 0)
+	r.Tick(t0)
+	r.Observe(500)
+	r.Tick(t0.Add(500 * time.Millisecond))
+	got := r.PerSecond()
+	if math.Abs(got-1000) > 1 {
+		t.Fatalf("rate = %v, want ~1000", got)
+	}
+	if r.Total() != 500 {
+		t.Fatalf("total = %d, want 500", r.Total())
+	}
+}
+
+func TestRateSmoothing(t *testing.T) {
+	r := NewRate(0.5)
+	t0 := time.Unix(0, 0)
+	r.Tick(t0)
+	r.Observe(100)
+	r.Tick(t0.Add(time.Second)) // inst 100/s, primed -> 100
+	r.Tick(t0.Add(2 * time.Second))
+	// second window saw 0 events: ewma = 0.5*0 + 0.5*100 = 50
+	if got := r.PerSecond(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("smoothed rate = %v, want 50", got)
+	}
+}
+
+func TestRateBadAlphaDefaults(t *testing.T) {
+	r := NewRate(-1)
+	if r.alpha != 0.25 {
+		t.Fatalf("alpha = %v, want default 0.25", r.alpha)
+	}
+}
+
+func TestRateZeroDtIgnored(t *testing.T) {
+	r := NewRate(1.0)
+	t0 := time.Unix(0, 0)
+	r.Tick(t0)
+	r.Observe(10)
+	r.Tick(t0) // dt == 0 must not divide by zero or update
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("rate after zero-dt tick = %v, want 0", got)
+	}
+}
+
+func TestHistogramBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {math.MaxUint64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramMeanMaxCount(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 10} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("mean = %v, want 4", got)
+	}
+	if h.Max() != 10 {
+		t.Fatalf("max = %d, want 10", h.Max())
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("quantile of empty = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	// Bucket upper edges are powers of two; the estimate must bracket the
+	// true quantile from above but within one bucket (2x).
+	for _, q := range []float64{0.05, 0.5, 0.95, 1.0} {
+		true0 := q * 1000
+		got := float64(h.Quantile(q))
+		if got < true0 || got > 2*true0+2 {
+			t.Errorf("Quantile(%v) = %v, true %v: outside [true, 2*true]", q, got, true0)
+		}
+	}
+	// Out-of-range q values are clamped, not panicking.
+	_ = h.Quantile(-0.5)
+	_ = h.Quantile(1.5)
+}
+
+func TestHistogramPropertyMeanAndCount(t *testing.T) {
+	f := func(vs []uint16) bool {
+		var h Histogram
+		var sum uint64
+		for _, v := range vs {
+			h.Record(uint64(v))
+			sum += uint64(v)
+		}
+		if h.Count() != uint64(len(vs)) {
+			return false
+		}
+		if len(vs) == 0 {
+			return h.Mean() == 0
+		}
+		want := float64(sum) / float64(len(vs))
+		return math.Abs(h.Mean()-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPropertyQuantileMonotone(t *testing.T) {
+	f := func(vs []uint32) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vs {
+			h.Record(uint64(v))
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(5)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("expected non-empty rendering")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := uint64(0); j < 1000; j++ {
+				h.Record(j)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	if h.Max() != 999 {
+		t.Fatalf("max = %d, want 999", h.Max())
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	var o Occupancy
+	o.Sample(0, 8)  // starved
+	o.Sample(8, 8)  // full
+	o.Sample(7, 8)  // near-full (within 12.5%)
+	o.Sample(4, 8)  // mid
+	o.Sample(-1, 8) // clamped to 0, starved
+	if o.Samples() != 5 {
+		t.Fatalf("samples = %d, want 5", o.Samples())
+	}
+	if got := o.StarvedFraction(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("starved = %v, want 0.4", got)
+	}
+	if got := o.FullFraction(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("full = %v, want 0.4", got)
+	}
+	if o.Mean() <= 0 {
+		t.Fatalf("mean = %v, want > 0", o.Mean())
+	}
+	if o.Hist().Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", o.Hist().Count())
+	}
+}
+
+func TestOccupancyEmpty(t *testing.T) {
+	var o Occupancy
+	if o.FullFraction() != 0 || o.StarvedFraction() != 0 {
+		t.Fatal("fractions of empty sampler must be 0")
+	}
+}
+
+func TestServiceTimer(t *testing.T) {
+	var st ServiceTimer
+	st.Record(100 * time.Nanosecond)
+	st.Record(300 * time.Nanosecond)
+	st.Record(-time.Second) // clamped to 0
+	if st.Count() != 3 {
+		t.Fatalf("count = %d, want 3", st.Count())
+	}
+	if st.BusyNanos() != 400 {
+		t.Fatalf("busy = %d, want 400", st.BusyNanos())
+	}
+	wantMean := 400.0 / 3.0
+	if math.Abs(st.MeanNanos()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", st.MeanNanos(), wantMean)
+	}
+	if st.RatePerSecond() <= 0 {
+		t.Fatalf("rate = %v, want > 0", st.RatePerSecond())
+	}
+	if st.Quantile(1.0) < 300 {
+		t.Fatalf("p100 = %d, want >= 300", st.Quantile(1.0))
+	}
+}
+
+func TestServiceTimerTime(t *testing.T) {
+	var st ServiceTimer
+	st.Time(func() { time.Sleep(time.Millisecond) })
+	if st.Count() != 1 {
+		t.Fatalf("count = %d, want 1", st.Count())
+	}
+	if st.MeanNanos() < float64(time.Millisecond)/2 {
+		t.Fatalf("mean = %v ns, want >= 0.5ms", st.MeanNanos())
+	}
+}
+
+func TestServiceTimerEmptyRate(t *testing.T) {
+	var st ServiceTimer
+	if st.RatePerSecond() != 0 {
+		t.Fatal("rate of empty timer must be 0")
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace records per-kernel execution events and renders them as a
+// utilization timeline — a step toward the paper's stated future work:
+// "Future work in visualization could determine the best way to display
+// this information to the user in order to improve their ability to act
+// upon it" (§4.1).
+//
+// The recorder is a bounded, mutex-guarded ring: recording is two stores
+// plus an index bump, cheap enough to wrap every kernel invocation, and
+// the ring bounds memory for long runs (old events are overwritten; the
+// timeline then covers the most recent window).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind labels one event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// RunStart marks the beginning of one kernel invocation.
+	RunStart Kind = iota
+	// RunEnd marks its completion.
+	RunEnd
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kernel int32
+	Kind   Kind
+	At     int64 // nanoseconds, monotonic-ish (time.Now().UnixNano())
+}
+
+// Recorder is a bounded event ring.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding up to capacity events (min 64).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *Recorder) Record(kernel int32, kind Kind, at int64) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.events[r.next] = Event{Kernel: kernel, Kind: kind, At: at}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Span is one contiguous busy interval of a kernel.
+type Span struct {
+	Kernel     int32
+	Start, End int64
+}
+
+// Spans pairs RunStart/RunEnd events per kernel into busy intervals;
+// unmatched starts (still running, or their end was overwritten) are
+// dropped.
+func (r *Recorder) Spans() []Span {
+	open := map[int32]int64{}
+	var spans []Span
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case RunStart:
+			open[e.Kernel] = e.At
+		case RunEnd:
+			if s, ok := open[e.Kernel]; ok {
+				spans = append(spans, Span{Kernel: e.Kernel, Start: s, End: e.At})
+				delete(open, e.Kernel)
+			}
+		}
+	}
+	return spans
+}
+
+// shades maps utilization quintiles to characters for the ASCII timeline.
+var shades = []byte(" .:*#")
+
+// Timeline renders per-kernel utilization over time as an ASCII grid:
+// one row per kernel, width buckets spanning the recorded window, each
+// cell shaded by the fraction of the bucket the kernel spent running.
+func (r *Recorder) Timeline(names []string, width int) string {
+	if width < 10 {
+		width = 60
+	}
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return "trace: no complete spans recorded\n"
+	}
+	lo, hi := spans[0].Start, spans[0].End
+	maxKernel := int32(0)
+	for _, s := range spans {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+		if s.Kernel > maxKernel {
+			maxKernel = s.Kernel
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	bucket := float64(hi-lo) / float64(width)
+
+	busy := make([][]float64, maxKernel+1)
+	for i := range busy {
+		busy[i] = make([]float64, width)
+	}
+	for _, s := range spans {
+		b0 := int(float64(s.Start-lo) / bucket)
+		b1 := int(float64(s.End-lo) / bucket)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			cellLo := lo + int64(float64(b)*bucket)
+			cellHi := lo + int64(float64(b+1)*bucket)
+			overlap := minI64(s.End, cellHi) - maxI64(s.Start, cellLo)
+			if overlap > 0 {
+				busy[s.Kernel][b] += float64(overlap)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline over %v (%d buckets, shade = busy fraction)\n",
+		time.Duration(hi-lo).Round(time.Microsecond), width)
+	for k := int32(0); k <= maxKernel; k++ {
+		name := fmt.Sprintf("kernel-%d", k)
+		if int(k) < len(names) && names[k] != "" {
+			name = names[k]
+		}
+		fmt.Fprintf(&sb, "%-24.24s |", name)
+		for b := 0; b < width; b++ {
+			frac := busy[k][b] / bucket
+			if frac > 1 {
+				frac = 1
+			}
+			idx := int(frac * float64(len(shades)-1))
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, "(%d older events overwritten)\n", d)
+	}
+	return sb.String()
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEventsOrder(t *testing.T) {
+	r := NewRecorder(128)
+	for i := int64(0); i < 10; i++ {
+		r.Record(0, RunStart, i*10)
+		r.Record(0, RunEnd, i*10+5)
+	}
+	evs := r.Events()
+	if len(evs) != 20 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRecorder(64)
+	for i := int64(0); i < 100; i++ {
+		r.Record(0, RunStart, i)
+	}
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained = %d, want 64", len(evs))
+	}
+	if evs[0].At != 36 || evs[63].At != 99 {
+		t.Fatalf("window = [%d, %d], want [36, 99]", evs[0].At, evs[63].At)
+	}
+	if r.Dropped() != 36 {
+		t.Fatalf("dropped = %d, want 36", r.Dropped())
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	r := NewRecorder(1)
+	if len(r.events) != 64 {
+		t.Fatalf("capacity = %d, want clamped 64", len(r.events))
+	}
+}
+
+func TestSpansPairing(t *testing.T) {
+	r := NewRecorder(128)
+	r.Record(0, RunStart, 0)
+	r.Record(1, RunStart, 5) // interleaved kernels
+	r.Record(0, RunEnd, 10)
+	r.Record(1, RunEnd, 15)
+	r.Record(0, RunStart, 20) // unmatched (still running)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Kernel != 0 || spans[0].Start != 0 || spans[0].End != 10 {
+		t.Fatalf("span0 = %+v", spans[0])
+	}
+	if spans[1].Kernel != 1 || spans[1].Start != 5 || spans[1].End != 15 {
+		t.Fatalf("span1 = %+v", spans[1])
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder(256)
+	// Kernel 0 busy the whole window; kernel 1 busy the second half only.
+	r.Record(0, RunStart, 0)
+	r.Record(0, RunEnd, 1000)
+	r.Record(1, RunStart, 500)
+	r.Record(1, RunEnd, 1000)
+	out := r.Timeline([]string{"always", "latehalf"}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "always") || !strings.Contains(lines[2], "latehalf") {
+		t.Fatalf("names missing:\n%s", out)
+	}
+	row0 := lines[1][strings.IndexByte(lines[1], '|')+1:]
+	row1 := lines[2][strings.IndexByte(lines[2], '|')+1:]
+	// Kernel 0: every bucket fully shaded.
+	if strings.Count(row0, "#") < 19 {
+		t.Fatalf("always row underfilled: %q", row0)
+	}
+	// Kernel 1: first half blank, second half shaded.
+	firstHalf := row1[:10]
+	secondHalf := row1[10:20]
+	if strings.Count(firstHalf, " ") < 9 {
+		t.Fatalf("latehalf first half = %q", firstHalf)
+	}
+	if strings.Count(secondHalf, "#") < 9 {
+		t.Fatalf("latehalf second half = %q", secondHalf)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	r := NewRecorder(64)
+	if !strings.Contains(r.Timeline(nil, 40), "no complete spans") {
+		t.Fatal("empty timeline message")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1024)
+	var wg sync.WaitGroup
+	for k := int32(0); k < 4; k++ {
+		wg.Add(1)
+		go func(k int32) {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				r.Record(k, RunStart, i)
+				r.Record(k, RunEnd, i+1)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if len(r.Events()) != 1024 {
+		t.Fatalf("retained %d", len(r.Events()))
+	}
+}

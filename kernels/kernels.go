@@ -1,0 +1,179 @@
+// Package kernels is the standard kernel library accompanying the raft
+// runtime: the sources, sinks and adapters the paper introduces in §4.2
+// (generate, print, read_each, write_each, the zero-copy for_each, reduce)
+// plus the text-search building blocks of §5 (filereader and the search
+// kernel with selectable matching algorithm).
+package kernels
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"raftlib/raft"
+)
+
+// Generate streams values produced by a function — the paper's generate
+// source from Fig. 3 (there, a random-number generator).
+type Generate[T any] struct {
+	raft.KernelBase
+	n    int64
+	next int64
+	fn   func(i int64) T
+}
+
+// NewGenerate returns a source kernel pushing fn(0), fn(1), ..., fn(n-1)
+// out of port "out". Generate is deliberately NOT cloneable: replicating a
+// source would duplicate its sequence; create distinct sources (or shard
+// the index range across several Generates) for parallel generation.
+func NewGenerate[T any](n int64, fn func(i int64) T) *Generate[T] {
+	k := &Generate[T]{n: n, fn: fn}
+	k.SetName("generate")
+	raft.AddOutput[T](k, "out")
+	return k
+}
+
+// Run implements raft.Kernel.
+func (g *Generate[T]) Run() raft.Status {
+	if g.next >= g.n {
+		return raft.Stop
+	}
+	sig := raft.SigNone
+	if g.next == g.n-1 {
+		sig = raft.SigEOF
+	}
+	if err := raft.PushSig(g.Out("out"), g.fn(g.next), sig); err != nil {
+		return raft.Stop
+	}
+	g.next++
+	return raft.Proceed
+}
+
+// Print writes each received element to an io.Writer followed by a
+// delimiter — the paper's print kernel (Figs. 1, 3).
+type Print[T any] struct {
+	raft.KernelBase
+	w     *bufio.Writer
+	delim byte
+}
+
+// NewPrint returns a sink kernel printing every element of port "in" to w,
+// separated by delim.
+func NewPrint[T any](w io.Writer, delim byte) *Print[T] {
+	k := &Print[T]{w: bufio.NewWriter(w), delim: delim}
+	k.SetName("print")
+	raft.AddInput[T](k, "in")
+	return k
+}
+
+// Run implements raft.Kernel.
+func (p *Print[T]) Run() raft.Status {
+	v, err := raft.Pop[T](p.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	fmt.Fprint(p.w, v)
+	p.w.WriteByte(p.delim)
+	return raft.Proceed
+}
+
+// Finalize flushes buffered output.
+func (p *Print[T]) Finalize() { p.w.Flush() }
+
+// ReadEach streams the contents of a slice, one element at a time — the
+// paper's read_each bridge from C++ containers (§4.2, Fig. 5).
+type ReadEach[T any] struct {
+	raft.KernelBase
+	src []T
+	i   int
+}
+
+// NewReadEach returns a source kernel pushing each element of src (copied
+// element-wise; see NewForEach for the zero-copy variant) out of port
+// "out".
+func NewReadEach[T any](src []T) *ReadEach[T] {
+	k := &ReadEach[T]{src: src}
+	k.SetName("read_each")
+	raft.AddOutput[T](k, "out")
+	return k
+}
+
+// Run implements raft.Kernel.
+func (r *ReadEach[T]) Run() raft.Status {
+	if r.i >= len(r.src) {
+		return raft.Stop
+	}
+	sig := raft.SigNone
+	if r.i == len(r.src)-1 {
+		sig = raft.SigEOF
+	}
+	if err := raft.PushSig(r.Out("out"), r.src[r.i], sig); err != nil {
+		return raft.Stop
+	}
+	r.i++
+	return raft.Proceed
+}
+
+// WriteEach appends every received element to a destination slice — the
+// paper's write_each back-inserter bridge (§4.2, Fig. 5). The destination
+// is owned by the kernel while the application runs; read it after Exe
+// returns.
+type WriteEach[T any] struct {
+	raft.KernelBase
+	dst *[]T
+}
+
+// NewWriteEach returns a sink kernel appending each element of port "in"
+// to *dst.
+func NewWriteEach[T any](dst *[]T) *WriteEach[T] {
+	k := &WriteEach[T]{dst: dst}
+	k.SetName("write_each")
+	raft.AddInput[T](k, "in")
+	return k
+}
+
+// Run implements raft.Kernel.
+func (w *WriteEach[T]) Run() raft.Status {
+	v, err := raft.Pop[T](w.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	*w.dst = append(*w.dst, v)
+	return raft.Proceed
+}
+
+// Reduce folds every received element into an accumulator and delivers the
+// result when the stream ends — the reduction endpoint of the paper's
+// Fig. 6 pipeline.
+type Reduce[T any] struct {
+	raft.KernelBase
+	fn     func(acc, v T) T
+	acc    T
+	result *T
+}
+
+// NewReduce returns a sink kernel folding port "in" with fn starting from
+// init; the final accumulator is stored to *result when the stream closes.
+func NewReduce[T any](fn func(acc, v T) T, init T, result *T) *Reduce[T] {
+	k := &Reduce[T]{fn: fn, acc: init, result: result}
+	k.SetName("reduce")
+	raft.AddInput[T](k, "in")
+	return k
+}
+
+// Run implements raft.Kernel.
+func (r *Reduce[T]) Run() raft.Status {
+	v, err := raft.Pop[T](r.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	r.acc = r.fn(r.acc, v)
+	return raft.Proceed
+}
+
+// Finalize implements raft.Finalizer, publishing the result.
+func (r *Reduce[T]) Finalize() {
+	if r.result != nil {
+		*r.result = r.acc
+	}
+}

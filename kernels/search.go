@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"fmt"
+
+	"raftlib/internal/search"
+	"raftlib/raft"
+)
+
+// Search is the paper's match kernel (§5, Figs. 8–9): it consumes Chunks
+// and emits the absolute byte offset of every pattern occurrence. The
+// matching algorithm is selected by name, mirroring the paper's
+// search<ahocorasick> / search<boyermoore> template specialization, and
+// the kernel is cloneable so the runtime can replicate it across cores
+// when its inbound link is marked AsOutOfOrder.
+type Search struct {
+	raft.KernelBase
+	algo    string
+	pattern []byte
+	m       search.Matcher
+	scratch []int
+}
+
+// NewSearch returns a match kernel using the named algorithm
+// ("ahocorasick", "horspool", "boyermoore", "naive") for the given
+// pattern. Input port "in" carries Chunk; output port "out" carries the
+// int64 offsets of matches.
+func NewSearch(algo string, pattern []byte) (*Search, error) {
+	m, err := search.New(algo, pattern)
+	if err != nil {
+		return nil, err
+	}
+	k := &Search{algo: algo, pattern: append([]byte(nil), pattern...), m: m}
+	k.SetName("search[" + algo + "]")
+	raft.AddInput[Chunk](k, "in")
+	raft.AddOutput[int64](k, "out")
+	return k, nil
+}
+
+// MustSearch is NewSearch for known-good algorithm names.
+func MustSearch(algo string, pattern []byte) *Search {
+	k, err := NewSearch(algo, pattern)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Run implements raft.Kernel.
+func (s *Search) Run() raft.Status {
+	c, err := raft.Pop[Chunk](s.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	s.scratch = s.m.Find(s.scratch[:0], c.Data)
+	out := s.Out("out")
+	for _, pos := range s.scratch {
+		if pos >= c.Valid {
+			continue // starts in the overlap: owned by the next chunk
+		}
+		if err := raft.Push(out, c.Off+int64(pos)); err != nil {
+			return raft.Stop
+		}
+	}
+	return raft.Proceed
+}
+
+// Clone implements raft.Cloner.
+func (s *Search) Clone() raft.Kernel {
+	dup, err := NewSearch(s.algo, s.pattern)
+	if err != nil {
+		panic(fmt.Sprintf("kernels: cloning search kernel: %v", err))
+	}
+	return dup
+}
+
+// CountSearch is a match kernel that emits one count per chunk instead of
+// per-hit offsets, minimizing stream traffic for throughput benchmarking
+// (the paper's Fig. 10 measures GB/s, not per-match latency).
+type CountSearch struct {
+	raft.KernelBase
+	algo    string
+	pattern []byte
+	m       search.Matcher
+	scratch []int
+}
+
+// NewCountSearch returns a counting match kernel: port "in" carries Chunk,
+// port "out" carries one int64 match count per chunk.
+func NewCountSearch(algo string, pattern []byte) (*CountSearch, error) {
+	m, err := search.New(algo, pattern)
+	if err != nil {
+		return nil, err
+	}
+	k := &CountSearch{algo: algo, pattern: append([]byte(nil), pattern...), m: m}
+	k.SetName("search[" + algo + "]")
+	raft.AddInput[Chunk](k, "in")
+	raft.AddOutput[int64](k, "out")
+	return k, nil
+}
+
+// Run implements raft.Kernel.
+func (s *CountSearch) Run() raft.Status {
+	c, err := raft.Pop[Chunk](s.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	s.scratch = s.m.Find(s.scratch[:0], c.Data)
+	n := int64(0)
+	for _, pos := range s.scratch {
+		if pos < c.Valid {
+			n++
+		}
+	}
+	if err := raft.Push(s.Out("out"), n); err != nil {
+		return raft.Stop
+	}
+	return raft.Proceed
+}
+
+// Clone implements raft.Cloner.
+func (s *CountSearch) Clone() raft.Kernel {
+	dup, err := NewCountSearch(s.algo, s.pattern)
+	if err != nil {
+		panic(fmt.Sprintf("kernels: cloning search kernel: %v", err))
+	}
+	return dup
+}
+
+// CountBytes counts every match in a raw buffer with the kernel's matcher,
+// for callers that manage chunking themselves (e.g. remote stages shipping
+// whole buffers).
+func (s *CountSearch) CountBytes(b []byte) int { return s.m.Count(b) }

@@ -1,0 +1,29 @@
+package kernels
+
+import (
+	"raftlib/raft"
+)
+
+// NewSearchGroup builds the paper's §4.2 grep example — "a version of the
+// UNIX utility grep could be implemented with multiple search algorithms
+// ... they can all be expressed as a 'search' kernel" — as a KernelGroup
+// of counting match kernels. The runtime measures each algorithm's service
+// rate and swaps the group to the fastest, adapting to the input; pin one
+// with (*raft.KernelGroup).SetFixed, as the paper's benchmark did.
+func NewSearchGroup(algos []string, pattern []byte) (*raft.KernelGroup, error) {
+	members := make([]raft.Kernel, 0, len(algos))
+	for _, algo := range algos {
+		k, err := NewCountSearch(algo, pattern)
+		if err != nil {
+			return nil, err
+		}
+		k.SetName(algo)
+		members = append(members, k)
+	}
+	g, err := raft.NewKernelGroup(members...)
+	if err != nil {
+		return nil, err
+	}
+	g.SetName("search-group")
+	return g, nil
+}

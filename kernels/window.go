@@ -1,0 +1,55 @@
+package kernels
+
+import (
+	"raftlib/raft"
+)
+
+// SlidingWindow applies a function over a sliding window of the stream —
+// the kernel-library face of the paper's peek_range accessor (§3: "The
+// stream access pattern is often that of a sliding window, which should be
+// accommodated efficiently"). The window is observed in place: when the
+// buffered region of the queue is contiguous, fn receives a zero-copy view
+// of queue storage.
+type SlidingWindow[T, U any] struct {
+	raft.KernelBase
+	size  int
+	slide int
+	fn    func(window []T) U
+}
+
+// NewSlidingWindow returns a kernel that calls fn on each window of size
+// consecutive elements, advancing by slide elements between windows, and
+// emits each result on port "out". slide must be in [1, size]. A final
+// partial window (fewer than size elements at end of stream) is discarded,
+// matching the usual streaming-window semantics.
+func NewSlidingWindow[T, U any](size, slide int, fn func(window []T) U) *SlidingWindow[T, U] {
+	if size < 1 {
+		panic("kernels: window size must be >= 1")
+	}
+	if slide < 1 || slide > size {
+		panic("kernels: slide must be in [1, size]")
+	}
+	k := &SlidingWindow[T, U]{size: size, slide: slide, fn: fn}
+	k.SetName("window")
+	raft.AddInput[T](k, "in")
+	raft.AddOutput[U](k, "out")
+	return k
+}
+
+// Run implements raft.Kernel.
+func (w *SlidingWindow[T, U]) Run() raft.Status {
+	in := w.In("in")
+	win, err := raft.PeekRange[T](in, w.size)
+	if err != nil {
+		// End of stream: drop the partial window and drain.
+		if len(win) > 0 {
+			raft.Recycle[T](in, len(win))
+		}
+		return raft.Stop
+	}
+	if err := raft.Push(w.Out("out"), w.fn(win)); err != nil {
+		return raft.Stop
+	}
+	raft.Recycle[T](in, w.slide)
+	return raft.Proceed
+}

@@ -1,0 +1,41 @@
+// Package raft is a Go reproduction of RaftLib, the C++ template library
+// for high-performance stream parallel processing (Beard, Li &
+// Chamberlain, PMAM '15).
+//
+// A streaming application is a set of sequentially-written compute kernels
+// connected by FIFO streams. Kernels embed [KernelBase], declare named,
+// typed ports in their constructor, and implement Run, which the runtime
+// invokes repeatedly:
+//
+//	type sum struct{ raft.KernelBase }
+//
+//	func newSum() *sum {
+//		k := &sum{}
+//		raft.AddInput[int64](k, "input_a")
+//		raft.AddInput[int64](k, "input_b")
+//		raft.AddOutput[int64](k, "sum")
+//		return k
+//	}
+//
+//	func (s *sum) Run() raft.Status {
+//		a, err := raft.Pop[int64](s.In("input_a"))
+//		if err != nil {
+//			return raft.Stop
+//		}
+//		b, err := raft.Pop[int64](s.In("input_b"))
+//		if err != nil {
+//			return raft.Stop
+//		}
+//		if err := raft.Push(s.Out("sum"), a+b); err != nil {
+//			return raft.Stop
+//		}
+//		return raft.Proceed
+//	}
+//
+// Kernels are assembled into a topology with [Map.Link] and executed with
+// [Map.Exe], which verifies the graph, sizes and allocates every stream,
+// maps kernels to compute places, schedules them, and starts the runtime
+// monitor that dynamically resizes queues and widens replicated kernel
+// groups while the application runs. See the examples directory for
+// complete programs.
+package raft

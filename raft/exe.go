@@ -1,0 +1,705 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"raftlib/internal/core"
+	"raftlib/internal/graph"
+	"raftlib/internal/mapper"
+	"raftlib/internal/monitor"
+	"raftlib/internal/ringbuffer"
+	"raftlib/internal/scheduler"
+	"raftlib/internal/trace"
+)
+
+// Config holds the runtime parameters Exe uses; construct it through
+// Options.
+type Config struct {
+	// DefaultCapacity is the initial capacity of streams without an
+	// explicit WithCapacity (default 64 elements).
+	DefaultCapacity int
+	// MaxCapacity bounds monitor growth for streams without an explicit
+	// WithMaxCapacity (default 1<<20 elements; 0 = unbounded).
+	MaxCapacity int
+	// LockFree selects fixed-capacity lock-free SPSC queues instead of
+	// dynamic rings; it disables resizing and window (PeekRange) access.
+	LockFree bool
+
+	// PoolWorkers > 0 selects the worker-pool scheduler with that many
+	// workers; 0 selects the default goroutine-per-kernel scheduler.
+	PoolWorkers int
+
+	// MonitorEnabled runs the δ-tick monitor thread (default true).
+	MonitorEnabled bool
+	// MonitorDelta is the monitor period δ (default 10µs, per the paper).
+	MonitorDelta time.Duration
+	// DynamicResize enables the monitor's queue-resizing rules (default
+	// true).
+	DynamicResize bool
+	// Shrink additionally allows the monitor to shrink over-provisioned
+	// queues (default false; conservative).
+	Shrink bool
+
+	// AutoReplicate rewrites eligible kernels (Cloner + single in/out +
+	// inbound link marked AsOutOfOrder) into split/replicas/merge groups.
+	AutoReplicate bool
+	// MaxReplicas is the replica ceiling for auto-replicated kernels
+	// (default GOMAXPROCS).
+	MaxReplicas int
+	// AutoScale starts each replicated group at one active replica and
+	// lets the monitor widen it on observed back-pressure; when false the
+	// group runs at full width from the start.
+	AutoScale bool
+	// SplitPolicy selects the data distribution strategy for replicated
+	// groups.
+	SplitPolicy SplitPolicy
+
+	// Topology is the compute-place model for the mapper (default: one
+	// machine, GOMAXPROCS cores, one socket).
+	Topology mapper.Topology
+
+	// Observer, when non-nil, receives LiveStats every ObserveEvery while
+	// the application runs (see WithObserver).
+	Observer     Observer
+	ObserveEvery time.Duration
+
+	// DeadlockGrace, when positive, makes the monitor abort a globally
+	// frozen application after this duration instead of hanging (see
+	// WithDeadlockDetection).
+	DeadlockGrace time.Duration
+
+	// TraceCapacity, when positive, records kernel start/end events into
+	// a bounded ring exposed on the Report (see WithTrace).
+	TraceCapacity int
+}
+
+func defaultConfig() Config {
+	return Config{
+		DefaultCapacity: 64,
+		MaxCapacity:     1 << 20,
+		MonitorEnabled:  true,
+		MonitorDelta:    monitor.DefaultDelta,
+		DynamicResize:   true,
+		MaxReplicas:     runtime.GOMAXPROCS(0),
+	}
+}
+
+// Option customizes Exe.
+type Option func(*Config)
+
+// WithDefaultCapacity sets the initial capacity for streams without an
+// explicit per-link capacity.
+func WithDefaultCapacity(n int) Option { return func(c *Config) { c.DefaultCapacity = n } }
+
+// WithMaxCapacity sets the default growth bound for dynamic streams.
+func WithMaxCapacity(n int) Option { return func(c *Config) { c.MaxCapacity = n } }
+
+// WithLockFreeQueues selects fixed-capacity lock-free SPSC streams (no
+// dynamic resizing, no window access) — the A2 ablation configuration.
+func WithLockFreeQueues() Option { return func(c *Config) { c.LockFree = true } }
+
+// WithPoolScheduler multiplexes kernels over n worker goroutines instead of
+// one goroutine per kernel (the A4 ablation configuration).
+func WithPoolScheduler(n int) Option { return func(c *Config) { c.PoolWorkers = n } }
+
+// WithoutMonitor disables the runtime monitor entirely (A5 ablation).
+func WithoutMonitor() Option { return func(c *Config) { c.MonitorEnabled = false } }
+
+// WithMonitorDelta sets the monitor tick period δ.
+func WithMonitorDelta(d time.Duration) Option { return func(c *Config) { c.MonitorDelta = d } }
+
+// WithDynamicResize enables or disables the monitor's queue resizing.
+func WithDynamicResize(on bool) Option { return func(c *Config) { c.DynamicResize = on } }
+
+// WithShrink allows the monitor to shrink over-provisioned queues.
+func WithShrink(on bool) Option { return func(c *Config) { c.Shrink = on } }
+
+// WithAutoReplicate enables automatic kernel replication with the given
+// replica ceiling (0 = GOMAXPROCS).
+func WithAutoReplicate(maxReplicas int) Option {
+	return func(c *Config) {
+		c.AutoReplicate = true
+		if maxReplicas > 0 {
+			c.MaxReplicas = maxReplicas
+		}
+	}
+}
+
+// WithAutoScale makes replicated groups start at one active replica and
+// grow under monitor control instead of running at full width.
+func WithAutoScale(on bool) Option { return func(c *Config) { c.AutoScale = on } }
+
+// WithSplitPolicy selects the replica data-distribution strategy.
+func WithSplitPolicy(p SplitPolicy) Option { return func(c *Config) { c.SplitPolicy = p } }
+
+// WithTopology supplies an explicit compute-place model to the mapper.
+func WithTopology(t mapper.Topology) Option { return func(c *Config) { c.Topology = t } }
+
+// WithTrace records every kernel invocation's start and end into a
+// bounded ring of the given capacity (events; oldest overwritten) and
+// attaches the recorder to the Report, whose Trace can be rendered as an
+// ASCII utilization timeline — the visualization direction the paper
+// leaves as future work (§4.1).
+func WithTrace(capacity int) Option {
+	return func(c *Config) {
+		if capacity <= 0 {
+			capacity = 1 << 16
+		}
+		c.TraceCapacity = capacity
+	}
+}
+
+// WithDeadlockDetection makes the monitor detect a globally frozen
+// application — every unfinished kernel parked on a stream with no
+// progress for the grace period — and abort it with a diagnostic error
+// naming the parked streams, instead of hanging forever. Requires the
+// monitor (the default); conservative: long computations and polling
+// adapters never trigger it.
+func WithDeadlockDetection(grace time.Duration) Option {
+	return func(c *Config) {
+		if grace <= 0 {
+			grace = time.Second
+		}
+		c.DeadlockGrace = grace
+	}
+}
+
+// Report summarizes one execution: what ran where, how each stream behaved,
+// and what the monitor changed along the way.
+type Report struct {
+	// Elapsed is the wall-clock execution time (allocation to completion).
+	Elapsed time.Duration
+	// Scheduler names the scheduler used.
+	Scheduler string
+	// Kernels holds one entry per executed kernel (including runtime
+	// adapters and replicas).
+	Kernels []KernelReport
+	// Links holds one entry per stream.
+	Links []LinkReport
+	// MonitorTicks is the number of monitor iterations.
+	MonitorTicks uint64
+	// MonitorEvents lists the monitor's resize and scaling decisions.
+	MonitorEvents []monitor.Event
+	// Groups reports the final active width of each replicated group.
+	Groups []GroupReport
+	// CutCost is the mapper's latency-weighted cost of streams crossing
+	// place boundaries.
+	CutCost time.Duration
+	// Trace holds the kernel invocation recorder when WithTrace was set;
+	// render it with Trace.Timeline(TraceNames(report), width).
+	Trace *trace.Recorder
+}
+
+// TraceNames returns the kernel names indexed by trace kernel id for
+// Report.Trace.Timeline.
+func TraceNames(r *Report) []string {
+	names := make([]string, len(r.Kernels))
+	for i, k := range r.Kernels {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// KernelReport is the per-kernel slice of a Report.
+type KernelReport struct {
+	Name         string
+	Place        int
+	Runs         uint64
+	MeanSvcNanos float64
+	BusyNanos    uint64
+	RatePerSec   float64
+}
+
+// LinkReport is the per-stream slice of a Report.
+type LinkReport struct {
+	Name          string
+	FinalCap      int
+	MeanOccupancy float64
+	FullFrac      float64
+	StarvedFrac   float64
+	Pushes        uint64
+	Pops          uint64
+	WriteBlockNs  uint64
+	ReadBlockNs   uint64
+	Grows         uint64
+	Shrinks       uint64
+}
+
+// GroupReport describes one replicated kernel group after execution.
+type GroupReport struct {
+	Name        string
+	MaxReplicas int
+	ActiveAtEnd int
+}
+
+// Exe executes the topology: it verifies the graph, performs the
+// auto-replication rewrite, allocates every stream, maps kernels to
+// places, runs them under the configured scheduler with the monitor
+// optimizing dynamically, and blocks until every kernel has stopped
+// (paper §4, "map.exe()"). A Map can be executed once.
+func (m *Map) Exe(opts ...Option) (*Report, error) {
+	if m.executed {
+		return nil, fmt.Errorf("raft: map already executed (kernels and streams are single-use; build a fresh Map)")
+	}
+	m.executed = true
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.Topology.Places) == 0 {
+		cfg.Topology = mapper.NewLocal(runtime.GOMAXPROCS(0), 1)
+	}
+
+	// 1. Auto-replication rewrite (before any allocation).
+	var scalers []*groupScaler
+	if cfg.AutoReplicate && cfg.MaxReplicas > 1 {
+		var err error
+		scalers, err = m.rewriteReplicated(&cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Structural verification.
+	g, err := m.buildGraph()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Verify(); err != nil {
+		return nil, err
+	}
+
+	// 3. Mapping.
+	assignment, err := mapper.Assign(g, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Stream allocation.
+	linkInfos, err := m.allocate(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range scalers {
+		s.attachLinks(linkInfos)
+	}
+	// Global exception pathway: a kernel Raise force-closes every stream
+	// so the whole application unblocks and stops.
+	m.setAbort(func() {
+		for _, li := range linkInfos {
+			li.Queue.Close()
+		}
+	})
+
+	// 5. Actors.
+	var rec *trace.Recorder
+	if cfg.TraceCapacity > 0 {
+		rec = trace.NewRecorder(cfg.TraceCapacity)
+	}
+	actors := m.buildActors(assignment, rec)
+
+	// 6. Monitor.
+	var mon *monitor.Monitor
+	coreScalers := make([]core.Scaler, len(scalers))
+	for i, s := range scalers {
+		coreScalers[i] = s
+	}
+	if cfg.MonitorEnabled {
+		mon = monitor.New(monitor.Config{
+			Delta:     cfg.MonitorDelta,
+			Resize:    cfg.DynamicResize && !cfg.LockFree,
+			Shrink:    cfg.Shrink,
+			AutoScale: cfg.AutoScale,
+		}, linkInfos, coreScalers)
+		if cfg.DeadlockGrace > 0 {
+			mon.SetDeadlockWatch(monitor.NewDeadlockWatch(actors, linkInfos, cfg.DeadlockGrace,
+				func(diag string) {
+					m.exc.mu.Lock()
+					if m.exc.err == nil {
+						m.exc.err = fmt.Errorf("raft: %s", diag)
+					}
+					m.exc.mu.Unlock()
+					for _, li := range linkInfos {
+						li.Queue.Close()
+					}
+				}))
+		}
+		mon.Start()
+	}
+
+	// 7. Run to completion.
+	var sched scheduler.Scheduler = scheduler.Goroutine{}
+	if cfg.PoolWorkers > 0 {
+		sched = scheduler.Pool{Workers: cfg.PoolWorkers}
+	}
+	var streamer *statsStreamer
+	if cfg.Observer != nil {
+		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors)
+	}
+	start := time.Now()
+	runErr := sched.Run(actors)
+	elapsed := time.Since(start)
+	if mon != nil {
+		mon.Stop()
+	}
+	if streamer != nil {
+		streamer.Stop()
+	}
+	if raised := m.raisedError(); raised != nil {
+		runErr = errors.Join(raised, runErr)
+	}
+
+	// 8. Report.
+	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, sched.Name(), elapsed)
+	rep.Trace = rec
+	return rep, runErr
+}
+
+// Validate runs Exe's structural checks — every port linked, types
+// matching, graph acyclic with sources and sinks — without executing,
+// so topology construction can be verified cheaply (e.g. in tests or
+// before shipping a map to a remote node).
+func (m *Map) Validate() error {
+	g, err := m.buildGraph()
+	if err != nil {
+		return err
+	}
+	return g.Verify()
+}
+
+// buildGraph converts the map into the structural graph and checks that
+// every declared port is bound ("the graph is first checked to ensure it
+// is fully connected", §4.2).
+func (m *Map) buildGraph() (*graph.Graph, error) {
+	g := &graph.Graph{}
+	ids := map[*KernelBase]int{}
+	for _, k := range m.kernels {
+		kb := k.kernelBase()
+		ids[kb] = g.AddNode(kb.Name(), kb.Weight())
+		for _, p := range append(kb.InPorts(), kb.OutPorts()...) {
+			if !p.Bound() {
+				return nil, fmt.Errorf("raft: port %s is not linked", p)
+			}
+		}
+	}
+	for _, l := range m.links {
+		// Link-time checking already validated types; re-verify here as the
+		// paper does at exe() ("type checking is performed across each link").
+		if l.SrcPort.elem != l.DstPort.elem {
+			return nil, fmt.Errorf("raft: type mismatch on %s -> %s", l.SrcPort, l.DstPort)
+		}
+		g.AddEdge(ids[l.Src.kernelBase()], ids[l.Dst.kernelBase()],
+			l.SrcPort.name, l.DstPort.name, l.SrcPort.elem.String(), 1)
+	}
+	return g, nil
+}
+
+// allocate creates the stream queue for every link and binds both ports.
+func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
+	infos := make([]*core.LinkInfo, 0, len(m.links))
+	for i, l := range m.links {
+		capacity := l.capacity
+		if capacity <= 0 {
+			capacity = cfg.DefaultCapacity
+		}
+		maxCap := l.maxCap
+		if maxCap <= 0 {
+			maxCap = cfg.MaxCapacity
+		}
+
+		var q ringbuffer.Queue
+		var typed any
+		resizable := !cfg.LockFree
+		if qp, ok := l.Src.(QueueProvider); ok {
+			if pq, pt, provided := qp.ProvideQueue(l.SrcPort.name); provided {
+				q, typed = pq, pt
+				resizable = false // provider-owned storage (zero copy)
+			}
+		}
+		if q == nil {
+			q, typed = l.SrcPort.mk(capacity, maxCap, cfg.LockFree)
+		}
+		async := &asyncCell{}
+		l.SrcPort.bind(q, typed, async)
+		l.DstPort.bind(q, typed, async)
+
+		infos = append(infos, &core.LinkInfo{
+			ID:            i,
+			Name:          fmt.Sprintf("%s.%s->%s.%s", l.Src.kernelBase().Name(), l.SrcPort.name, l.Dst.kernelBase().Name(), l.DstPort.name),
+			Queue:         q,
+			SrcActor:      m.index[l.Src.kernelBase()],
+			DstActor:      m.index[l.Dst.kernelBase()],
+			ResizeEnabled: resizable,
+			MaxCap:        maxCap,
+		})
+	}
+	return infos, nil
+}
+
+// buildActors wraps every kernel into a core.Actor, optionally
+// instrumenting each Step with the trace recorder.
+func (m *Map) buildActors(assignment mapper.Assignment, rec *trace.Recorder) []*core.Actor {
+	actors := make([]*core.Actor, len(m.kernels))
+	for i, k := range m.kernels {
+		kb := k.kernelBase()
+		step := k.Run
+		if rec != nil {
+			id := int32(i)
+			inner := step
+			step = func() core.Status {
+				rec.Record(id, trace.RunStart, time.Now().UnixNano())
+				st := inner()
+				rec.Record(id, trace.RunEnd, time.Now().UnixNano())
+				return st
+			}
+		}
+		a := &core.Actor{
+			ID:      i,
+			Name:    kb.Name(),
+			Place:   assignment[i],
+			Weight:  kb.Weight(),
+			Step:    step,
+			Virtual: kb.Virtual(),
+		}
+		if init, ok := k.(Initializer); ok {
+			a.Init = init.Init
+		}
+		a.Ready = readinessOf(kb)
+		fin, hasFin := k.(Finalizer)
+		a.Finish = func() {
+			if hasFin {
+				fin.Finalize()
+			}
+			// Close outputs (EOF downstream) and inputs (unblocks upstream
+			// producers if this kernel died early).
+			kb.closeAllQueues()
+		}
+		actors[i] = a
+	}
+	return actors
+}
+
+// readinessOf builds the cooperative-scheduler progress predicate for a
+// kernel: every input stream must hold data (or be closed, so the pop
+// returns immediately) and every output stream must have space (or be
+// closed). Kernels that pop several elements per invocation can still
+// block past the gate — the documented pool-scheduler caveat, backstopped
+// by WithDeadlockDetection.
+func readinessOf(kb *KernelBase) func() bool {
+	ins := kb.InPorts()
+	outs := kb.OutPorts()
+	return func() bool {
+		for _, p := range ins {
+			q := p.Queue()
+			if q == nil {
+				continue
+			}
+			if q.Len() == 0 && !q.Closed() {
+				return false
+			}
+		}
+		for _, p := range outs {
+			q := p.Queue()
+			if q == nil {
+				continue
+			}
+			if q.Len() >= q.Cap() && !q.Closed() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignment,
+	actors []*core.Actor, links []*core.LinkInfo, mon *monitor.Monitor,
+	scalers []*groupScaler, schedName string, elapsed time.Duration) *Report {
+
+	rep := &Report{
+		Elapsed:   elapsed,
+		Scheduler: schedName,
+		CutCost:   mapper.CutCost(g, cfg.Topology, assignment),
+	}
+	for _, a := range actors {
+		rep.Kernels = append(rep.Kernels, KernelReport{
+			Name:         a.Name,
+			Place:        a.Place,
+			Runs:         a.Service.Count(),
+			MeanSvcNanos: a.Service.MeanNanos(),
+			BusyNanos:    a.Service.BusyNanos(),
+			RatePerSec:   a.Service.RatePerSecond(),
+		})
+	}
+	for _, l := range links {
+		tel := l.Queue.Telemetry().Snapshot()
+		rep.Links = append(rep.Links, LinkReport{
+			Name:          l.Name,
+			FinalCap:      l.Queue.Cap(),
+			MeanOccupancy: l.Occupancy.Mean(),
+			FullFrac:      l.Occupancy.FullFraction(),
+			StarvedFrac:   l.Occupancy.StarvedFraction(),
+			Pushes:        tel.Pushes,
+			Pops:          tel.Pops,
+			WriteBlockNs:  tel.WriteBlockNs,
+			ReadBlockNs:   tel.ReadBlockNs,
+			Grows:         tel.Grows,
+			Shrinks:       tel.Shrinks,
+		})
+	}
+	if mon != nil {
+		rep.MonitorTicks = mon.Ticks()
+		rep.MonitorEvents = mon.Events()
+	}
+	for _, s := range scalers {
+		rep.Groups = append(rep.Groups, GroupReport{
+			Name:        s.Name(),
+			MaxReplicas: s.Max(),
+			ActiveAtEnd: s.Active(),
+		})
+	}
+	return rep
+}
+
+// rewriteReplicated rewrites every eligible kernel k
+//
+//	u --(out-of-order)--> k --> v
+//
+// into
+//
+//	u --> split --> {k, clone1, ..., cloneR-1} --> merge --> v
+//
+// preserving the original link capacities on the boundary streams
+// (§4.1: "There are default split and reduce adapters that are inserted
+// where needed").
+func (m *Map) rewriteReplicated(cfg *Config) ([]*groupScaler, error) {
+	var scalers []*groupScaler
+	kernels := append([]Kernel(nil), m.kernels...)
+	for _, k := range kernels {
+		kb := k.kernelBase()
+		inbound := m.linkInto(kb)
+		outbound := m.linkOutOf(kb)
+		if outbound == nil || !replicable(k, inbound) {
+			continue
+		}
+		if inbound.reorderable {
+			// Order-restoring mode: fixed-width deterministic adapters, no
+			// monitor scaler (see raft/ordered.go).
+			if err := m.rewriteOrdered(k, inbound, outbound, cfg.MaxReplicas); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r := cfg.MaxReplicas
+		initial := r
+		if cfg.AutoScale {
+			initial = 1
+		}
+
+		inPort := kb.inPorts[kb.inNames[0]]
+		outPort := kb.outPorts[kb.outNames[0]]
+		split := newSplitFromSpec(inPort, r, cfg.SplitPolicy, initial)
+		split.SetName(fmt.Sprintf("split(%s)", kb.Name()))
+		merge := newMergeFromSpec(outPort, r)
+		merge.SetName(fmt.Sprintf("merge(%s)", kb.Name()))
+
+		clones := make([]Kernel, r)
+		clones[0] = k
+		for i := 1; i < r; i++ {
+			dup, err := duplicateKernel(k)
+			if err != nil {
+				return nil, err
+			}
+			dup.kernelBase().SetName(fmt.Sprintf("%s[%d]", kb.Name(), i))
+			clones[i] = dup
+		}
+
+		// Detach the original links and reconnect through the adapters.
+		m.removeLink(inbound)
+		m.removeLink(outbound)
+		if _, err := m.Link(inbound.Src, split,
+			From(inbound.SrcPort.name), To("in"),
+			Cap(inbound.capacity), MaxCap(inbound.maxCap)); err != nil {
+			return nil, err
+		}
+		for i, c := range clones {
+			if _, err := m.Link(split, c,
+				From(fmt.Sprintf("%d", i)), To(c.kernelBase().inNames[0]),
+				Cap(inbound.capacity), MaxCap(inbound.maxCap)); err != nil {
+				return nil, err
+			}
+			if _, err := m.Link(c, merge,
+				From(c.kernelBase().outNames[0]), To(fmt.Sprintf("%d", i)),
+				Cap(outbound.capacity), MaxCap(outbound.maxCap)); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := m.Link(merge, outbound.Dst,
+			From("out"), To(outbound.DstPort.name),
+			Cap(outbound.capacity), MaxCap(outbound.maxCap)); err != nil {
+			return nil, err
+		}
+
+		scalers = append(scalers, &groupScaler{
+			name:  kb.Name(),
+			split: split,
+			max:   r,
+		})
+	}
+	return scalers, nil
+}
+
+// linkInto returns the single link whose destination is kb, or nil.
+func (m *Map) linkInto(kb *KernelBase) *Link {
+	var found *Link
+	for _, l := range m.links {
+		if l.Dst.kernelBase() == kb {
+			if found != nil {
+				return nil // multiple inputs: not the simple replication shape
+			}
+			found = l
+		}
+	}
+	return found
+}
+
+// linkOutOf returns the single link whose source is kb, or nil.
+func (m *Map) linkOutOf(kb *KernelBase) *Link {
+	var found *Link
+	for _, l := range m.links {
+		if l.Src.kernelBase() == kb {
+			if found != nil {
+				return nil
+			}
+			found = l
+		}
+	}
+	return found
+}
+
+// removeLink detaches a link from the map and unbinds its ports.
+func (m *Map) removeLink(target *Link) {
+	target.SrcPort.link = nil
+	target.DstPort.link = nil
+	for i, l := range m.links {
+		if l == target {
+			m.links = append(m.links[:i], m.links[i+1:]...)
+			return
+		}
+	}
+}
+
+// attachLinks finds the group's inbound boundary stream in the engine link
+// list (identified by its queue) so the monitor can observe the group's
+// back-pressure.
+func (s *groupScaler) attachLinks(infos []*core.LinkInfo) {
+	inQ := s.split.In("in").Queue()
+	for _, li := range infos {
+		if li.Queue == inQ {
+			s.inLink = li
+			break
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package raft
+
+import (
+	"fmt"
+	"reflect"
+
+	"raftlib/internal/ringbuffer"
+)
+
+// Kernel is one compute kernel: a sequentially-written unit of work that
+// communicates only through its ports. Implementations embed [KernelBase]
+// (which supplies the unexported plumbing method) and define Run.
+type Kernel interface {
+	// Run performs one unit of work: read from input ports, write to
+	// output ports, and return Proceed to be invoked again, Stop when
+	// finished, or Stall when no progress is possible yet.
+	Run() Status
+
+	// kernelBase is provided by the embedded KernelBase.
+	kernelBase() *KernelBase
+}
+
+// Cloner is implemented by kernels that can be replicated for data
+// parallelism (paper §4.1: "it is often possible to replicate kernels ...
+// without altering the application semantics"). Clone must return a fresh
+// kernel with identical port declarations and no shared mutable state.
+type Cloner interface {
+	Clone() Kernel
+}
+
+// Initializer is implemented by kernels needing one-time setup before the
+// first Run; the runtime calls Init on the kernel's execution resource.
+type Initializer interface {
+	Init() error
+}
+
+// Finalizer is implemented by kernels needing one-time teardown after the
+// last Run (e.g. flushing a reduction result).
+type Finalizer interface {
+	Finalize()
+}
+
+// QueueProvider is implemented by source kernels that supply their own
+// pre-filled output queue — the zero-copy mechanism behind the paper's
+// for_each kernel (§4.2, Fig. 6), where the user's array memory is used
+// directly as the downstream queue.
+type QueueProvider interface {
+	// ProvideQueue returns the queue for the named output port, or
+	// ok=false to let the runtime allocate normally.
+	ProvideQueue(port string) (q ringbuffer.Queue, typed any, ok bool)
+}
+
+// KernelBase supplies the port containers and identity shared by all
+// kernels; embed it (by value) in every kernel type.
+type KernelBase struct {
+	name    string
+	weight  float64
+	virtual bool
+
+	inNames  []string
+	outNames []string
+	inPorts  map[string]*Port
+	outPorts map[string]*Port
+
+	m *Map // owning map, set by Link
+}
+
+func (k *KernelBase) kernelBase() *KernelBase { return k }
+
+// Name returns the kernel's name (defaulting to its Go type name once it
+// joins a Map).
+func (k *KernelBase) Name() string { return k.name }
+
+// SetName overrides the kernel's report/debug name.
+func (k *KernelBase) SetName(name string) { k.name = name }
+
+// Weight returns the kernel's relative compute-cost estimate used by the
+// mapper (default 1).
+func (k *KernelBase) Weight() float64 {
+	if k.weight <= 0 {
+		return 1
+	}
+	return k.weight
+}
+
+// SetWeight sets the mapper cost estimate.
+func (k *KernelBase) SetWeight(w float64) { k.weight = w }
+
+// SetVirtual marks the kernel as momentary: it provides its outputs
+// up-front (see QueueProvider) and is never scheduled (§4.2: the for_each
+// source "appears as a kernel only momentarily").
+func (k *KernelBase) SetVirtual(v bool) { k.virtual = v }
+
+// Virtual reports whether the kernel is momentary.
+func (k *KernelBase) Virtual() bool { return k.virtual }
+
+// In returns the named input port, panicking if it does not exist (a
+// kernel-construction bug, analogous to the C++ template failing to
+// compile).
+func (k *KernelBase) In(name string) *Port {
+	p, ok := k.inPorts[name]
+	if !ok {
+		panic(fmt.Sprintf("raft: kernel %q has no input port %q", k.name, name))
+	}
+	return p
+}
+
+// Out returns the named output port, panicking if it does not exist.
+func (k *KernelBase) Out(name string) *Port {
+	p, ok := k.outPorts[name]
+	if !ok {
+		panic(fmt.Sprintf("raft: kernel %q has no output port %q", k.name, name))
+	}
+	return p
+}
+
+// InNames returns the input port names in declaration order.
+func (k *KernelBase) InNames() []string { return append([]string(nil), k.inNames...) }
+
+// OutNames returns the output port names in declaration order.
+func (k *KernelBase) OutNames() []string { return append([]string(nil), k.outNames...) }
+
+// InPorts returns the input ports in declaration order.
+func (k *KernelBase) InPorts() []*Port { return k.portsOf(k.inNames, k.inPorts) }
+
+// OutPorts returns the output ports in declaration order.
+func (k *KernelBase) OutPorts() []*Port { return k.portsOf(k.outNames, k.outPorts) }
+
+func (k *KernelBase) portsOf(names []string, m map[string]*Port) []*Port {
+	out := make([]*Port, 0, len(names))
+	for _, n := range names {
+		out = append(out, m[n])
+	}
+	return out
+}
+
+// InputsDone reports whether every input stream is closed and drained —
+// the usual Stop condition for multi-input kernels.
+func (k *KernelBase) InputsDone() bool {
+	for _, name := range k.inNames {
+		q := k.inPorts[name].q
+		if q == nil || !q.Closed() || q.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CloseOutputs closes every output stream, delivering EOF downstream. The
+// runtime calls it automatically when the kernel stops.
+func (k *KernelBase) CloseOutputs() {
+	for _, name := range k.outNames {
+		k.outPorts[name].Close()
+	}
+}
+
+// closeAllQueues closes inputs and outputs; used during teardown so a
+// failed kernel unblocks both its producers and consumers.
+func (k *KernelBase) closeAllQueues() {
+	k.CloseOutputs()
+	for _, name := range k.inNames {
+		k.inPorts[name].Close()
+	}
+}
+
+// addPort registers a new port, panicking on duplicates (construction bug).
+func (k *KernelBase) addPort(p *Port) {
+	p.owner = k
+	switch p.dir {
+	case In:
+		if k.inPorts == nil {
+			k.inPorts = map[string]*Port{}
+		}
+		if _, dup := k.inPorts[p.name]; dup {
+			panic(fmt.Sprintf("raft: kernel %q declares input port %q twice", k.name, p.name))
+		}
+		k.inPorts[p.name] = p
+		k.inNames = append(k.inNames, p.name)
+	case Out:
+		if k.outPorts == nil {
+			k.outPorts = map[string]*Port{}
+		}
+		if _, dup := k.outPorts[p.name]; dup {
+			panic(fmt.Sprintf("raft: kernel %q declares output port %q twice", k.name, p.name))
+		}
+		k.outPorts[p.name] = p
+		k.outNames = append(k.outNames, p.name)
+	}
+}
+
+// newPort builds a typed port with its generically-captured queue factory
+// and transfer closures.
+func newPort[T any](name string, dir Direction) *Port {
+	return &Port{
+		name: name,
+		dir:  dir,
+		elem: reflect.TypeOf((*T)(nil)).Elem(),
+		mk: func(capacity, maxCap int, lockFree bool) (ringbuffer.Queue, any) {
+			if lockFree {
+				q := ringbuffer.NewSPSC[T](capacity)
+				return q, q
+			}
+			r := ringbuffer.NewRing[T](capacity)
+			if maxCap > 0 {
+				r.SetMaxCap(maxCap)
+			}
+			return r, r
+		},
+		move:         moveItems[T],
+		moveBlocking: moveItemsBlocking[T],
+	}
+}
+
+// AddInput declares a new input port carrying elements of type T on the
+// kernel. Call it from the kernel's constructor (the analogue of the
+// paper's input.addPort<T>("name")).
+func AddInput[T any](k Kernel, name string) *Port {
+	p := newPort[T](name, In)
+	k.kernelBase().addPort(p)
+	return p
+}
+
+// AddOutput declares a new output port carrying elements of type T on the
+// kernel (the analogue of output.addPort<T>("name")).
+func AddOutput[T any](k Kernel, name string) *Port {
+	p := newPort[T](name, Out)
+	k.kernelBase().addPort(p)
+	return p
+}
+
+// kernelName returns the kernel's display name, defaulting to its Go type.
+func kernelName(k Kernel) string {
+	kb := k.kernelBase()
+	if kb.name != "" {
+		return kb.name
+	}
+	t := reflect.TypeOf(k)
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	return t.Name()
+}

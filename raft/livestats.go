@@ -1,0 +1,132 @@
+package raft
+
+import (
+	"time"
+
+	"raftlib/internal/core"
+)
+
+// LiveStats is one point-in-time snapshot of a running application,
+// delivered to the observer installed with WithObserver. This is the
+// user-facing half of the paper's §4.1 monitoring claim: "the user has
+// access to monitor useful things such as queue size, current kernel
+// configuration as they are updated by the run-time. In addition ... mean
+// queue occupancy, service rate, throughput, queue occupancy histograms."
+type LiveStats struct {
+	// At is the snapshot timestamp.
+	At time.Time
+	// Elapsed is the time since execution started.
+	Elapsed time.Duration
+	// Links holds one entry per stream.
+	Links []LiveLink
+	// Kernels holds one entry per kernel.
+	Kernels []LiveKernel
+}
+
+// LiveLink is the instantaneous state of one stream.
+type LiveLink struct {
+	Name          string
+	Len           int
+	Cap           int
+	Pushes        uint64
+	Pops          uint64
+	MeanOccupancy float64
+}
+
+// LiveKernel is the instantaneous state of one kernel.
+type LiveKernel struct {
+	Name string
+	Runs uint64
+	// MeanSvcNanos is the mean Run duration so far.
+	MeanSvcNanos float64
+	// RatePerSec is the invocation rate implied by the mean service time.
+	RatePerSec float64
+}
+
+// Observer receives periodic LiveStats while the application runs. It is
+// called from a dedicated goroutine; implementations must not block for
+// long (snapshots are dropped, not queued, while the observer runs).
+type Observer func(LiveStats)
+
+// WithObserver installs a live-statistics observer invoked every interval
+// for the duration of Exe (intervals below 1ms are clamped).
+func WithObserver(interval time.Duration, fn Observer) Option {
+	return func(c *Config) {
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		c.ObserveEvery = interval
+		c.Observer = fn
+	}
+}
+
+// statsStreamer periodically snapshots the engine state for the observer.
+type statsStreamer struct {
+	interval time.Duration
+	fn       Observer
+	links    []*core.LinkInfo
+	actors   []*core.Actor
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor) *statsStreamer {
+	s := &statsStreamer{
+		interval: interval,
+		fn:       fn,
+		links:    links,
+		actors:   actors,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *statsStreamer) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			// One final snapshot so the observer sees the end state.
+			s.fn(s.snapshot())
+			return
+		case <-t.C:
+			s.fn(s.snapshot())
+		}
+	}
+}
+
+func (s *statsStreamer) snapshot() LiveStats {
+	now := time.Now()
+	ls := LiveStats{At: now, Elapsed: now.Sub(s.start)}
+	for _, l := range s.links {
+		tel := l.Queue.Telemetry().Snapshot()
+		ls.Links = append(ls.Links, LiveLink{
+			Name:          l.Name,
+			Len:           l.Queue.Len(),
+			Cap:           l.Queue.Cap(),
+			Pushes:        tel.Pushes,
+			Pops:          tel.Pops,
+			MeanOccupancy: l.Occupancy.Mean(),
+		})
+	}
+	for _, a := range s.actors {
+		ls.Kernels = append(ls.Kernels, LiveKernel{
+			Name:         a.Name,
+			Runs:         a.Service.Count(),
+			MeanSvcNanos: a.Service.MeanNanos(),
+			RatePerSec:   a.Service.RatePerSecond(),
+		})
+	}
+	return ls
+}
+
+func (s *statsStreamer) Stop() {
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,209 @@
+package raft
+
+import (
+	"fmt"
+)
+
+// Map assembles kernels into a streaming topology (the paper's raft::map,
+// §4, Fig. 3). Build it with Link calls, then execute with Exe.
+type Map struct {
+	kernels  []Kernel
+	index    map[*KernelBase]int
+	links    []*Link
+	exc      exception
+	executed bool
+}
+
+// NewMap returns an empty topology.
+func NewMap() *Map {
+	return &Map{index: map[*KernelBase]int{}}
+}
+
+// Link is one stream connection between two kernels. The paper's link()
+// returns a struct with src/dst references for chaining (Fig. 3); Link's
+// Src and Dst fields serve the same purpose.
+type Link struct {
+	// Src and Dst are the connected kernels, re-usable in later Link calls.
+	Src, Dst Kernel
+	// SrcPort and DstPort are the bound endpoints.
+	SrcPort, DstPort *Port
+
+	capacity    int
+	maxCap      int
+	outOfOrder  bool
+	reorderable bool
+}
+
+// OutOfOrder reports whether the link permits out-of-order processing,
+// making the downstream kernel a candidate for automatic replication.
+func (l *Link) OutOfOrder() bool { return l.outOfOrder }
+
+// Reorderable reports whether the link permits parallel processing with
+// the original order restored downstream.
+func (l *Link) Reorderable() bool { return l.reorderable }
+
+// LinkOption customizes one Link call.
+type LinkOption func(*linkSpec)
+
+type linkSpec struct {
+	from, to    string
+	capacity    int
+	maxCap      int
+	outOfOrder  bool
+	reorderable bool
+	convert     bool
+}
+
+// From selects the source kernel's output port by name (needed when the
+// source has more than one unbound output).
+func From(port string) LinkOption { return func(s *linkSpec) { s.from = port } }
+
+// To selects the destination kernel's input port by name — the paper's
+// third link() argument (e.g. "input_b" in Fig. 3).
+func To(port string) LinkOption { return func(s *linkSpec) { s.to = port } }
+
+// Cap sets the stream's initial queue capacity, overriding the Exe-wide
+// default. The runtime monitor may still resize it dynamically.
+func Cap(n int) LinkOption { return func(s *linkSpec) { s.capacity = n } }
+
+// MaxCap bounds monitor-driven growth for this stream (the paper's buffer
+// cap).
+func MaxCap(n int) LinkOption { return func(s *linkSpec) { s.maxCap = n } }
+
+// AsOutOfOrder marks the stream's data as processable out of order,
+// enabling automatic replication of the downstream kernel (§4.1: "Streams
+// that can be processed out of order are ideal candidates for the run-time
+// to automatically parallelize", "indicated by the user at link type").
+func AsOutOfOrder() LinkOption { return func(s *linkSpec) { s.outOfOrder = true } }
+
+// AsReorderable marks the stream's data as processable out of order with
+// the original order restored downstream — the paper's third mode (§4.1:
+// kernels that "can process the data out of order and re-order at some
+// later time"). The replicated kernel must be 1:1 (exactly one output
+// element per input element); the runtime uses deterministic round-robin
+// split and merge adapters, which restore global order without sequence
+// tags. Reorderable groups run at a fixed width (the monitor cannot
+// change the replica count mid-run).
+func AsReorderable() LinkOption {
+	return func(s *linkSpec) { s.reorderable = true }
+}
+
+// add registers a kernel with the map (idempotent), assigning its default
+// name.
+func (m *Map) add(k Kernel) error {
+	kb := k.kernelBase()
+	if _, ok := m.index[kb]; ok {
+		return nil
+	}
+	if kb.m != nil && kb.m != m {
+		return fmt.Errorf("raft: kernel %q already belongs to another map", kernelName(k))
+	}
+	kb.m = m
+	if kb.name == "" {
+		kb.name = fmt.Sprintf("%s#%d", kernelName(k), len(m.kernels))
+	}
+	m.index[kb] = len(m.kernels)
+	m.kernels = append(m.kernels, k)
+	return nil
+}
+
+// Link connects an output port of src to an input port of dst. Ports are
+// inferred when unambiguous (a kernel with exactly one unbound output or
+// input) and selected with From/To otherwise. Element types are checked
+// immediately; a mismatch is an error, the library's stand-in for the C++
+// template compile error.
+func (m *Map) Link(src, dst Kernel, opts ...LinkOption) (*Link, error) {
+	var spec linkSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("raft: Link requires non-nil kernels")
+	}
+	if err := m.add(src); err != nil {
+		return nil, err
+	}
+	if err := m.add(dst); err != nil {
+		return nil, err
+	}
+	sp, err := pickPort(src.kernelBase(), Out, spec.from)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := pickPort(dst.kernelBase(), In, spec.to)
+	if err != nil {
+		return nil, err
+	}
+	if sp.elem != dp.elem {
+		if spec.convert {
+			return m.convertedLink(src, dst, sp, dp, spec)
+		}
+		return nil, fmt.Errorf("raft: type mismatch linking %s -> %s (AllowConvert permits numeric casts)", sp, dp)
+	}
+	l := &Link{
+		Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
+		capacity: spec.capacity, maxCap: spec.maxCap,
+		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
+	}
+	sp.link = l
+	dp.link = l
+	m.links = append(m.links, l)
+	return l, nil
+}
+
+// MustLink is Link that panics on error, for topology-construction code
+// where a linking mistake is a programming bug.
+func (m *Map) MustLink(src, dst Kernel, opts ...LinkOption) *Link {
+	l, err := m.Link(src, dst, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// pickPort resolves the port to bind: the named one, or the single unbound
+// port in the given direction.
+func pickPort(kb *KernelBase, dir Direction, name string) (*Port, error) {
+	names, ports := kb.outNames, kb.outPorts
+	if dir == In {
+		names, ports = kb.inNames, kb.inPorts
+	}
+	if name != "" {
+		p, ok := ports[name]
+		if !ok {
+			return nil, fmt.Errorf("raft: kernel %q has no %s port %q", kb.name, dir, name)
+		}
+		if p.Bound() {
+			return nil, fmt.Errorf("raft: port %s is already linked", p)
+		}
+		return p, nil
+	}
+	var free []*Port
+	for _, n := range names {
+		if !ports[n].Bound() {
+			free = append(free, ports[n])
+		}
+	}
+	switch len(free) {
+	case 1:
+		return free[0], nil
+	case 0:
+		return nil, fmt.Errorf("raft: kernel %q has no unbound %s port", kb.name, dir)
+	default:
+		return nil, fmt.Errorf("raft: kernel %q has %d unbound %s ports; select one with %s",
+			kb.name, len(free), dir, fromOrTo(dir))
+	}
+}
+
+func fromOrTo(dir Direction) string {
+	if dir == In {
+		return "To(...)"
+	}
+	return "From(...)"
+}
+
+// Kernels returns the kernels registered so far, in registration order.
+func (m *Map) Kernels() []Kernel { return append([]Kernel(nil), m.kernels...) }
+
+// Links returns the links created so far, in creation order.
+func (m *Map) Links() []*Link { return append([]*Link(nil), m.links...) }

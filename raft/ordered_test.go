@@ -1,0 +1,137 @@
+package raft
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func runReorderableApp(t *testing.T, n int64, replicas int) []int64 {
+	t.Helper()
+	m := NewMap()
+	work := newWork() // 1:1 kernel: doubles each element
+	sink := newCollect()
+	if _, err := m.Link(newGen(n), work, AsReorderable()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(work, sink); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe(WithAutoReplicate(replicas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered groups register no scaler.
+	if len(rep.Groups) != 0 {
+		t.Fatalf("ordered group registered a scaler: %+v", rep.Groups)
+	}
+	// source + ordered-split + replicas + ordered-merge + sink.
+	if want := 4 + replicas; len(rep.Kernels) != want {
+		t.Fatalf("kernel count = %d, want %d", len(rep.Kernels), want)
+	}
+	return sink.values()
+}
+
+func TestReorderablePreservesOrder(t *testing.T) {
+	const n = 50_000
+	got := runReorderableApp(t, n, 4)
+	if len(got) != n {
+		t.Fatalf("received %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != int64(2*i) {
+			t.Fatalf("out[%d] = %d, want %d: order not restored", i, v, 2*i)
+		}
+	}
+}
+
+func TestReorderableVariousWidths(t *testing.T) {
+	for _, r := range []int{2, 3, 5, 8} {
+		got := runReorderableApp(t, 1000, r)
+		for i, v := range got {
+			if v != int64(2*i) {
+				t.Fatalf("width %d: out[%d] = %d, want %d", r, i, v, 2*i)
+			}
+		}
+	}
+}
+
+func TestReorderableEmptyStream(t *testing.T) {
+	got := runReorderableApp(t, 0, 3)
+	if len(got) != 0 {
+		t.Fatalf("received %d from empty stream", len(got))
+	}
+}
+
+func TestReorderableCountNotMultipleOfWidth(t *testing.T) {
+	// Element counts that don't divide evenly across the replicas exercise
+	// the tail drain of the ordered merge.
+	for _, n := range []int64{1, 2, 3, 7, 97, 101} {
+		got := runReorderableApp(t, n, 4)
+		if int64(len(got)) != n {
+			t.Fatalf("n=%d: received %d", n, len(got))
+		}
+		for i, v := range got {
+			if v != int64(2*i) {
+				t.Fatalf("n=%d: out[%d] = %d", n, i, v)
+			}
+		}
+	}
+}
+
+func TestReorderablePropertyOrderAndCompleteness(t *testing.T) {
+	f := func(count uint16, widthSeed uint8) bool {
+		n := int64(count % 2000)
+		width := int(widthSeed%6) + 2
+		m := NewMap()
+		work := newWork()
+		sink := newCollect()
+		if _, err := m.Link(newGen(n), work, AsReorderable()); err != nil {
+			return false
+		}
+		if _, err := m.Link(work, sink); err != nil {
+			return false
+		}
+		if _, err := m.Exe(WithAutoReplicate(width)); err != nil {
+			return false
+		}
+		got := sink.values()
+		if int64(len(got)) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != int64(2*i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderableWithoutAutoReplicateRunsSequentially(t *testing.T) {
+	// AsReorderable without WithAutoReplicate: plain sequential link.
+	m := NewMap()
+	work := newWork()
+	sink := newCollect()
+	if _, err := m.Link(newGen(100), work, AsReorderable()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(work, sink); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Kernels) != 3 {
+		t.Fatalf("kernel count = %d, want 3 (no rewrite)", len(rep.Kernels))
+	}
+	got := sink.values()
+	for i, v := range got {
+		if v != int64(2*i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package raft
+
+import (
+	"fmt"
+	"reflect"
+
+	"raftlib/internal/ringbuffer"
+)
+
+// Direction distinguishes input from output ports.
+type Direction int
+
+// Port directions.
+const (
+	// In marks a port that consumes a stream.
+	In Direction = iota
+	// Out marks a port that produces a stream.
+	Out
+)
+
+// String returns "in" or "out".
+func (d Direction) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// typedQueue is the element-typed operation set shared by both queue
+// implementations (dynamic Ring and lock-free SPSC).
+type typedQueue[T any] interface {
+	Push(T, Signal) error
+	TryPush(T, Signal) (bool, error)
+	Pop() (T, Signal, error)
+	TryPop() (T, Signal, bool, error)
+}
+
+// Port is one named, typed stream endpoint on a kernel. Ports are declared
+// with AddInput / AddOutput in the kernel's constructor and accessed from
+// Run via the generic stream operations (Pop, Push, Peek, ...).
+type Port struct {
+	name  string
+	dir   Direction
+	elem  reflect.Type
+	owner *KernelBase
+
+	// mk allocates the stream queue for a link whose producer has this
+	// element type. Captured generically by AddInput/AddOutput.
+	mk func(capacity, maxCap int, lockFree bool) (ringbuffer.Queue, any)
+	// move transfers up to max elements from one typed queue to another
+	// (both must carry this port's element type). Non-blocking on the
+	// source; blocking on the destination. Used by the runtime's split and
+	// merge adapters so they can be built without knowing T.
+	move func(src, dst any, max int) (int, error)
+	// moveBlocking transfers at least one element (blocking on the source
+	// for the first), then up to max total.
+	moveBlocking func(src, dst any, max int) (int, error)
+
+	q     ringbuffer.Queue
+	typed any
+	async *asyncCell
+	link  *Link
+}
+
+// Name returns the port's name.
+func (p *Port) Name() string { return p.name }
+
+// Dir returns the port's direction.
+func (p *Port) Dir() Direction { return p.dir }
+
+// Type returns the element type carried by the port.
+func (p *Port) Type() reflect.Type { return p.elem }
+
+// Bound reports whether the port has been connected by Map.Link.
+func (p *Port) Bound() bool { return p.link != nil }
+
+// Queue returns the untyped view of the port's stream, or nil before Exe
+// allocates it.
+func (p *Port) Queue() ringbuffer.Queue { return p.q }
+
+// Close closes the stream attached to the port. Producers call it (usually
+// indirectly, via the runtime, which closes all output streams when a
+// kernel stops) to deliver EOF downstream.
+func (p *Port) Close() {
+	if p.q != nil {
+		p.q.Close()
+	}
+}
+
+// Closed reports whether the attached stream has been closed.
+func (p *Port) Closed() bool { return p.q != nil && p.q.Closed() }
+
+// Len returns the number of buffered elements in the attached stream.
+func (p *Port) Len() int {
+	if p.q == nil {
+		return 0
+	}
+	return p.q.Len()
+}
+
+// String implements fmt.Stringer.
+func (p *Port) String() string {
+	owner := "?"
+	if p.owner != nil {
+		owner = p.owner.Name()
+	}
+	return fmt.Sprintf("%s.%s(%s %s)", owner, p.name, p.dir, p.elem)
+}
+
+// bind attaches an allocated queue and async mailbox to the port.
+func (p *Port) bind(q ringbuffer.Queue, typed any, async *asyncCell) {
+	p.q = q
+	p.typed = typed
+	p.async = async
+}
+
+// cloneSpec returns an unbound copy of the port (same name/type/factories)
+// for the runtime's adapter construction.
+func (p *Port) cloneSpec(name string, dir Direction) *Port {
+	return &Port{
+		name: name, dir: dir, elem: p.elem,
+		mk: p.mk, move: p.move, moveBlocking: p.moveBlocking,
+	}
+}
+
+func (p *Port) mustBeBound() {
+	if p.typed == nil {
+		panic(fmt.Sprintf("raft: port %s used before Map.Exe allocated its stream", p))
+	}
+}
+
+func typeMismatchPanic[T any](p *Port) string {
+	var zero T
+	return fmt.Sprintf("raft: port %s accessed with element type %T", p, zero)
+}
+
+// queueOf extracts the typed queue interface from a port, panicking with a
+// descriptive message on element-type mismatch (a programming error that
+// link-time type checking cannot see because the access type parameter is
+// chosen at the call site).
+func queueOf[T any](p *Port) typedQueue[T] {
+	p.mustBeBound()
+	q, ok := p.typed.(typedQueue[T])
+	if !ok {
+		panic(typeMismatchPanic[T](p))
+	}
+	return q
+}
+
+// ringOf extracts the dynamic ring for window operations (PeekRange and
+// friends), which the lock-free queue does not support.
+func ringOf[T any](p *Port) *ringbuffer.Ring[T] {
+	p.mustBeBound()
+	r, ok := p.typed.(*ringbuffer.Ring[T])
+	if !ok {
+		if _, isT := p.typed.(typedQueue[T]); isT {
+			panic(fmt.Sprintf("raft: window access on port %s requires dynamic queues (remove WithLockFreeQueues)", p))
+		}
+		panic(typeMismatchPanic[T](p))
+	}
+	return r
+}
+
+// Pop removes and returns the next element from an input port, blocking
+// until data arrives. It returns ErrClosed when the stream is closed and
+// drained — the paper's pop_s, minus the destructor (Go returns the value
+// directly).
+func Pop[T any](p *Port) (T, error) {
+	v, _, err := queueOf[T](p).Pop()
+	return v, err
+}
+
+// PopSig is Pop plus the synchronized signal delivered with the element.
+func PopSig[T any](p *Port) (T, Signal, error) {
+	return queueOf[T](p).Pop()
+}
+
+// TryPop removes the next element without blocking. ok reports whether an
+// element was available; err is ErrClosed once the stream is closed and
+// drained.
+func TryPop[T any](p *Port) (v T, ok bool, err error) {
+	v, _, ok, err = queueOf[T](p).TryPop()
+	return v, ok, err
+}
+
+// Push appends v to an output port, blocking while the stream is full.
+func Push[T any](p *Port, v T) error {
+	return queueOf[T](p).Push(v, SigNone)
+}
+
+// PushSig appends v with a synchronized signal that downstream kernels
+// receive together with the element.
+func PushSig[T any](p *Port, v T, s Signal) error {
+	return queueOf[T](p).Push(v, s)
+}
+
+// TryPush appends v without blocking; it reports whether the element was
+// accepted.
+func TryPush[T any](p *Port, v T) (bool, error) {
+	return queueOf[T](p).TryPush(v, SigNone)
+}
+
+// PushBatch appends all of vs (more efficient than element-wise Push for
+// high-rate streams); the final element carries sig.
+func PushBatch[T any](p *Port, vs []T, sig Signal) error {
+	return ringOf[T](p).PushBatch(vs, sig)
+}
+
+// Peek returns the element at offset i from the stream head without
+// consuming it, blocking until it arrives.
+func Peek[T any](p *Port, i int) (T, error) {
+	v, _, err := ringOf[T](p).Peek(i)
+	return v, err
+}
+
+// PeekRange blocks until n elements are available and returns them
+// oldest-first, without consuming them — the paper's sliding-window
+// peek_range (§3). When the buffered region is contiguous the returned
+// slice aliases queue storage (zero copy); it is valid until the next
+// Recycle/Pop on the port. If the stream closes with fewer than n elements
+// the remainder is returned along with ErrClosed. Consume window elements
+// with Recycle.
+func PeekRange[T any](p *Port, n int) ([]T, error) {
+	vs, _, err := ringOf[T](p).PeekRange(n)
+	return vs, err
+}
+
+// PeekRangeSig is PeekRange plus the elements' synchronized signals (nil
+// when every signal is SigNone).
+func PeekRangeSig[T any](p *Port, n int) ([]T, []Signal, error) {
+	return ringOf[T](p).PeekRange(n)
+}
+
+// Recycle consumes the n oldest elements of an input port after a
+// PeekRange, sliding the window forward.
+func Recycle[T any](p *Port, n int) {
+	ringOf[T](p).Recycle(n)
+}
+
+// Alloc is a writable slot on an output stream, the analogue of the
+// paper's allocate_s return object: populate Val (and optionally Sig) and
+// call Send.
+type Alloc[T any] struct {
+	// Val is the element to send.
+	Val T
+	// Sig is the synchronized signal to send with the element.
+	Sig Signal
+
+	p    *Port
+	sent bool
+}
+
+// Allocate returns a slot for writing one element to an output port.
+func Allocate[T any](p *Port) *Alloc[T] {
+	p.mustBeBound()
+	return &Alloc[T]{p: p}
+}
+
+// Send pushes the slot's value downstream. A second Send is a no-op
+// returning nil, matching the send-once semantics of allocate_s.
+func (a *Alloc[T]) Send() error {
+	if a.sent {
+		return nil
+	}
+	a.sent = true
+	return queueOf[T](a.p).Push(a.Val, a.Sig)
+}
+
+// moveItems transfers up to max elements between two queues of the same
+// element type without blocking on the source. It returns the number moved
+// and ErrClosed once the source is closed and drained.
+func moveItems[T any](src, dst any, max int) (int, error) {
+	s, ok := src.(typedQueue[T])
+	if !ok {
+		panic(fmt.Sprintf("raft: internal transfer source type mismatch (%T)", src))
+	}
+	d := dst.(typedQueue[T])
+	moved := 0
+	for moved < max {
+		v, sig, ok, err := s.TryPop()
+		if err != nil {
+			return moved, err
+		}
+		if !ok {
+			return moved, nil
+		}
+		if err := d.Push(v, sig); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// moveItemsBlocking transfers at least one element (blocking on the source
+// for the first) and then up to max total.
+func moveItemsBlocking[T any](src, dst any, max int) (int, error) {
+	s := src.(typedQueue[T])
+	d := dst.(typedQueue[T])
+	v, sig, err := s.Pop()
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Push(v, sig); err != nil {
+		return 0, err
+	}
+	moved := 1
+	for moved < max {
+		v, sig, ok, err := s.TryPop()
+		if err != nil {
+			return moved, err
+		}
+		if !ok {
+			return moved, nil
+		}
+		if err := d.Push(v, sig); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}

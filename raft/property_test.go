@@ -1,0 +1,116 @@
+package raft
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyRandomPipelinesConserveElements drives the whole engine with
+// randomized topologies: a source of n elements flows through a random
+// sequence of stages — plain 1:1 workers, replicated out-of-order groups,
+// order-restoring groups, manual split/merge diamonds — and the sink must
+// receive exactly the expected multiset whatever the structure was.
+func TestPropertyRandomPipelinesConserveElements(t *testing.T) {
+	f := func(nSeed uint16, stageSeeds []uint8) bool {
+		n := int64(nSeed%3000) + 1
+		if len(stageSeeds) > 4 {
+			stageSeeds = stageSeeds[:4]
+		}
+
+		m := NewMap()
+		var prev Kernel = newGen(n)
+		prevPort := ""
+
+		// doubled tracks the multiplicative effect of the stages on the
+		// expected values (each worker doubles).
+		doublings := 0
+		for _, seed := range stageSeeds {
+			switch seed % 4 {
+			case 0: // plain worker
+				w := newWork()
+				if _, err := m.Link(prev, w, from(prevPort)...); err != nil {
+					return false
+				}
+				prev, prevPort = w, ""
+				doublings++
+			case 1: // out-of-order replicated worker
+				w := newWork()
+				opts := append(from(prevPort), AsOutOfOrder())
+				if _, err := m.Link(prev, w, opts...); err != nil {
+					return false
+				}
+				prev, prevPort = w, ""
+				doublings++
+			case 2: // order-restoring replicated worker
+				w := newWork()
+				opts := append(from(prevPort), AsReorderable())
+				if _, err := m.Link(prev, w, opts...); err != nil {
+					return false
+				}
+				prev, prevPort = w, ""
+				doublings++
+			case 3: // manual split/merge diamond with pass-through workers
+				width := int(seed%3) + 2
+				split := NewSplit[int64](width, SplitPolicy(seed%2))
+				merge := NewMerge[int64](width)
+				if _, err := m.Link(prev, split, append(from(prevPort), To("in"))...); err != nil {
+					return false
+				}
+				for i := 0; i < width; i++ {
+					w := newWork()
+					if _, err := m.Link(split, w, From(itoa(i))); err != nil {
+						return false
+					}
+					if _, err := m.Link(w, merge, To(itoa(i))); err != nil {
+						return false
+					}
+				}
+				prev, prevPort = merge, "out"
+				doublings++
+			}
+		}
+
+		sink := newCollect()
+		if _, err := m.Link(prev, sink, from(prevPort)...); err != nil {
+			return false
+		}
+		if _, err := m.Exe(WithAutoReplicate(3)); err != nil {
+			return false
+		}
+
+		got := sink.values()
+		if int64(len(got)) != n {
+			t.Logf("n=%d stages=%v: received %d", n, stageSeeds, len(got))
+			return false
+		}
+		factor := int64(1) << uint(doublings)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i, v := range got {
+			if v != int64(i)*factor {
+				t.Logf("n=%d stages=%v: got[%d]=%d want %d", n, stageSeeds, i, v, int64(i)*factor)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// from builds the From option list for an optionally-named source port.
+func from(port string) []LinkOption {
+	if port == "" {
+		return nil
+	}
+	return []LinkOption{From(port)}
+}
+
+// itoa for small non-negative ints (test-local helper).
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

@@ -1,0 +1,88 @@
+package raft
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the execution report as an aligned text summary: the
+// user-visible face of the paper's performance-monitoring claims (§4.1:
+// "the user has access to monitor useful things such as queue size,
+// current kernel configuration ... mean queue occupancy, service rate,
+// throughput").
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "raft execution report: %v under %s, mapper cut cost %v\n",
+		r.Elapsed, r.Scheduler, r.CutCost)
+
+	fmt.Fprintf(&b, "\nkernels (%d):\n", len(r.Kernels))
+	fmt.Fprintf(&b, "  %-28s %-6s %-12s %-14s %-14s\n", "name", "place", "runs", "mean svc", "rate/s")
+	for _, k := range r.Kernels {
+		fmt.Fprintf(&b, "  %-28s %-6d %-12d %-14s %-14.0f\n",
+			k.Name, k.Place, k.Runs, fmtNanos(k.MeanSvcNanos), k.RatePerSec)
+	}
+
+	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
+	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-6s\n", "link", "cap", "mean occ", "full%", "starv%", "grows")
+	for _, l := range r.Links {
+		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8.1f %-8.1f %-6d\n",
+			l.Name, l.FinalCap, l.MeanOccupancy, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows)
+	}
+
+	if len(r.Groups) > 0 {
+		fmt.Fprintf(&b, "\nreplicated groups (%d):\n", len(r.Groups))
+		for _, g := range r.Groups {
+			fmt.Fprintf(&b, "  %-28s width %d/%d\n", g.Name, g.ActiveAtEnd, g.MaxReplicas)
+		}
+	}
+	if r.MonitorTicks > 0 {
+		fmt.Fprintf(&b, "\nmonitor: %d ticks, %d events\n", r.MonitorTicks, len(r.MonitorEvents))
+		for _, e := range r.MonitorEvents {
+			fmt.Fprintf(&b, "  %-10s %-40s %d -> %d\n", e.Kind, e.Target, e.From, e.To)
+		}
+	}
+	return b.String()
+}
+
+// fmtNanos renders a nanosecond quantity with an adaptive unit.
+func fmtNanos(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// Dot renders the current topology in Graphviz DOT format — kernels as
+// nodes, streams as edges labeled with port names and element types. Call
+// it before or after Exe (after Exe it includes runtime-inserted adapters
+// and replicas).
+func (m *Map) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph raft {\n  rankdir=LR;\n  node [shape=box];\n")
+	names := make(map[*KernelBase]string, len(m.kernels))
+	ordered := make([]string, 0, len(m.kernels))
+	for _, k := range m.kernels {
+		kb := k.kernelBase()
+		id := fmt.Sprintf("k%d", m.index[kb])
+		names[kb] = id
+		ordered = append(ordered, fmt.Sprintf("  %s [label=%q];\n", id, kb.Name()))
+	}
+	sort.Strings(ordered)
+	for _, line := range ordered {
+		b.WriteString(line)
+	}
+	for _, l := range m.links {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%s->%s : %s\"];\n",
+			names[l.Src.kernelBase()], names[l.Dst.kernelBase()],
+			l.SrcPort.name, l.DstPort.name, l.SrcPort.elem)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
