@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the fast pre-commit gate: vet everything, then race-test the
+# packages with the trickiest concurrency (resilience supervisor, oar
+# bridge healing, lock-free ring buffer).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+	"time"
 
 	"raftlib/internal/apps/textsearch"
 	"raftlib/internal/baselines/pargrep"
@@ -128,4 +129,147 @@ func cutAtLines(data []byte, size int) [][]byte {
 		off = end
 	}
 	return out
+}
+
+// TestChaosTextsearchIdenticalToUndisturbed runs the Figure 9 textsearch
+// topology split across a loopback bridge, kills one match kernel and
+// severs the bridge mid-run, and checks the disturbed run produces exactly
+// the same answer as the undisturbed one (and the ground truth): the
+// resilience subsystem's end-to-end exactly-once claim.
+func TestChaosTextsearchIdenticalToUndisturbed(t *testing.T) {
+	data := corpus.Generate(corpus.Spec{Bytes: 2 << 20, Seed: 4242})
+	pattern := []byte(corpus.DefaultPattern)
+	want := int64(bytes.Count(data, pattern))
+	if want == 0 {
+		t.Fatal("corpus has no hits")
+	}
+
+	run := func(chaos bool) int64 {
+		t.Helper()
+		node, err := oar.NewNode("chaos-search", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+
+		var inj *raft.FaultInjector
+		var bridgeOpts []oar.BridgeOption
+		if chaos {
+			inj = raft.NewFaultInjector()
+			inj.KillKernel("search[", 5) // one match kernel dies pre-pop
+			inj.SeverBridge("hits", 1)   // first frame's connection is cut
+			bridgeOpts = append(bridgeOpts,
+				oar.WithBridgeFault(inj),
+				oar.WithReconnectBackoff(time.Millisecond, 50*time.Millisecond))
+		}
+		send, recv, err := oar.Bridge[int64](node, "hits", bridgeOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Producer half: filereader -> match (replicated) -> tcp-send.
+		producer := raft.NewMap()
+		match, err := kernels.NewCountSearch("horspool", pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		producer.MustLink(kernels.NewBytesReader(data, 8<<10, len(pattern)-1), match, raft.AsOutOfOrder())
+		producer.MustLink(match, send)
+		prodOpts := []raft.Option{raft.WithAutoReplicate(3)}
+		if chaos {
+			prodOpts = append(prodOpts,
+				raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
+				raft.WithFaultInjection(inj))
+		}
+
+		// Consumer half: tcp-recv -> reduce.
+		var total int64
+		consumer := raft.NewMap()
+		consumer.MustLink(recv, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total))
+
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); _, errs[0] = producer.Exe(prodOpts...) }()
+		go func() { defer wg.Done(); _, errs[1] = consumer.Exe() }()
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("map %d (chaos=%v): %v", i, chaos, err)
+			}
+		}
+		if chaos {
+			if inj.Fired("kill") != 1 {
+				t.Fatalf("kills fired = %d, want 1", inj.Fired("kill"))
+			}
+			if inj.Fired("sever") != 1 {
+				t.Fatalf("severs fired = %d, want 1", inj.Fired("sever"))
+			}
+		}
+		return total
+	}
+
+	undisturbed := run(false)
+	disturbed := run(true)
+	if undisturbed != want {
+		t.Fatalf("undisturbed hits = %d, want %d", undisturbed, want)
+	}
+	if disturbed != undisturbed {
+		t.Fatalf("disturbed hits = %d, undisturbed = %d (chaos run must be identical)", disturbed, undisturbed)
+	}
+}
+
+// TestChaosDistributedSumExact kills the supervised, checkpointed reduce
+// kernel and severs the bridge mid-run; the distributed sum must still be
+// exact.
+func TestChaosDistributedSumExact(t *testing.T) {
+	node, err := oar.NewNode("chaos-sum", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	const n = 20_000
+
+	inj := raft.NewFaultInjector()
+	inj.KillKernel("reduce", 100)
+	inj.SeverBridge("numbers", 1)
+	inj.SeverBridge("numbers", 3)
+
+	send, recv, err := oar.Bridge[int64](node, "numbers",
+		oar.WithBridgeFault(inj),
+		oar.WithReconnectBackoff(time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	producer := raft.NewMap()
+	producer.MustLink(kernels.NewGenerate(n, func(i int64) int64 { return i }), send)
+
+	var total int64
+	consumer := raft.NewMap()
+	consumer.MustLink(recv, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total))
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = producer.Exe() }()
+	go func() {
+		defer wg.Done()
+		_, errs[1] = consumer.Exe(
+			raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
+			raft.WithCheckpointStore(raft.NewMemCheckpointStore()),
+			raft.WithFaultInjection(inj))
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+	if want := int64(n) * (n - 1) / 2; total != want {
+		t.Fatalf("chaos distributed sum = %d, want %d", total, want)
+	}
+	if inj.Fired("kill") != 1 || inj.Fired("sever") != 2 {
+		t.Fatalf("faults fired: kill=%d sever=%d, want 1 and 2", inj.Fired("kill"), inj.Fired("sever"))
+	}
 }

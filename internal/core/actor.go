@@ -48,6 +48,13 @@ type Actor struct {
 	// the goroutine-per-kernel scheduler ignores it.
 	Ready func() bool
 
+	// Restarts counts supervised recoveries of this actor: each time the
+	// resilience supervisor absorbs a panic and restarts the kernel the
+	// counter advances. It doubles as a progress signal for the deadlock
+	// watch (a kernel sleeping through restart backoff is alive, not
+	// frozen) and feeds the restart columns of reports and LiveStats.
+	Restarts stats.Counter
+
 	// Finished is set by the scheduler once the actor's lifecycle ends;
 	// the monitor's deadlock detector ignores finished actors.
 	Finished atomic.Bool

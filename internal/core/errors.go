@@ -1,0 +1,43 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Engine-level sentinel errors. They live in core (not the public raft
+// package) so the scheduler and the resilience supervisor — which must not
+// import raft — can classify failures; the raft package re-exports them
+// (see raft/errors.go) the same way it aliases ringbuffer.ErrClosed.
+var (
+	// ErrKernelPanicked wraps a panic recovered from kernel code, whether
+	// the panic ended the kernel (unsupervised) or was absorbed by a
+	// restart (supervised).
+	ErrKernelPanicked = errors.New("panicked")
+)
+
+// PanicError converts a recovered panic value into an error that matches
+// ErrKernelPanicked with errors.Is, preserving the original error as an
+// unwrap target when the panic value is one (typed port-misuse panics,
+// injected faults).
+func PanicError(r any) error {
+	if cause, ok := r.(error); ok {
+		return &panicErr{msg: cause.Error(), cause: cause}
+	}
+	return &panicErr{msg: fmt.Sprint(r)}
+}
+
+// panicErr keeps the recovered message and matches ErrKernelPanicked.
+type panicErr struct {
+	msg   string
+	cause error
+}
+
+func (p *panicErr) Error() string { return "panicked: " + p.msg }
+
+func (p *panicErr) Unwrap() []error {
+	if p.cause != nil {
+		return []error{ErrKernelPanicked, p.cause}
+	}
+	return []error{ErrKernelPanicked}
+}

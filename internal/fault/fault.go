@@ -1,0 +1,231 @@
+// Package fault is the deterministic fault-injection harness behind the
+// resilience subsystem's chaos tests and the A10 ablation. Faults are
+// declared up front against kernel names and bridge stream names, then
+// fire at exact, repeatable points — the Nth invocation of a kernel, the
+// Nth frame of a bridge — so a chaos run can be compared byte-for-byte
+// against an undisturbed run.
+//
+// Two hook surfaces consume a plan:
+//
+//   - the raft runtime calls Injector.BeforeRun at the top of every kernel
+//     invocation (before the kernel pops any input), so an injected kill
+//     never loses an in-flight element;
+//   - the oar bridge sender calls Injector.FrameAction before encoding
+//     each frame, so severed/corrupted/delayed connections happen at exact
+//     frame boundaries and the replay protocol can be verified to recover
+//     them losslessly.
+//
+// The injector is safe for concurrent use (replicated kernels consult it
+// from several goroutines) and each rule fires exactly once unless
+// declared repeating.
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kill is the panic value thrown by an injected kernel kill. It implements
+// error so the supervisor (and the scheduler's panic conversion) surface a
+// typed cause instead of an opaque string.
+type Kill struct {
+	// Kernel is the name of the killed kernel.
+	Kernel string
+	// Run is the 1-based invocation index at which the kill fired.
+	Run uint64
+}
+
+// Error implements error.
+func (k *Kill) Error() string {
+	return fmt.Sprintf("fault: injected kill of kernel %q at run %d", k.Kernel, k.Run)
+}
+
+// FrameAction tells a bridge sender what to do with the frame it is about
+// to transmit.
+type FrameAction int
+
+// Frame actions.
+const (
+	// ActNone transmits the frame normally.
+	ActNone FrameAction = iota
+	// ActSever cuts the connection before the frame is sent (the frame is
+	// retained in the replay buffer and must survive the reconnect).
+	ActSever
+	// ActCorrupt transmits garbage bytes in place of the frame, breaking
+	// the peer's decoder mid-stream.
+	ActCorrupt
+)
+
+// String returns the action name.
+func (a FrameAction) String() string {
+	switch a {
+	case ActSever:
+		return "sever"
+	case ActCorrupt:
+		return "corrupt"
+	default:
+		return "none"
+	}
+}
+
+// Event records one fault that actually fired, for test assertions and the
+// ablation report.
+type Event struct {
+	// At is when the fault fired.
+	At time.Time
+	// Kind is "kill", "sever", "corrupt" or "delay".
+	Kind string
+	// Target is the kernel name or bridge stream the fault hit.
+	Target string
+	// Point is the run index (kills) or frame sequence (bridge faults).
+	Point uint64
+}
+
+// killRule arms one kernel kill.
+type killRule struct {
+	prefix string
+	nth    uint64
+	fired  bool
+}
+
+// frameRule arms one bridge sever/corrupt.
+type frameRule struct {
+	stream string
+	seq    uint64
+	action FrameAction
+	fired  bool
+}
+
+// delayRule slows down a bridge: every everyN-th frame sleeps d.
+type delayRule struct {
+	stream string
+	everyN uint64
+	d      time.Duration
+}
+
+// Injector holds an armed fault plan and the log of faults that fired.
+// The zero value is unusable; construct with New.
+type Injector struct {
+	mu     sync.Mutex
+	kills  []*killRule
+	frames []*frameRule
+	delays []*delayRule
+	events []Event
+}
+
+// New returns an empty injector (no faults armed).
+func New() *Injector { return &Injector{} }
+
+// KillKernel arms a one-shot kill: the first kernel whose name starts with
+// prefix panics at the top of its nth invocation (1-based), before it has
+// consumed any input. Prefix matching targets replicated kernels, whose
+// replicas carry runtime-assigned suffixes ("search[horspool]#1[2]").
+func (i *Injector) KillKernel(prefix string, nth uint64) {
+	if nth == 0 {
+		nth = 1
+	}
+	i.mu.Lock()
+	i.kills = append(i.kills, &killRule{prefix: prefix, nth: nth})
+	i.mu.Unlock()
+}
+
+// SeverBridge arms a one-shot connection cut on the named bridge stream,
+// firing just before frame seq (1-based) is transmitted.
+func (i *Injector) SeverBridge(stream string, seq uint64) {
+	i.addFrameRule(stream, seq, ActSever)
+}
+
+// CorruptBridge arms a one-shot frame corruption on the named bridge
+// stream: frame seq is replaced by garbage bytes on the wire.
+func (i *Injector) CorruptBridge(stream string, seq uint64) {
+	i.addFrameRule(stream, seq, ActCorrupt)
+}
+
+func (i *Injector) addFrameRule(stream string, seq uint64, act FrameAction) {
+	if seq == 0 {
+		seq = 1
+	}
+	i.mu.Lock()
+	i.frames = append(i.frames, &frameRule{stream: stream, seq: seq, action: act})
+	i.mu.Unlock()
+}
+
+// DelayBridge arms a repeating transmission delay: every everyN-th frame
+// of the stream sleeps d before being sent (everyN=1 delays every frame).
+func (i *Injector) DelayBridge(stream string, everyN uint64, d time.Duration) {
+	if everyN == 0 {
+		everyN = 1
+	}
+	i.mu.Lock()
+	i.delays = append(i.delays, &delayRule{stream: stream, everyN: everyN, d: d})
+	i.mu.Unlock()
+}
+
+// BeforeRun is the runtime hook invoked at the top of every supervised (or
+// fault-wrapped) kernel invocation with the kernel's name and its 1-based
+// run index. It panics with a *Kill when an armed rule matches.
+func (i *Injector) BeforeRun(kernel string, run uint64) {
+	i.mu.Lock()
+	for _, r := range i.kills {
+		if r.fired || run != r.nth || !hasPrefix(kernel, r.prefix) {
+			continue
+		}
+		r.fired = true
+		i.events = append(i.events, Event{At: time.Now(), Kind: "kill", Target: kernel, Point: run})
+		i.mu.Unlock()
+		panic(&Kill{Kernel: kernel, Run: run})
+	}
+	i.mu.Unlock()
+}
+
+// FrameAction is the bridge hook consulted before each frame transmission.
+// It returns the action to apply and any injected delay (delay composes
+// with sever/corrupt: the sleep happens first).
+func (i *Injector) FrameAction(stream string, seq uint64) (FrameAction, time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var delay time.Duration
+	for _, r := range i.delays {
+		if r.stream == stream && seq%r.everyN == 0 {
+			delay += r.d
+			i.events = append(i.events, Event{At: time.Now(), Kind: "delay", Target: stream, Point: seq})
+		}
+	}
+	for _, r := range i.frames {
+		if r.fired || r.stream != stream || r.seq != seq {
+			continue
+		}
+		r.fired = true
+		i.events = append(i.events, Event{At: time.Now(), Kind: r.action.String(), Target: stream, Point: seq})
+		return r.action, delay
+	}
+	return ActNone, delay
+}
+
+// Events returns a copy of the faults that have fired so far.
+func (i *Injector) Events() []Event {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Event, len(i.events))
+	copy(out, i.events)
+	return out
+}
+
+// Fired reports how many faults of the given kind have fired ("" counts
+// all).
+func (i *Injector) Fired(kind string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, e := range i.events {
+		if kind == "" || e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

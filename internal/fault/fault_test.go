@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestKillFiresOnceAtExactRun(t *testing.T) {
+	inj := New()
+	inj.KillKernel("match", 3)
+
+	runs := 0
+	step := func(run uint64) (panicked error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r.(error)
+			}
+		}()
+		inj.BeforeRun("match[horspool]#1", run)
+		runs++
+		return nil
+	}
+
+	for run := uint64(1); run <= 5; run++ {
+		err := step(run)
+		if run == 3 {
+			if err == nil {
+				t.Fatalf("run 3: expected injected kill")
+			}
+			var k *Kill
+			if !errors.As(err, &k) || k.Run != 3 {
+				t.Fatalf("run 3: panic value %v, want *Kill at run 3", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("run %d: unexpected kill %v", run, err)
+		}
+	}
+	// Same run index again (e.g. a restarted kernel replaying its counter)
+	// must NOT re-fire: the rule is one-shot.
+	if err := step(3); err != nil {
+		t.Fatalf("re-run 3: kill fired twice: %v", err)
+	}
+	if got := inj.Fired("kill"); got != 1 {
+		t.Fatalf("Fired(kill) = %d, want 1", got)
+	}
+}
+
+func TestKillMatchesPrefixOnly(t *testing.T) {
+	inj := New()
+	inj.KillKernel("search[", 1)
+	defer func() {
+		if recover() != nil {
+			t.Fatal("kill fired for non-matching kernel")
+		}
+	}()
+	inj.BeforeRun("reduce#2", 1)
+	inj.BeforeRun("reader", 1)
+}
+
+func TestFrameActions(t *testing.T) {
+	inj := New()
+	inj.SeverBridge("s", 2)
+	inj.CorruptBridge("s", 4)
+	inj.DelayBridge("s", 3, time.Millisecond)
+
+	type want struct {
+		act   FrameAction
+		delay bool
+	}
+	wants := map[uint64]want{
+		1: {ActNone, false},
+		2: {ActSever, false},
+		3: {ActNone, true},
+		4: {ActCorrupt, false},
+		5: {ActNone, false},
+		6: {ActNone, true},
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		act, d := inj.FrameAction("s", seq)
+		w := wants[seq]
+		if act != w.act {
+			t.Errorf("frame %d: action %v, want %v", seq, act, w.act)
+		}
+		if (d > 0) != w.delay {
+			t.Errorf("frame %d: delay %v, want delayed=%v", seq, d, w.delay)
+		}
+	}
+	// One-shot rules do not re-fire.
+	if act, _ := inj.FrameAction("s", 2); act != ActNone {
+		t.Errorf("sever re-fired")
+	}
+	// Other streams are untouched.
+	if act, _ := inj.FrameAction("other", 2); act != ActNone {
+		t.Errorf("sever leaked to another stream")
+	}
+	if inj.Fired("sever") != 1 || inj.Fired("corrupt") != 1 {
+		t.Fatalf("event log: %+v", inj.Events())
+	}
+}

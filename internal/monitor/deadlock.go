@@ -22,8 +22,10 @@ import (
 //     (the producer side reports WriterBlockedFor > 0 or the consumer
 //     side ReaderStarvedFor > 0) — a computing kernel is never parked, so
 //     long computations cannot be misdiagnosed;
-//  2. total push+pop counts are unchanged since the previous tick (no
-//     in-flight progress racing the scan); and
+//  2. total push+pop counts — plus supervised restart counts, so a kernel
+//     crash-looping through recovery registers as activity rather than a
+//     freeze — are unchanged since the previous tick (no in-flight
+//     progress racing the scan); and
 //  3. 1 and 2 have held continuously for the configured grace period.
 //
 // The predicate is conservative: adapters that sleep between polls (the
@@ -93,6 +95,9 @@ func (d *DeadlockWatch) frozen() (bool, uint64) {
 	}
 	unfinished := 0
 	for _, a := range d.actors {
+		// Supervised restarts are progress: a kernel parked on its input
+		// while the supervisor restarts it must not trip the freeze check.
+		ops += a.Restarts.Load()
 		if a.Finished.Load() {
 			continue
 		}

@@ -124,3 +124,19 @@ func TestDeadlockWatchDefaultGrace(t *testing.T) {
 		t.Fatalf("default grace = %v", w.grace)
 	}
 }
+
+func TestDeadlockWatchRestartsCountAsProgress(t *testing.T) {
+	actors, links, cleanup := frozenFixture(t)
+	defer cleanup()
+	fired := false
+	w := NewDeadlockWatch(actors, links, 10*time.Millisecond, func(string) { fired = true })
+	base := time.Now()
+	w.Check(base)
+	// A supervised restart between ticks is recovery activity, not a
+	// freeze, even though every stream counter is unchanged.
+	actors[0].Restarts.Inc()
+	w.Check(base.Add(15 * time.Millisecond))
+	if fired {
+		t.Fatal("fired despite a supervised restart between checks")
+	}
+}

@@ -2,10 +2,14 @@ package oar
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"raftlib/internal/fault"
 	"raftlib/raft"
 )
 
@@ -16,68 +20,309 @@ import (
 // between a distributed and a non-distributed program from the perspective
 // of the developer" (§4.1).
 //
-// Wire format: a header line ("stream <name>\n") then a sequence of
-// gob-encoded frames, each carrying a batch of elements with their
-// synchronized signals; an EOF frame closes the stream.
+// Bridges are self-healing. The wire protocol gives every data frame a
+// sequence number; the receiver acknowledges delivered frames and
+// deduplicates by sequence, while the sender buffers unacknowledged frames
+// and replays them after reconnecting. Failures are detected by heartbeat
+// frames (sender side) and a read deadline (receiver side); reconnection
+// uses capped exponential backoff. The result is exactly-once element
+// delivery across connection loss, frame corruption, and receiver-side
+// timeouts — verified byte-for-byte by the chaos integration tests. An
+// outage outlasting MaxDowntime degrades per the configured Policy: Fail
+// raises a global exception wrapping raft.ErrBridgeDown; Drop keeps the
+// local map running and discards traffic.
+//
+// Wire format: a header line ("stream <name>\n"), then gob-encoded frames
+// sender->receiver (heartbeat frames carry Seq 0 and no data) and
+// gob-encoded ackMsg records receiver->sender on the same connection. An
+// EOF frame closes the stream.
 
 // frame is one wire batch.
 type frame[T any] struct {
+	// Seq numbers data and EOF frames from 1; heartbeats carry 0.
+	Seq  uint64
 	Vals []T
 	Sigs []raft.Signal
 	EOF  bool
+	// HB marks a heartbeat: no payload, refreshes the receiver's liveness
+	// deadline, never acknowledged or replayed.
+	HB bool
+}
+
+// ackMsg acknowledges delivery of every frame up to and including Seq.
+type ackMsg struct {
+	Seq uint64
 }
 
 // senderBatch bounds elements per frame (amortizes encoder overhead
 // without adding much latency).
 const senderBatch = 256
 
+// ErrPeerGone classifies a transient bridge failure: the connection was
+// lost but the healing protocol is (or was) entitled to re-establish it.
+// Permanent failures — downtime past the policy's tolerance — wrap
+// raft.ErrBridgeDown instead.
+var ErrPeerGone = errors.New("oar: peer connection lost")
+
+// IsTransient reports whether a bridge error is a recoverable connection
+// loss (as opposed to a permanent raft.ErrBridgeDown failure).
+func IsTransient(err error) bool { return errors.Is(err, ErrPeerGone) }
+
+// Policy selects how a bridge endpoint degrades when its connection stays
+// down past MaxDowntime.
+type Policy int
+
+// Degradation policies.
+const (
+	// Fail raises a map-global exception wrapping raft.ErrBridgeDown, so
+	// the local Exe returns a typed error (the default).
+	Fail Policy = iota
+	// Drop keeps the local map running: the sender discards subsequent
+	// elements (counting them), the receiver delivers EOF downstream.
+	Drop
+)
+
+// bridgeOpts holds the healing parameters of one bridge endpoint.
+type bridgeOpts struct {
+	heartbeat    time.Duration
+	peerTimeout  time.Duration
+	reconnectMin time.Duration
+	reconnectMax time.Duration
+	maxDowntime  time.Duration
+	policy       Policy
+	firstConnect time.Duration
+	inj          *fault.Injector
+}
+
+func defaultBridgeOpts() bridgeOpts {
+	return bridgeOpts{
+		heartbeat:    250 * time.Millisecond,
+		peerTimeout:  time.Second,
+		reconnectMin: 50 * time.Millisecond,
+		reconnectMax: 2 * time.Second,
+		maxDowntime:  15 * time.Second,
+		policy:       Fail,
+		firstConnect: 30 * time.Second,
+	}
+}
+
+// BridgeOption customizes a bridge endpoint's healing behavior.
+type BridgeOption func(*bridgeOpts)
+
+// WithHeartbeat sets the sender's heartbeat period (default 250ms); the
+// receiver's liveness deadline defaults to 4x this period.
+func WithHeartbeat(d time.Duration) BridgeOption {
+	return func(o *bridgeOpts) {
+		if d > 0 {
+			o.heartbeat = d
+			o.peerTimeout = 4 * d
+		}
+	}
+}
+
+// WithPeerTimeout sets the receiver's liveness deadline explicitly.
+func WithPeerTimeout(d time.Duration) BridgeOption {
+	return func(o *bridgeOpts) {
+		if d > 0 {
+			o.peerTimeout = d
+		}
+	}
+}
+
+// WithReconnectBackoff sets the reconnect backoff range (default 50ms
+// doubling to 2s).
+func WithReconnectBackoff(min, max time.Duration) BridgeOption {
+	return func(o *bridgeOpts) {
+		if min > 0 {
+			o.reconnectMin = min
+		}
+		if max >= o.reconnectMin {
+			o.reconnectMax = max
+		}
+	}
+}
+
+// WithMaxDowntime bounds one outage before the degradation policy fires
+// (default 15s; 0 parks the endpoint and retries forever).
+func WithMaxDowntime(d time.Duration) BridgeOption {
+	return func(o *bridgeOpts) { o.maxDowntime = d }
+}
+
+// WithPolicy selects the degradation policy (default Fail).
+func WithPolicy(p Policy) BridgeOption {
+	return func(o *bridgeOpts) { o.policy = p }
+}
+
+// WithFirstConnect sets how long endpoints wait for the initial connection
+// (default 30s receiver-side).
+func WithFirstConnect(d time.Duration) BridgeOption {
+	return func(o *bridgeOpts) {
+		if d > 0 {
+			o.firstConnect = d
+		}
+	}
+}
+
+// WithBridgeFault installs a deterministic fault plan on the endpoint: the
+// sender consults it before transmitting each frame (sever / corrupt /
+// delay at exact sequence numbers). Pair it with the same injector passed
+// to raft.WithFaultInjection for whole-system chaos runs.
+func WithBridgeFault(inj *fault.Injector) BridgeOption {
+	return func(o *bridgeOpts) { o.inj = inj }
+}
+
 // Sender is the producing end of a bridge: a sink kernel with input port
-// "in" whose elements are encoded onto the TCP connection.
+// "in" whose elements are framed, sequenced and encoded onto the TCP
+// connection, with unacknowledged frames buffered for replay.
 type Sender[T any] struct {
 	raft.KernelBase
 	addr   string
 	stream string
-	conn   net.Conn
-	enc    *gob.Encoder
-	// flush, when non-nil, runs after every encoded frame (compressed
-	// bridges flush their flate layer per frame).
-	flush func() error
+	opt    bridgeOpts
+
+	// mkEnc layers the frame encoder over a fresh connection (compressed
+	// bridges swap in a flate layer); nil selects plain gob.
+	mkEnc func(conn net.Conn) (enc *gob.Encoder, flush func() error, closeEnc func(), err error)
+
+	mu       sync.Mutex // guards conn, enc, flush, closeEnc
+	conn     net.Conn
+	enc      *gob.Encoder
+	flush    func() error
+	closeEnc func()
+
+	nextSeq uint64
+	buffer  []frame[T] // unacknowledged frames, ascending Seq
+	acked   atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+	gaveUp   bool
+
+	reconnects atomic.Uint64
+	replayed   atomic.Uint64
+	dropped    atomic.Uint64
+	downtimeNs atomic.Int64
 }
 
 // NewSender returns a bridge sender that will dial the receiver node at
 // addr and feed the named stream.
-func NewSender[T any](addr, stream string) *Sender[T] {
-	k := &Sender[T]{addr: addr, stream: stream}
+func NewSender[T any](addr, stream string, opts ...BridgeOption) *Sender[T] {
+	k := &Sender[T]{addr: addr, stream: stream, opt: defaultBridgeOpts(), stop: make(chan struct{})}
+	for _, o := range opts {
+		o(&k.opt)
+	}
 	k.SetName("tcp-send[" + stream + "]")
 	raft.AddInput[T](k, "in")
 	return k
 }
 
-// Init implements raft.Initializer by dialing the receiver.
+// Init implements raft.Initializer by dialing the receiver and starting
+// the heartbeat loop.
 func (s *Sender[T]) Init() error {
-	conn, err := net.DialTimeout("tcp", s.addr, 10*time.Second)
-	if err != nil {
+	if err := s.connect(10 * time.Second); err != nil {
 		return fmt.Errorf("oar: sender dial %s: %w", s.addr, err)
+	}
+	s.started = true
+	go s.heartbeatLoop()
+	return nil
+}
+
+// connect establishes one connection: dial, header, encoder, ack reader.
+func (s *Sender[T]) connect(dialTimeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", s.addr, dialTimeout)
+	if err != nil {
+		return err
 	}
 	if _, err := fmt.Fprintf(conn, "%s %s\n", hdrStream, s.stream); err != nil {
 		conn.Close()
 		return err
 	}
-	s.conn = conn
-	s.enc = gob.NewEncoder(conn)
+	var enc *gob.Encoder
+	var flush func() error
+	var closeEnc func()
+	if s.mkEnc != nil {
+		enc, flush, closeEnc, err = s.mkEnc(conn)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+	} else {
+		enc = gob.NewEncoder(conn)
+	}
+	s.mu.Lock()
+	s.conn, s.enc, s.flush, s.closeEnc = conn, enc, flush, closeEnc
+	s.mu.Unlock()
+	// Acks ride the same connection receiver->sender, always uncompressed.
+	go s.ackLoop(conn)
 	return nil
 }
 
-// Run implements raft.Kernel: gather a batch, encode a frame.
+// ackLoop drains acknowledgments from one connection until it dies.
+func (s *Sender[T]) ackLoop(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var a ackMsg
+		if err := dec.Decode(&a); err != nil {
+			return
+		}
+		for {
+			cur := s.acked.Load()
+			if a.Seq <= cur || s.acked.CompareAndSwap(cur, a.Seq) {
+				break
+			}
+		}
+	}
+}
+
+// heartbeatLoop keeps the connection demonstrably alive while the producer
+// is idle; a failed heartbeat closes the connection so the next transmit
+// reconnects.
+func (s *Sender[T]) heartbeatLoop() {
+	t := time.NewTicker(s.opt.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.enc != nil {
+				err := s.enc.Encode(frame[T]{HB: true})
+				if err == nil && s.flush != nil {
+					err = s.flush()
+				}
+				if err != nil && s.conn != nil {
+					s.conn.Close()
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// dropConn abandons the current connection (the ack loop exits on its own).
+func (s *Sender[T]) dropConn() {
+	s.mu.Lock()
+	if s.closeEnc != nil {
+		s.closeEnc()
+	}
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.conn, s.enc, s.flush, s.closeEnc = nil, nil, nil, nil
+	s.mu.Unlock()
+}
+
+// Run implements raft.Kernel: gather a batch, sequence it, transmit with
+// replay protection.
 func (s *Sender[T]) Run() raft.Status {
 	in := s.In("in")
-	var f frame[T]
 	v, sig, err := raft.PopSig[T](in)
 	if err != nil {
 		return s.finish()
 	}
-	f.Vals = append(f.Vals, v)
-	f.Sigs = append(f.Sigs, sig)
+	f := frame[T]{Vals: []T{v}, Sigs: []raft.Signal{sig}}
 	for len(f.Vals) < senderBatch {
 		v, ok, err := raft.TryPop[T](in)
 		if err != nil || !ok {
@@ -86,55 +331,231 @@ func (s *Sender[T]) Run() raft.Status {
 		f.Vals = append(f.Vals, v)
 		f.Sigs = append(f.Sigs, raft.SigNone)
 	}
-	if err := s.enc.Encode(f); err != nil {
-		return s.finish()
+	if s.gaveUp {
+		s.dropped.Add(uint64(len(f.Vals)))
+		return raft.Proceed
 	}
-	if s.flush != nil {
-		if err := s.flush(); err != nil {
-			return s.finish()
-		}
+	s.nextSeq++
+	f.Seq = s.nextSeq
+	s.buffer = append(s.buffer, f)
+	s.prune()
+	if err := s.transmit(f.Seq); err != nil {
+		return s.giveUp(err)
 	}
 	return raft.Proceed
 }
 
-// finish sends the EOF frame and stops.
-func (s *Sender[T]) finish() raft.Status {
-	if s.enc != nil {
-		_ = s.enc.Encode(frame[T]{EOF: true})
-		if s.flush != nil {
-			_ = s.flush()
+// prune discards buffered frames the receiver has acknowledged.
+func (s *Sender[T]) prune() {
+	acked := s.acked.Load()
+	i := 0
+	for i < len(s.buffer) && s.buffer[i].Seq <= acked {
+		i++
+	}
+	if i > 0 {
+		s.buffer = append(s.buffer[:0], s.buffer[i:]...)
+	}
+}
+
+// transmit delivers the buffered frame with the given seq to a live
+// connection, reconnecting and replaying as needed. A nil return means the
+// frame reached a connection (acknowledgment is tracked asynchronously); a
+// non-nil return wraps raft.ErrBridgeDown.
+func (s *Sender[T]) transmit(seq uint64) error {
+	act := fault.ActNone
+	if s.opt.inj != nil {
+		var delay time.Duration
+		act, delay = s.opt.inj.FrameAction(s.stream, seq)
+		if delay > 0 {
+			time.Sleep(delay)
 		}
+	}
+	switch act {
+	case fault.ActSever:
+		s.dropConn()
+	case fault.ActCorrupt:
+		s.mu.Lock()
+		if s.conn != nil {
+			_, _ = s.conn.Write([]byte("\xde\xad\xbe\xef garbage"))
+		}
+		s.mu.Unlock()
+		s.dropConn()
+	default:
+		if err := s.encodeSeq(seq); err == nil {
+			return nil
+		}
+		s.dropConn()
+	}
+	// The frame is safe in the replay buffer; re-establish and replay it
+	// (with everything else unacknowledged) on the fresh connection.
+	return s.reconnect()
+}
+
+// encodeSeq writes the buffered frame with the given seq (no-op if it has
+// been acknowledged and pruned meanwhile).
+func (s *Sender[T]) encodeSeq(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.enc == nil {
+		return fmt.Errorf("oar: stream %q: %w", s.stream, ErrPeerGone)
+	}
+	for i := range s.buffer {
+		if s.buffer[i].Seq == seq {
+			if err := s.enc.Encode(s.buffer[i]); err != nil {
+				return err
+			}
+			if s.flush != nil {
+				return s.flush()
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// reconnect re-establishes the connection with capped exponential backoff
+// and replays every unacknowledged frame. It fails (wrapping
+// raft.ErrBridgeDown) once the outage outlasts MaxDowntime.
+func (s *Sender[T]) reconnect() error {
+	start := time.Now()
+	defer func() { s.downtimeNs.Add(int64(time.Since(start))) }()
+	backoff := s.opt.reconnectMin
+	for {
+		if s.opt.maxDowntime > 0 && time.Since(start) > s.opt.maxDowntime {
+			return fmt.Errorf("oar: stream %q: sender down %v: %w",
+				s.stream, time.Since(start).Round(time.Millisecond), raft.ErrBridgeDown)
+		}
+		if err := s.connect(backoff + s.opt.reconnectMin); err == nil {
+			if err := s.replay(); err == nil {
+				s.reconnects.Add(1)
+				return nil
+			}
+			s.dropConn()
+		}
+		select {
+		case <-s.stop:
+			return fmt.Errorf("oar: stream %q: sender stopped while down: %w", s.stream, raft.ErrBridgeDown)
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > s.opt.reconnectMax {
+			backoff = s.opt.reconnectMax
+		}
+	}
+}
+
+// replay retransmits every buffered frame past the acknowledged watermark
+// on the fresh connection; the receiver deduplicates by sequence.
+func (s *Sender[T]) replay() error {
+	s.prune()
+	acked := s.acked.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.enc == nil {
+		return fmt.Errorf("oar: stream %q: %w", s.stream, ErrPeerGone)
+	}
+	for i := range s.buffer {
+		if s.buffer[i].Seq <= acked {
+			continue
+		}
+		if err := s.enc.Encode(s.buffer[i]); err != nil {
+			return err
+		}
+		s.replayed.Add(1)
+	}
+	if s.flush != nil {
+		return s.flush()
+	}
+	return nil
+}
+
+// giveUp applies the degradation policy to a permanent failure.
+func (s *Sender[T]) giveUp(err error) raft.Status {
+	if s.opt.policy == Drop {
+		s.gaveUp = true
+		for _, f := range s.buffer {
+			s.dropped.Add(uint64(len(f.Vals)))
+		}
+		s.buffer = nil
+		return raft.Proceed
+	}
+	s.Raise(err)
+	return raft.Stop
+}
+
+// finish sequences and transmits the EOF frame, then waits briefly for the
+// final acknowledgment so frames replayed during a late outage are not
+// abandoned in a dying connection.
+func (s *Sender[T]) finish() raft.Status {
+	if s.gaveUp || !s.started {
+		return raft.Stop
+	}
+	s.nextSeq++
+	s.buffer = append(s.buffer, frame[T]{Seq: s.nextSeq, EOF: true})
+	if err := s.transmit(s.nextSeq); err != nil {
+		return s.giveUp(err)
+	}
+	deadline := time.Now().Add(s.opt.peerTimeout)
+	for s.acked.Load() < s.nextSeq && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
 	return raft.Stop
 }
 
-// Finalize implements raft.Finalizer by closing the connection.
+// Finalize implements raft.Finalizer by stopping the heartbeat and closing
+// the connection.
 func (s *Sender[T]) Finalize() {
-	if s.conn != nil {
-		s.conn.Close()
-	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.dropConn()
+}
+
+// BridgeStats implements raft.BridgeReporter.
+func (s *Sender[T]) BridgeStats() (raft.BridgeReport, bool) {
+	return raft.BridgeReport{
+		Stream:     s.stream,
+		Reconnects: s.reconnects.Load(),
+		Replayed:   s.replayed.Load(),
+		Dropped:    s.dropped.Load(),
+		Downtime:   time.Duration(s.downtimeNs.Load()),
+	}, s.started
 }
 
 // Receiver is the consuming end of a bridge: a source kernel with output
-// port "out" fed by the TCP stream registered on its node.
+// port "out" fed by the TCP stream registered on its node, deduplicating
+// replayed frames and acknowledging delivery.
 type Receiver[T any] struct {
 	raft.KernelBase
-	node    *Node
-	stream  string
-	accept  <-chan net.Conn
-	conn    net.Conn
-	dec     *gob.Decoder
-	timeout time.Duration
+	node   *Node
+	stream string
+	accept <-chan net.Conn
+	opt    bridgeOpts
+
+	// mkDec layers the frame decoder over a fresh connection (compressed
+	// bridges swap in a flate layer); nil selects plain gob.
+	mkDec func(conn net.Conn) *gob.Decoder
+
+	conn   net.Conn
+	dec    *gob.Decoder
+	ackEnc *gob.Encoder
+
+	delivered uint64
+	started   bool
+
+	reconnects atomic.Uint64
+	downtimeNs atomic.Int64
 }
 
 // NewReceiver registers the named stream endpoint on node and returns the
 // source kernel delivering its elements.
-func NewReceiver[T any](node *Node, stream string) (*Receiver[T], error) {
+func NewReceiver[T any](node *Node, stream string, opts ...BridgeOption) (*Receiver[T], error) {
 	ch, err := node.registerStream(stream)
 	if err != nil {
 		return nil, err
 	}
-	k := &Receiver[T]{node: node, stream: stream, accept: ch, timeout: 30 * time.Second}
+	k := &Receiver[T]{node: node, stream: stream, accept: ch, opt: defaultBridgeOpts()}
+	for _, o := range opts {
+		o(&k.opt)
+	}
 	k.SetName("tcp-recv[" + stream + "]")
 	raft.AddOutput[T](k, "out")
 	return k, nil
@@ -144,51 +565,145 @@ func NewReceiver[T any](node *Node, stream string) (*Receiver[T], error) {
 func (r *Receiver[T]) Init() error {
 	select {
 	case conn := <-r.accept:
-		r.conn = conn
-		r.dec = gob.NewDecoder(conn)
+		r.setup(conn)
+		r.started = true
 		return nil
-	case <-time.After(r.timeout):
-		return fmt.Errorf("oar: receiver %q: no sender connected within %v", r.stream, r.timeout)
+	case <-time.After(r.opt.firstConnect):
+		return fmt.Errorf("oar: receiver %q: no sender connected within %v: %w",
+			r.stream, r.opt.firstConnect, raft.ErrBridgeDown)
 	}
 }
 
-// Run implements raft.Kernel: decode one frame, push its elements.
+// setup adopts one connection.
+func (r *Receiver[T]) setup(conn net.Conn) {
+	r.conn = conn
+	if r.mkDec != nil {
+		r.dec = r.mkDec(conn)
+	} else {
+		r.dec = gob.NewDecoder(conn)
+	}
+	r.ackEnc = gob.NewEncoder(conn)
+}
+
+// dropConn abandons the current connection.
+func (r *Receiver[T]) dropConn() {
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.conn, r.dec, r.ackEnc = nil, nil, nil
+}
+
+// Run implements raft.Kernel: decode one frame, deduplicate, deliver, ack.
+// Connection failures (timeout, EOF mid-stream, corrupt frames) are
+// healed by waiting for the sender's reconnect; an outage outlasting
+// MaxDowntime degrades per the policy.
 func (r *Receiver[T]) Run() raft.Status {
-	var f frame[T]
-	if err := r.dec.Decode(&f); err != nil {
-		return raft.Stop // connection lost: propagate EOF downstream
-	}
-	if f.EOF {
-		return raft.Stop
-	}
-	out := r.Out("out")
-	for i, v := range f.Vals {
-		sig := raft.SigNone
-		if i < len(f.Sigs) {
-			sig = f.Sigs[i]
+	for {
+		if r.conn == nil {
+			if st, done := r.await(); done {
+				return st
+			}
 		}
-		if err := raft.PushSig(out, v, sig); err != nil {
+		_ = r.conn.SetReadDeadline(time.Now().Add(r.opt.peerTimeout))
+		var f frame[T]
+		if err := r.dec.Decode(&f); err != nil {
+			// Transient by classification: the healing protocol owns it.
+			r.dropConn()
+			continue
+		}
+		if f.HB {
+			continue
+		}
+		if f.Seq != 0 && f.Seq <= r.delivered {
+			// Replayed duplicate: re-acknowledge so the sender prunes it.
+			r.ack(f.Seq)
+			continue
+		}
+		if f.EOF {
+			r.ack(f.Seq)
 			return raft.Stop
 		}
+		out := r.Out("out")
+		for i, v := range f.Vals {
+			sig := raft.SigNone
+			if i < len(f.Sigs) {
+				sig = f.Sigs[i]
+			}
+			if err := raft.PushSig(out, v, sig); err != nil {
+				return raft.Stop
+			}
+		}
+		if f.Seq != 0 {
+			r.delivered = f.Seq
+			r.ack(f.Seq)
+		}
+		return raft.Proceed
 	}
-	return raft.Proceed
+}
+
+// ack reports delivery through Seq; failures are ignored (a dying
+// connection means the sender will reconnect and replay, and the
+// deduplication window absorbs the repeats).
+func (r *Receiver[T]) ack(seq uint64) {
+	if r.ackEnc != nil {
+		_ = r.ackEnc.Encode(ackMsg{Seq: seq})
+	}
+}
+
+// await blocks until the sender reconnects, or the outage outlasts
+// MaxDowntime and the degradation policy fires. done=true carries a final
+// kernel status.
+func (r *Receiver[T]) await() (raft.Status, bool) {
+	start := time.Now()
+	defer func() { r.downtimeNs.Add(int64(time.Since(start))) }()
+	var expire <-chan time.Time
+	if r.opt.maxDowntime > 0 {
+		t := time.NewTimer(r.opt.maxDowntime)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case conn := <-r.accept:
+		r.setup(conn)
+		r.reconnects.Add(1)
+		return raft.Proceed, false
+	case <-expire:
+		if r.opt.policy == Fail {
+			r.Raise(fmt.Errorf("oar: stream %q: receiver down %v: %w",
+				r.stream, time.Since(start).Round(time.Millisecond), raft.ErrBridgeDown))
+		}
+		return raft.Stop, true
+	}
 }
 
 // Finalize implements raft.Finalizer by closing the connection.
 func (r *Receiver[T]) Finalize() {
-	if r.conn != nil {
-		r.conn.Close()
-	}
+	r.dropConn()
+}
+
+// BridgeStats implements raft.BridgeReporter.
+func (r *Receiver[T]) BridgeStats() (raft.BridgeReport, bool) {
+	return raft.BridgeReport{
+		Stream:     r.stream,
+		Reconnects: r.reconnects.Load(),
+		Downtime:   time.Duration(r.downtimeNs.Load()),
+	}, r.started
 }
 
 // Bridge wires a sender/receiver pair for the named stream terminating at
 // recvNode. Link the sender as a sink in the producing map and the
-// receiver as a source in the consuming map.
-func Bridge[T any](recvNode *Node, stream string) (*Sender[T], *Receiver[T], error) {
-	recv, err := NewReceiver[T](recvNode, stream)
+// receiver as a source in the consuming map. Options apply to both ends.
+func Bridge[T any](recvNode *Node, stream string, opts ...BridgeOption) (*Sender[T], *Receiver[T], error) {
+	recv, err := NewReceiver[T](recvNode, stream, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	send := NewSender[T](recvNode.Addr(), stream)
+	send := NewSender[T](recvNode.Addr(), stream, opts...)
 	return send, recv, nil
 }
+
+// guard: both endpoints publish recovery counters.
+var (
+	_ raft.BridgeReporter = (*Sender[int])(nil)
+	_ raft.BridgeReporter = (*Receiver[int])(nil)
+)

@@ -3,7 +3,7 @@ package oar
 import (
 	"compress/flate"
 	"encoding/gob"
-	"fmt"
+	"net"
 
 	"raftlib/raft"
 )
@@ -13,69 +13,37 @@ import (
 // improving the cache-able data": frames are deflate-compressed on the
 // wire, flushed per frame so latency stays bounded. Both ends are created
 // by one BridgeCompressed call, so no codec negotiation is needed.
+//
+// Compression is installed as encoder/decoder factories so the healing
+// protocol recreates the flate layers on every reconnect; acknowledgments
+// ride the connection uncompressed in the reverse direction.
 
-// compressedSender is a Sender whose frames pass through a flate writer.
-type compressedSender[T any] struct {
-	*Sender[T]
-	fw *flate.Writer
-}
-
-// Init dials and layers the compressor over the connection.
-func (s *compressedSender[T]) Init() error {
-	if err := s.Sender.Init(); err != nil {
-		return err
-	}
-	fw, err := flate.NewWriter(s.conn, flate.BestSpeed)
+// flateEnc layers a deflate writer between the gob encoder and the
+// connection.
+func flateEnc(conn net.Conn) (*gob.Encoder, func() error, func(), error) {
+	fw, err := flate.NewWriter(conn, flate.BestSpeed)
 	if err != nil {
-		s.conn.Close()
-		return fmt.Errorf("oar: compressed sender: %w", err)
+		return nil, nil, nil, err
 	}
-	s.fw = fw
-	s.enc = gob.NewEncoder(fw)
-	s.flush = fw.Flush // deliver each frame promptly
-	return nil
+	return gob.NewEncoder(fw), fw.Flush, func() { _ = fw.Close() }, nil
 }
 
-// Finalize flushes the compressor tail before closing.
-func (s *compressedSender[T]) Finalize() {
-	if s.fw != nil {
-		_ = s.fw.Close()
-	}
-	s.Sender.Finalize()
-}
-
-// compressedReceiver is a Receiver reading through a flate reader.
-type compressedReceiver[T any] struct {
-	*Receiver[T]
-}
-
-// Init waits for the sender and layers the decompressor.
-func (r *compressedReceiver[T]) Init() error {
-	if err := r.Receiver.Init(); err != nil {
-		return err
-	}
-	r.dec = gob.NewDecoder(flate.NewReader(r.conn))
-	return nil
+// flateDec layers a deflate reader under the gob decoder.
+func flateDec(conn net.Conn) *gob.Decoder {
+	return gob.NewDecoder(flate.NewReader(conn))
 }
 
 // BridgeCompressed wires a sender/receiver pair like Bridge, with the
 // stream deflate-compressed on the wire. Worth it for compressible
 // element types (text, sparse numeric data) on bandwidth-limited links;
 // pure overhead for incompressible payloads.
-func BridgeCompressed[T any](recvNode *Node, stream string) (raft.Kernel, raft.Kernel, error) {
-	recv, err := NewReceiver[T](recvNode, stream)
+func BridgeCompressed[T any](recvNode *Node, stream string, opts ...BridgeOption) (raft.Kernel, raft.Kernel, error) {
+	recv, err := NewReceiver[T](recvNode, stream, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	send := NewSender[T](recvNode.Addr(), stream)
-	cs := &compressedSender[T]{Sender: send}
-	cr := &compressedReceiver[T]{Receiver: recv}
-	return cs, cr, nil
+	send := NewSender[T](recvNode.Addr(), stream, opts...)
+	send.mkEnc = flateEnc
+	recv.mkDec = flateDec
+	return send, recv, nil
 }
-
-// guard: the wrappers must still satisfy the kernel-lifecycle interfaces.
-var (
-	_ raft.Initializer = (*compressedSender[int])(nil)
-	_ raft.Finalizer   = (*compressedSender[int])(nil)
-	_ raft.Initializer = (*compressedReceiver[int])(nil)
-)

@@ -379,7 +379,19 @@ func (n *Node) serveStream(conn net.Conn, br *bufio.Reader, name string) {
 	select {
 	case ch <- &bufferedConn{Conn: conn, r: br}:
 	default:
-		conn.Close() // second connection to the same stream: reject
+		// Newest wins: a second connection to the same stream is a sender
+		// reconnecting after a failure the receiver has not noticed yet.
+		// Drop the stale undelivered connection and hand over the new one.
+		select {
+		case old := <-ch:
+			old.Close()
+		default:
+		}
+		select {
+		case ch <- &bufferedConn{Conn: conn, r: br}:
+		default:
+			conn.Close()
+		}
 	}
 }
 

@@ -248,11 +248,10 @@ func TestBridgeCarriesSignals(t *testing.T) {
 
 func TestReceiverTimesOutWithoutSender(t *testing.T) {
 	node := newTestNode(t, "lonely")
-	recv, err := NewReceiver[int](node, "never")
+	recv, err := NewReceiver[int](node, "never", WithFirstConnect(50*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
-	recv.timeout = 50 * time.Millisecond
 	if err := recv.Init(); err == nil {
 		t.Fatal("receiver must time out when no sender connects")
 	}

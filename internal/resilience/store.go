@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store persists kernel snapshots keyed by kernel name. Implementations
+// must be safe for concurrent use (replicated kernels checkpoint from
+// several goroutines).
+type Store interface {
+	// Save durably records the snapshot for the kernel, replacing any
+	// previous one.
+	Save(kernel string, snapshot []byte) error
+	// Load returns the latest snapshot for the kernel; ok is false when
+	// none has been saved.
+	Load(kernel string) (snapshot []byte, ok bool, err error)
+}
+
+// MemStore is an in-process Store: snapshots survive kernel restarts
+// within one execution but not process exit. It is the default store.
+type MemStore struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Save implements Store.
+func (m *MemStore) Save(kernel string, snapshot []byte) error {
+	cp := make([]byte, len(snapshot))
+	copy(cp, snapshot)
+	m.mu.Lock()
+	m.data[kernel] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Load implements Store.
+func (m *MemStore) Load(kernel string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap, ok := m.data[kernel]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(snap))
+	copy(cp, snap)
+	return cp, true, nil
+}
+
+// FileStore persists snapshots as one file per kernel under a directory,
+// surviving process restarts (cross-execution resume). Writes go through a
+// temp file + rename so a crash mid-checkpoint never corrupts the previous
+// snapshot.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStore creates (if needed) and opens the directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Save implements Store.
+func (f *FileStore) Save(kernel string, snapshot []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	final := f.path(kernel)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
+		return fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (f *FileStore) Load(kernel string) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap, err := os.ReadFile(f.path(kernel))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %w", ErrCheckpointFailed, err)
+	}
+	return snap, true, nil
+}
+
+// path maps a kernel name to its snapshot file. Kernel names may contain
+// separators and bracket decorations ("search[horspool]#1[2]"); they are
+// flattened into a safe flat filename.
+func (f *FileStore) path(kernel string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, kernel)
+	return filepath.Join(f.dir, safe+".ckpt")
+}

@@ -36,7 +36,10 @@ type Scheduler interface {
 func runActorLifecycle(a *core.Actor, yield func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("kernel %q panicked: %v", a.Name, r)
+			// Typed: errors.Is(err, core.ErrKernelPanicked) holds, and an
+			// error-valued panic (typed port misuse, injected fault) stays
+			// reachable through Unwrap for classification.
+			err = fmt.Errorf("kernel %q %w", a.Name, core.PanicError(r))
 		}
 		if a.Finish != nil {
 			a.Finish()
@@ -185,7 +188,7 @@ func (p Pool) stepQuantum(a *core.Actor, idx int, errs []error, errMu *sync.Mute
 	defer func() {
 		if r := recover(); r != nil {
 			errMu.Lock()
-			errs[idx] = fmt.Errorf("kernel %q panicked: %v", a.Name, r)
+			errs[idx] = fmt.Errorf("kernel %q %w", a.Name, core.PanicError(r))
 			errMu.Unlock()
 			finished = true
 		}

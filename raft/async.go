@@ -26,7 +26,7 @@ type asyncCell struct {
 // overwrites any signal not yet consumed (signals are level, not queued).
 func (p *Port) SendAsync(s Signal) {
 	if p.async == nil {
-		panic(fmt.Sprintf("raft: SendAsync on unbound port %s", p))
+		panic(misuse(ErrPortUnbound, "SendAsync on unbound port %s", p))
 	}
 	p.async.v.Store(uint32(s))
 }

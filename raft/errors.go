@@ -1,0 +1,66 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+
+	"raftlib/internal/core"
+	"raftlib/internal/resilience"
+)
+
+// Sentinel errors for the public API. Every error the library returns (or
+// panics with, for construction-time misuse) wraps one of these, so callers
+// classify failures with errors.Is instead of string matching:
+//
+//	if _, err := m.Link(a, b); errors.Is(err, raft.ErrTypeMismatch) { ... }
+//
+// Resilience sentinels (ErrKernelPanicked, ErrRetriesExhausted,
+// ErrCheckpointFailed) are aliases of their internal definitions — the same
+// pattern as ErrClosed aliasing the ringbuffer's sentinel — so errors
+// produced deep in the runtime satisfy errors.Is against the public names.
+var (
+	// ErrKernelPanicked marks an error produced by recovering a kernel
+	// panic: the scheduler's conversion when no supervisor is installed, or
+	// the supervisor's exhaustion escalation when one is.
+	ErrKernelPanicked = core.ErrKernelPanicked
+
+	// ErrRetriesExhausted marks a supervised kernel that kept panicking
+	// past its restart budget and was escalated as a permanent failure.
+	ErrRetriesExhausted = resilience.ErrRetriesExhausted
+
+	// ErrCheckpointFailed wraps kernel snapshot or restore failures.
+	ErrCheckpointFailed = resilience.ErrCheckpointFailed
+
+	// ErrBridgeDown marks a remote stream (oar bridge) whose connection
+	// stayed down past the healing policy's tolerance.
+	ErrBridgeDown = errors.New("raft: bridge down")
+
+	// ErrPortNotFound marks a lookup of a port name the kernel never
+	// declared.
+	ErrPortNotFound = errors.New("raft: port not found")
+
+	// ErrPortInUse marks a Link against a port that is already linked, or a
+	// duplicate port declaration.
+	ErrPortInUse = errors.New("raft: port already in use")
+
+	// ErrPortUnbound marks a stream operation on a port before Map.Exe
+	// allocated its stream.
+	ErrPortUnbound = errors.New("raft: port not bound")
+
+	// ErrTypeMismatch marks linking or accessing a port with the wrong
+	// element type — the library's stand-in for the C++ template compile
+	// error.
+	ErrTypeMismatch = errors.New("raft: element type mismatch")
+
+	// ErrAlreadyExecuted marks a second Exe on the same Map.
+	ErrAlreadyExecuted = errors.New("raft: map already executed")
+)
+
+// misuse builds the panic value for construction-time API misuse: an error
+// whose message reads naturally and which wraps the given sentinel. Misuse
+// inside a running kernel is recovered by the scheduler (or supervisor) and
+// surfaced from Exe as an error satisfying errors.Is for both
+// ErrKernelPanicked and the sentinel.
+func misuse(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%s [%w]", fmt.Sprintf("raft: "+format, args...), sentinel)
+}

@@ -1,0 +1,104 @@
+package raft
+
+import (
+	"errors"
+	"testing"
+)
+
+// recoverErr runs fn and returns its panic value as an error (nil if no
+// panic or a non-error panic value).
+func recoverErr(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestMisusePanicsWrapSentinels(t *testing.T) {
+	k := newSum()
+	cases := []struct {
+		name     string
+		sentinel error
+		fn       func()
+	}{
+		{"unknown input", ErrPortNotFound, func() { k.In("nope") }},
+		{"unknown output", ErrPortNotFound, func() { k.Out("nope") }},
+		{"duplicate port", ErrPortInUse, func() { AddInput[int64](k, "input_a") }},
+		{"unbound pop", ErrPortUnbound, func() { _, _ = Pop[int64](k.In("input_a")) }},
+		{"unbound async", ErrPortUnbound, func() { k.Out("sum").SendAsync(SigUser) }},
+	}
+	for _, c := range cases {
+		err := recoverErr(c.fn)
+		if err == nil {
+			t.Errorf("%s: panic value is not an error", c.name)
+			continue
+		}
+		if !errors.Is(err, c.sentinel) {
+			t.Errorf("%s: %v does not wrap %v", c.name, err, c.sentinel)
+		}
+	}
+}
+
+func TestLinkErrorsWrapSentinels(t *testing.T) {
+	m := NewMap()
+	gen := newGen(3)
+	sink := newCollect()
+
+	if _, err := m.Link(gen, sink, To("nope")); !errors.Is(err, ErrPortNotFound) {
+		t.Errorf("unknown To port: %v", err)
+	}
+	if _, err := m.Link(gen, sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(gen, sink); !errors.Is(err, ErrPortNotFound) {
+		t.Errorf("no unbound port: %v", err)
+	}
+
+	m2 := NewMap()
+	strs := NewLambda[string](0, 1, func(k *LambdaKernel) Status { return Stop })
+	if _, err := m2.Link(strs, newCollect()); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string->int64 link: %v", err)
+	}
+}
+
+func TestExeSurfacesTypedPanicsAsErrors(t *testing.T) {
+	m := NewMap()
+	bad := NewLambdaIO[int64, int64](1, 1, func(k *LambdaKernel) Status {
+		_, _ = Pop[string](k.In("0")) // wrong T: panics with ErrTypeMismatch
+		return Stop
+	})
+	if _, err := m.Link(newGen(5), bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(bad, newCollect()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Exe()
+	if err == nil {
+		t.Fatal("Exe succeeded despite kernel panic")
+	}
+	if !errors.Is(err, ErrKernelPanicked) {
+		t.Errorf("Exe error %v does not wrap ErrKernelPanicked", err)
+	}
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Exe error %v does not wrap ErrTypeMismatch", err)
+	}
+}
+
+func TestDoubleExeWrapsSentinel(t *testing.T) {
+	m := NewMap()
+	if _, err := m.Link(newGen(3), newCollect()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exe(); !errors.Is(err, ErrAlreadyExecuted) {
+		t.Errorf("second Exe: %v", err)
+	}
+}

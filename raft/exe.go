@@ -10,6 +10,7 @@ import (
 	"raftlib/internal/graph"
 	"raftlib/internal/mapper"
 	"raftlib/internal/monitor"
+	"raftlib/internal/resilience"
 	"raftlib/internal/ringbuffer"
 	"raftlib/internal/scheduler"
 	"raftlib/internal/trace"
@@ -74,6 +75,27 @@ type Config struct {
 	// TraceCapacity, when positive, records kernel start/end events into
 	// a bounded ring exposed on the Report (see WithTrace).
 	TraceCapacity int
+
+	// Supervised wraps every kernel in a restart supervisor (see
+	// WithSupervision / WithCheckpoints).
+	Supervised bool
+	// Supervision is the restart policy for supervised kernels (zero value
+	// = defaults).
+	Supervision SupervisionPolicy
+	// CkptStore persists Checkpointable kernel snapshots; nil with a
+	// non-empty CkptDir selects a file store over that directory, and nil
+	// otherwise selects an in-memory store.
+	CkptStore CheckpointStore
+	// CkptDir is the file-backed checkpoint directory (see WithCheckpoints).
+	CkptDir string
+	// CkptEvery is the snapshot period in successful invocations (default 1).
+	CkptEvery uint64
+	// Fault is the armed fault-injection plan, if any (see
+	// WithFaultInjection).
+	Fault *FaultInjector
+
+	// resLog collects supervision events during one Exe for the Report.
+	resLog *resilience.Log
 }
 
 func defaultConfig() Config {
@@ -191,6 +213,11 @@ type Report struct {
 	// Trace holds the kernel invocation recorder when WithTrace was set;
 	// render it with Trace.Timeline(TraceNames(report), width).
 	Trace *trace.Recorder
+	// Recoveries lists every supervised restart (and terminal failure)
+	// observed during the execution, in order.
+	Recoveries []RecoveryEvent
+	// Bridges reports recovery counters of self-healing remote streams.
+	Bridges []BridgeReport
 }
 
 // TraceNames returns the kernel names indexed by trace kernel id for
@@ -211,6 +238,8 @@ type KernelReport struct {
 	MeanSvcNanos float64
 	BusyNanos    uint64
 	RatePerSec   float64
+	// Restarts counts supervised recoveries of this kernel.
+	Restarts uint64
 }
 
 // LinkReport is the per-stream slice of a Report.
@@ -242,7 +271,7 @@ type GroupReport struct {
 // (paper §4, "map.exe()"). A Map can be executed once.
 func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if m.executed {
-		return nil, fmt.Errorf("raft: map already executed (kernels and streams are single-use; build a fresh Map)")
+		return nil, fmt.Errorf("%w (kernels and streams are single-use; build a fresh Map)", ErrAlreadyExecuted)
 	}
 	m.executed = true
 	cfg := defaultConfig()
@@ -300,6 +329,11 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 		rec = trace.NewRecorder(cfg.TraceCapacity)
 	}
 	actors := m.buildActors(assignment, rec)
+	if cfg.Fault != nil || cfg.Supervised {
+		if err := m.wireResilience(&cfg, actors); err != nil {
+			return nil, err
+		}
+	}
 
 	// 6. Monitor.
 	var mon *monitor.Monitor
@@ -531,7 +565,18 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			MeanSvcNanos: a.Service.MeanNanos(),
 			BusyNanos:    a.Service.BusyNanos(),
 			RatePerSec:   a.Service.RatePerSecond(),
+			Restarts:     a.Restarts.Load(),
 		})
+	}
+	if cfg.resLog != nil {
+		rep.Recoveries = cfg.resLog.Events()
+	}
+	for _, k := range m.kernels {
+		if br, ok := k.(BridgeReporter); ok {
+			if b, carried := br.BridgeStats(); carried {
+				rep.Bridges = append(rep.Bridges, b)
+			}
+		}
 	}
 	for _, l := range links {
 		tel := l.Queue.Telemetry().Snapshot()

@@ -1,7 +1,6 @@
 package raft
 
 import (
-	"fmt"
 	"reflect"
 
 	"raftlib/internal/ringbuffer"
@@ -96,20 +95,21 @@ func (k *KernelBase) Virtual() bool { return k.virtual }
 
 // In returns the named input port, panicking if it does not exist (a
 // kernel-construction bug, analogous to the C++ template failing to
-// compile).
+// compile). The panic value is an error wrapping ErrPortNotFound.
 func (k *KernelBase) In(name string) *Port {
 	p, ok := k.inPorts[name]
 	if !ok {
-		panic(fmt.Sprintf("raft: kernel %q has no input port %q", k.name, name))
+		panic(misuse(ErrPortNotFound, "kernel %q has no input port %q", k.name, name))
 	}
 	return p
 }
 
-// Out returns the named output port, panicking if it does not exist.
+// Out returns the named output port, panicking (with an error wrapping
+// ErrPortNotFound) if it does not exist.
 func (k *KernelBase) Out(name string) *Port {
 	p, ok := k.outPorts[name]
 	if !ok {
-		panic(fmt.Sprintf("raft: kernel %q has no output port %q", k.name, name))
+		panic(misuse(ErrPortNotFound, "kernel %q has no output port %q", k.name, name))
 	}
 	return p
 }
@@ -172,7 +172,7 @@ func (k *KernelBase) addPort(p *Port) {
 			k.inPorts = map[string]*Port{}
 		}
 		if _, dup := k.inPorts[p.name]; dup {
-			panic(fmt.Sprintf("raft: kernel %q declares input port %q twice", k.name, p.name))
+			panic(misuse(ErrPortInUse, "kernel %q declares input port %q twice", k.name, p.name))
 		}
 		k.inPorts[p.name] = p
 		k.inNames = append(k.inNames, p.name)
@@ -181,7 +181,7 @@ func (k *KernelBase) addPort(p *Port) {
 			k.outPorts = map[string]*Port{}
 		}
 		if _, dup := k.outPorts[p.name]; dup {
-			panic(fmt.Sprintf("raft: kernel %q declares output port %q twice", k.name, p.name))
+			panic(misuse(ErrPortInUse, "kernel %q declares output port %q twice", k.name, p.name))
 		}
 		k.outPorts[p.name] = p
 		k.outNames = append(k.outNames, p.name)

@@ -41,6 +41,8 @@ type LiveKernel struct {
 	MeanSvcNanos float64
 	// RatePerSec is the invocation rate implied by the mean service time.
 	RatePerSec float64
+	// Restarts counts supervised recoveries of the kernel so far.
+	Restarts uint64
 }
 
 // Observer receives periodic LiveStats while the application runs. It is
@@ -121,6 +123,7 @@ func (s *statsStreamer) snapshot() LiveStats {
 			Runs:         a.Service.Count(),
 			MeanSvcNanos: a.Service.MeanNanos(),
 			RatePerSec:   a.Service.RatePerSecond(),
+			Restarts:     a.Restarts.Load(),
 		})
 	}
 	return ls

@@ -138,7 +138,7 @@ func (m *Map) Link(src, dst Kernel, opts ...LinkOption) (*Link, error) {
 		if spec.convert {
 			return m.convertedLink(src, dst, sp, dp, spec)
 		}
-		return nil, fmt.Errorf("raft: type mismatch linking %s -> %s (AllowConvert permits numeric casts)", sp, dp)
+		return nil, fmt.Errorf("raft: %w linking %s -> %s (AllowConvert permits numeric casts)", ErrTypeMismatch, sp, dp)
 	}
 	l := &Link{
 		Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
@@ -171,10 +171,10 @@ func pickPort(kb *KernelBase, dir Direction, name string) (*Port, error) {
 	if name != "" {
 		p, ok := ports[name]
 		if !ok {
-			return nil, fmt.Errorf("raft: kernel %q has no %s port %q", kb.name, dir, name)
+			return nil, fmt.Errorf("raft: kernel %q has no %s port %q: %w", kb.name, dir, name, ErrPortNotFound)
 		}
 		if p.Bound() {
-			return nil, fmt.Errorf("raft: port %s is already linked", p)
+			return nil, fmt.Errorf("raft: port %s is already linked: %w", p, ErrPortInUse)
 		}
 		return p, nil
 	}
@@ -188,7 +188,7 @@ func pickPort(kb *KernelBase, dir Direction, name string) (*Port, error) {
 	case 1:
 		return free[0], nil
 	case 0:
-		return nil, fmt.Errorf("raft: kernel %q has no unbound %s port", kb.name, dir)
+		return nil, fmt.Errorf("raft: kernel %q has no unbound %s port: %w", kb.name, dir, ErrPortNotFound)
 	default:
 		return nil, fmt.Errorf("raft: kernel %q has %d unbound %s ports; select one with %s",
 			kb.name, len(free), dir, fromOrTo(dir))

@@ -125,13 +125,13 @@ func (p *Port) cloneSpec(name string, dir Direction) *Port {
 
 func (p *Port) mustBeBound() {
 	if p.typed == nil {
-		panic(fmt.Sprintf("raft: port %s used before Map.Exe allocated its stream", p))
+		panic(misuse(ErrPortUnbound, "port %s used before Map.Exe allocated its stream", p))
 	}
 }
 
-func typeMismatchPanic[T any](p *Port) string {
+func typeMismatchPanic[T any](p *Port) error {
 	var zero T
-	return fmt.Sprintf("raft: port %s accessed with element type %T", p, zero)
+	return misuse(ErrTypeMismatch, "port %s accessed with element type %T", p, zero)
 }
 
 // queueOf extracts the typed queue interface from a port, panicking with a
@@ -154,7 +154,7 @@ func ringOf[T any](p *Port) *ringbuffer.Ring[T] {
 	r, ok := p.typed.(*ringbuffer.Ring[T])
 	if !ok {
 		if _, isT := p.typed.(typedQueue[T]); isT {
-			panic(fmt.Sprintf("raft: window access on port %s requires dynamic queues (remove WithLockFreeQueues)", p))
+			panic(misuse(ErrTypeMismatch, "window access on port %s requires dynamic queues (remove WithLockFreeQueues)", p))
 		}
 		panic(typeMismatchPanic[T](p))
 	}
@@ -272,7 +272,7 @@ func (a *Alloc[T]) Send() error {
 func moveItems[T any](src, dst any, max int) (int, error) {
 	s, ok := src.(typedQueue[T])
 	if !ok {
-		panic(fmt.Sprintf("raft: internal transfer source type mismatch (%T)", src))
+		panic(misuse(ErrTypeMismatch, "internal transfer source type mismatch (%T)", src))
 	}
 	d := dst.(typedQueue[T])
 	moved := 0

@@ -5,7 +5,10 @@ import (
 	"testing"
 )
 
-// mustPanic asserts fn panics with a message containing want.
+// mustPanic asserts fn panics with a message containing want. API-misuse
+// panics carry error values (wrapping the raft sentinel errors) so that
+// recover-based supervision can classify them; plain string panics are also
+// accepted.
 func mustPanic(t *testing.T, want string, fn func()) {
 	t.Helper()
 	defer func() {
@@ -13,9 +16,14 @@ func mustPanic(t *testing.T, want string, fn func()) {
 		if r == nil {
 			t.Fatalf("expected panic containing %q", want)
 		}
-		msg, ok := r.(string)
-		if !ok {
-			t.Fatalf("panic value %v (%T), want string", r, r)
+		var msg string
+		switch v := r.(type) {
+		case string:
+			msg = v
+		case error:
+			msg = v.Error()
+		default:
+			t.Fatalf("panic value %v (%T), want string or error", r, r)
 		}
 		if !strings.Contains(msg, want) {
 			t.Fatalf("panic %q does not mention %q", msg, want)

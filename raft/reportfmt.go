@@ -42,6 +42,23 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "  %-10s %-40s %d -> %d\n", e.Kind, e.Target, e.From, e.To)
 		}
 	}
+	if len(r.Recoveries) > 0 || len(r.Bridges) > 0 {
+		fmt.Fprintf(&b, "\nrecoveries (%d restarts, %d bridges):\n", len(r.Recoveries), len(r.Bridges))
+		for _, k := range r.Kernels {
+			if k.Restarts > 0 {
+				fmt.Fprintf(&b, "  kernel %-28s %d restarts\n", k.Name, k.Restarts)
+			}
+		}
+		for _, e := range r.Recoveries {
+			if !e.Recovered {
+				fmt.Fprintf(&b, "  kernel %-28s FAILED after %d attempts: %s\n", e.Kernel, e.Attempt, e.Cause)
+			}
+		}
+		for _, br := range r.Bridges {
+			fmt.Fprintf(&b, "  bridge %-28s %d reconnects, %d replayed, %d dropped, %v down\n",
+				br.Stream, br.Reconnects, br.Replayed, br.Dropped, br.Downtime)
+		}
+	}
 	return b.String()
 }
 

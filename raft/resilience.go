@@ -1,0 +1,219 @@
+package raft
+
+import (
+	"sync/atomic"
+	"time"
+
+	"raftlib/internal/core"
+	"raftlib/internal/fault"
+	"raftlib/internal/resilience"
+)
+
+// This file is the public face of the resilience subsystem: kernel
+// supervision (panic recovery with a restart policy), checkpoint/restart
+// for stateful kernels, and deterministic fault injection. The paper's
+// runtime "owns" buffer sizing, mapping and scheduling (§4.1); these
+// options extend that ownership to partial failure, keeping the kernel
+// programming model unchanged — a kernel that panics is restarted in place
+// with its streams intact, and only an exhausted restart budget surfaces
+// as an error (via the §4.2 asynchronous global exception pathway).
+
+// Checkpointable is implemented by kernels whose state should survive
+// restarts. The supervisor snapshots after successful invocations and
+// restores before re-running a kernel it just restarted; with a
+// file-backed store (WithCheckpoints) state also survives process exit,
+// enabling cross-execution resume.
+type Checkpointable interface {
+	// Snapshot serializes the kernel's mutable state.
+	Snapshot() ([]byte, error)
+	// Restore re-establishes state from a prior Snapshot.
+	Restore(snapshot []byte) error
+}
+
+// SupervisionPolicy is the per-kernel restart policy: restart budget and
+// exponential backoff parameters. The zero value selects the defaults
+// (3 restarts, 1ms initial backoff doubling to 1s, 10% jitter).
+type SupervisionPolicy = resilience.Policy
+
+// CheckpointStore persists kernel snapshots keyed by kernel name.
+type CheckpointStore = resilience.Store
+
+// NewMemCheckpointStore returns an in-memory CheckpointStore: snapshots
+// survive kernel restarts within one execution but not process exit.
+func NewMemCheckpointStore() CheckpointStore { return resilience.NewMemStore() }
+
+// NewFileCheckpointStore returns a CheckpointStore persisting one file per
+// kernel under dir (created if needed), for cross-execution resume.
+func NewFileCheckpointStore(dir string) (CheckpointStore, error) {
+	return resilience.NewFileStore(dir)
+}
+
+// RecoveryEvent records one supervised restart (or the terminal failure of
+// an exhausted kernel); see Report.Recoveries.
+type RecoveryEvent = resilience.Event
+
+// FaultInjector is a deterministic fault plan: kernel kills at exact
+// invocation indices, bridge severs/corruptions/delays at exact frame
+// sequences. Arm one with NewFaultInjector and install it with
+// WithFaultInjection; it drives the chaos tests and the A10 ablation.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns an empty fault plan.
+func NewFaultInjector() *FaultInjector { return fault.New() }
+
+// BridgeReport summarizes one self-healing remote stream's recovery
+// activity (oar bridges publish these; see Report.Bridges).
+type BridgeReport struct {
+	// Stream is the bridge's stream name.
+	Stream string
+	// Reconnects counts connections re-established after a failure.
+	Reconnects uint64
+	// Replayed counts frames retransmitted from the replay buffer.
+	Replayed uint64
+	// Dropped counts elements discarded under the Drop degradation policy.
+	Dropped uint64
+	// Downtime is the cumulative time spent disconnected.
+	Downtime time.Duration
+}
+
+// BridgeReporter is implemented by bridge kernels that publish recovery
+// counters; Exe collects them into Report.Bridges.
+type BridgeReporter interface {
+	// BridgeStats returns the bridge's recovery counters; ok is false when
+	// the kernel never carried a bridge connection.
+	BridgeStats() (rep BridgeReport, ok bool)
+}
+
+// WithSupervision wraps every kernel in a supervisor: a panic inside Run
+// no longer aborts the application — the kernel restarts in place (its
+// streams stay bound, so neighbors simply observe a pause) under the given
+// restart policy. A kernel that exhausts its budget is escalated through
+// the global exception pathway and Exe returns an error wrapping
+// ErrRetriesExhausted. Pass the zero SupervisionPolicy for defaults.
+func WithSupervision(p SupervisionPolicy) Option {
+	return func(c *Config) {
+		c.Supervised = true
+		c.Supervision = p
+	}
+}
+
+// WithCheckpoints enables supervision with file-backed checkpoints under
+// dir: Checkpointable kernels snapshot after successful invocations,
+// restore on restart, and resume from the latest snapshot when a new
+// execution starts over the same directory.
+func WithCheckpoints(dir string) Option {
+	return func(c *Config) {
+		c.Supervised = true
+		c.CkptDir = dir
+	}
+}
+
+// WithCheckpointStore is WithCheckpoints with a caller-supplied store
+// (e.g. NewMemCheckpointStore for in-process restart protection without
+// touching disk).
+func WithCheckpointStore(s CheckpointStore) Option {
+	return func(c *Config) {
+		c.Supervised = true
+		c.CkptStore = s
+	}
+}
+
+// WithCheckpointEvery sets the snapshot period in successful invocations
+// (default 1). Larger periods cost less but may re-process up to n-1
+// inputs' worth of state mutation after a restart.
+func WithCheckpointEvery(n uint64) Option {
+	return func(c *Config) { c.CkptEvery = n }
+}
+
+// WithFaultInjection installs an armed fault plan. Injected kernel kills
+// panic at the top of the chosen invocation (before any input is popped),
+// so a supervised run recovers them losslessly; bridge faults fire at
+// exact frame sequence numbers inside the oar transport.
+func WithFaultInjection(inj *FaultInjector) Option {
+	return func(c *Config) { c.Fault = inj }
+}
+
+// wireResilience wraps the actors with fault-injection and supervision
+// layers. Ordering matters: the fault hook goes innermost (an injected
+// kill must look exactly like a kernel panic) and supervision outermost
+// (so it catches both real and injected failures).
+func (m *Map) wireResilience(cfg *Config, actors []*core.Actor) error {
+	store := cfg.CkptStore
+	if store == nil && cfg.CkptDir != "" {
+		fs, err := resilience.NewFileStore(cfg.CkptDir)
+		if err != nil {
+			return err
+		}
+		store = fs
+	}
+	if cfg.Supervised && store == nil {
+		// Default store so Checkpointable kernels are restart-protected even
+		// without an explicit WithCheckpoints.
+		store = resilience.NewMemStore()
+	}
+	log := &resilience.Log{}
+	cfg.resLog = log
+
+	for i, k := range m.kernels {
+		a := actors[i]
+		if a.Virtual {
+			continue
+		}
+		if cfg.Fault != nil {
+			inner := a.Step
+			name := a.Name
+			inj := cfg.Fault
+			var runs atomic.Uint64
+			a.Step = func() core.Status {
+				inj.BeforeRun(name, runs.Add(1))
+				return inner()
+			}
+		}
+		if !cfg.Supervised {
+			continue
+		}
+		kb := k.kernelBase()
+		hooks := resilience.Hooks{
+			CheckpointEvery: cfg.CkptEvery,
+			OnExhausted:     kb.Raise,
+			Log:             log,
+		}
+		if ck, ok := k.(Checkpointable); ok {
+			name := a.Name
+			hooks.Checkpoint = func() error {
+				snap, err := ck.Snapshot()
+				if err != nil {
+					return err
+				}
+				return store.Save(name, snap)
+			}
+			hooks.Restore = func() error {
+				snap, found, err := store.Load(name)
+				if err != nil || !found {
+					return err
+				}
+				return ck.Restore(snap)
+			}
+			// Cross-execution resume: a persistent store may already hold a
+			// snapshot from an earlier run; restore it before the first Step.
+			innerInit := a.Init
+			a.Init = func() error {
+				if innerInit != nil {
+					if err := innerInit(); err != nil {
+						return err
+					}
+				}
+				snap, found, err := store.Load(name)
+				if err != nil {
+					return err
+				}
+				if found {
+					return ck.Restore(snap)
+				}
+				return nil
+			}
+		}
+		resilience.Supervise(a, cfg.Supervision, hooks)
+	}
+	return nil
+}
