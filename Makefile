@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,20 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the fast pre-commit gate: vet everything, then race-test the
+# check is the fast pre-commit gate: vet everything, race-test the
 # packages with the trickiest concurrency (resilience supervisor, oar
-# bridge healing, lock-free ring buffer).
+# bridge healing, lock-free ring buffer, batched port path), then smoke
+# the batch ablation so a batching regression fails loudly.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/...
+	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./raft/...
+	$(MAKE) bench-smoke
+
+# bench-smoke runs the batch ablation on a small corpus/stream — seconds,
+# not minutes — verifying the bulk path end to end (byte-identical results
+# and the batched >= 2x acceptance check are asserted inside the ablation).
+bench-smoke:
+	$(GO) run ./cmd/raft-bench -ablate batch -corpus 1 -items 500000
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -39,6 +39,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateSwap(corpusMB)
 	case "fault":
 		ablateFault(corpusMB)
+	case "batch":
+		ablateBatch(corpusMB)
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)
@@ -470,6 +472,142 @@ func ablateSwap(corpusMB int) {
 	fmt.Println("\nexpected: the dynamic group converges on the Boyer-Moore family")
 	fmt.Println("and lands near the pinned-horspool throughput, far above naive —")
 	fmt.Println("the paper's §5 algorithm-swap observation, automated.")
+}
+
+// benchItems is the synthetic pipeline length for the batch ablation,
+// set from the -items flag.
+var benchItems = 2_000_000
+
+// ablateBatch measures the batched stream path (A11): a small-element
+// synthetic pipeline (where per-element synchronization dominates, so bulk
+// transfer shows its full effect) compared element-wise vs statically
+// batched vs adaptively batched, a replicated pass-through stage whose
+// split/merge adapters move framed batches, and the Figure 10 text search
+// with and without the adaptive batcher. Every configuration's result is
+// checked against the element-wise baseline — batching must never change
+// what flows, only how many elements move per synchronization.
+func ablateBatch(corpusMB int) {
+	header("A11: Batched stream path — element-wise vs bulk vs adaptive")
+	items := int64(benchItems)
+	want := items * (items - 1) / 2
+	fmt.Printf("synthetic: generate -> reduce, %d small (int64) elements\n\n", items)
+	fmt.Printf("%-18s %-12s %-12s %-10s\n", "config", "elapsed(ms)", "Mitems/s", "linkBatch")
+
+	runSum := func(label string, batch int, opts ...raft.Option) float64 {
+		var sum int64
+		m := raft.NewMap()
+		gen := kernels.NewGenerate(items, func(i int64) int64 { return i })
+		red := kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &sum)
+		if batch > 0 {
+			gen.SetBatch(batch)
+			red.SetBatch(batch)
+		}
+		m.MustLink(gen, red)
+		start := time.Now()
+		rep, err := m.Exe(opts...)
+		if err != nil {
+			fmt.Println("error:", err)
+			return 0
+		}
+		elapsed := time.Since(start)
+		linkBatch := 0
+		for _, l := range rep.Links {
+			linkBatch = l.Batch
+		}
+		fmt.Printf("%-18s %-12.1f %-12.2f %-10d\n", label,
+			float64(elapsed)/float64(time.Millisecond),
+			float64(items)/elapsed.Seconds()/1e6, linkBatch)
+		if sum != want {
+			fmt.Printf("!! sum = %d, want %d (batching changed the stream)\n", sum, want)
+		}
+		return float64(items) / elapsed.Seconds()
+	}
+
+	base := runSum("element-wise", 0)
+	bulk := runSum("batched-64", 64)
+	adaptive := runSum("adaptive", 0, raft.WithAdaptiveBatching(true))
+	if base > 0 {
+		fmt.Printf("\nspeedup over element-wise: batched %.2fx, adaptive %.2fx (acceptance: batched >= 2x)\n",
+			bulk/base, adaptive/base)
+	}
+
+	// Replicated pass-through: the split/merge adapters do all the moving,
+	// so this isolates the batched mover path (one PopN + one PushN per
+	// hop vs element-wise TryPop/Push ping-pong).
+	fmt.Printf("\nsplit/merge adapters: generate -> split -> 4x pass -> merge -> reduce, %d elements\n", items)
+	fmt.Printf("%-18s %-12s %-12s\n", "config", "elapsed(ms)", "Mitems/s")
+	runSplit := func(label string, opts ...raft.Option) {
+		var sum int64
+		m := raft.NewMap()
+		pass := raft.NewLambdaCloneable(func() *raft.LambdaKernel {
+			return raft.NewLambda[int64](1, 1, func(k *raft.LambdaKernel) raft.Status {
+				v, err := raft.Pop[int64](k.In("0"))
+				if err != nil {
+					return raft.Stop
+				}
+				if err := raft.Push(k.Out("0"), v); err != nil {
+					return raft.Stop
+				}
+				return raft.Proceed
+			})
+		})
+		m.MustLink(kernels.NewGenerate(items, func(i int64) int64 { return i }).SetBatch(64), pass,
+			raft.AsOutOfOrder())
+		m.MustLink(pass, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &sum).SetBatch(64))
+		start := time.Now()
+		if _, err := m.Exe(append([]raft.Option{raft.WithAutoReplicate(4)}, opts...)...); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-18s %-12.1f %-12.2f\n", label,
+			float64(elapsed)/float64(time.Millisecond), float64(items)/elapsed.Seconds()/1e6)
+		if sum != want {
+			fmt.Printf("!! sum = %d, want %d\n", sum, want)
+		}
+	}
+	runSplit("static-batch")
+	runSplit("adaptive", raft.WithAdaptiveBatching(true))
+
+	// Figure 10 text search: large elements (chunks), so batching should be
+	// roughly neutral — the check is that results stay byte-identical.
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 21})
+	cores := min(4, runtime.GOMAXPROCS(0))
+	fmt.Printf("\ntext search (Fig. 10 pipeline, %d MiB, %d cores):\n", corpusMB, cores)
+	fmt.Printf("%-18s %-10s %-10s\n", "config", "GB/s", "hits")
+	var hitsOff, hitsOn int64 = -1, -1
+	for _, c := range []struct {
+		name  string
+		extra []raft.Option
+	}{
+		{"element-wise", nil},
+		{"adaptive", []raft.Option{raft.WithAdaptiveBatching(true)}},
+	} {
+		res, err := textsearch.Run(data, textsearch.Config{
+			Algo: "horspool", Cores: cores, ExtraExeOpts: c.extra,
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%-18s %-10s %-10d\n", c.name, gbps(res.Throughput(len(data))), res.Hits)
+		if c.extra == nil {
+			hitsOff = res.Hits
+		} else {
+			hitsOn = res.Hits
+		}
+	}
+	if hitsOff != hitsOn {
+		fmt.Printf("!! hit counts differ: %d vs %d\n", hitsOff, hitsOn)
+	} else {
+		fmt.Println("results identical with batching enabled.")
+	}
+	fmt.Println("\nexpected: bulk transfer wins big on small elements (one lock or")
+	fmt.Println("atomic publish amortized over the batch). adaptive approaches the")
+	fmt.Println("static batch without hand-tuning once the monitor observes a few")
+	fmt.Println("windows of contention; on single-core or heavily loaded hosts the")
+	fmt.Println("ramp can lag the run, so its speedup is noisier than static.")
+	fmt.Println("text search is neutral (large elements) and byte-identical.")
 }
 
 // ablateFault measures the resilience subsystem (A10): the overhead of

@@ -6,7 +6,7 @@
 //	raft-bench -fig4              queue-size sweep, matmul (paper Figure 4)
 //	raft-bench -fig10             text search GB/s vs cores (paper Figure 10)
 //	raft-bench -ablate <name>     split | resize | clone | sched | monitor |
-//	                              map | tcp | model | swap | fault
+//	                              map | tcp | model | swap | fault | batch
 //	raft-bench -all               everything above
 //
 // Absolute numbers depend on the host; EXPERIMENTS.md records the shape
@@ -27,15 +27,17 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the hardware summary (Table 1)")
 		fig4     = flag.Bool("fig4", false, "run the queue-size sweep (Figure 4)")
 		fig10    = flag.Bool("fig10", false, "run the text-search scaling study (Figure 10)")
-		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault")
+		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch")
 		all      = flag.Bool("all", false, "run every experiment")
 		corpusMB = flag.Int("corpus", 64, "text-search corpus size in MiB (Figure 10)")
+		items    = flag.Int("items", 2_000_000, "synthetic pipeline length in elements (batch ablation)")
 		reps     = flag.Int("reps", 10, "repetitions per configuration (Figure 4)")
 		coresArg = flag.String("cores", "", "comma-separated core counts for Figure 10 (default 1,2,4,...,NumCPU)")
 		csvOut   = flag.String("csv", "", "directory to also write figure data as CSV")
 	)
 	flag.Parse()
 	csvDir = *csvOut
+	benchItems = *items
 
 	cores := parseCores(*coresArg)
 
@@ -56,7 +58,7 @@ func main() {
 		runAblation(*ablate, *corpusMB, cores)
 		ran = true
 	} else if *all {
-		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault"} {
+		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch"} {
 			runAblation(name, *corpusMB, cores)
 		}
 	}

@@ -175,7 +175,9 @@ func TestChaosTextsearchIdenticalToUndisturbed(t *testing.T) {
 		}
 		producer.MustLink(kernels.NewBytesReader(data, 8<<10, len(pattern)-1), match, raft.AsOutOfOrder())
 		producer.MustLink(match, send)
-		prodOpts := []raft.Option{raft.WithAutoReplicate(3)}
+		// Adaptive batching on both runs: the disturbed result must stay
+		// byte-identical with bulk transfer and batch resizing engaged.
+		prodOpts := []raft.Option{raft.WithAutoReplicate(3), raft.WithAdaptiveBatching(true)}
 		if chaos {
 			prodOpts = append(prodOpts,
 				raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
@@ -252,10 +254,11 @@ func TestChaosDistributedSumExact(t *testing.T) {
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
 	wg.Add(2)
-	go func() { defer wg.Done(); _, errs[0] = producer.Exe() }()
+	go func() { defer wg.Done(); _, errs[0] = producer.Exe(raft.WithAdaptiveBatching(true)) }()
 	go func() {
 		defer wg.Done()
 		_, errs[1] = consumer.Exe(
+			raft.WithAdaptiveBatching(true),
 			raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
 			raft.WithCheckpointStore(raft.NewMemCheckpointStore()),
 			raft.WithFaultInjection(inj))

@@ -88,11 +88,53 @@ type LinkInfo struct {
 	// LatencyClass is the mapper's estimate of the cost of crossing this
 	// link (e.g. same-core, cross-socket, TCP); informational.
 	LatencyClass string
+	// Batch publishes the adaptive batcher's chosen transfer size for this
+	// link; adapters and bridges consult it on their hot path. Nil when the
+	// engine predates allocation (tests building LinkInfo by hand).
+	Batch *BatchControl
+	// LatencyPriority marks a link whose consumers need elements as soon as
+	// they exist: the batcher bypasses it (batch pinned at 1).
+	LatencyPriority bool
 }
 
 func (l *LinkInfo) String() string {
 	return fmt.Sprintf("link %d [%s] cap=%d len=%d", l.ID, l.Name, l.Queue.Cap(), l.Queue.Len())
 }
+
+// BatchControl publishes the transfer batch size chosen for one link. The
+// monitor's adaptive batcher writes it; split/merge adapters, bridges and
+// batch-aware kernels read it lock-free on their hot paths. A value of 0
+// means "no decision yet": readers fall back to their static default. Pinned
+// controls (latency-priority links) are never changed by the monitor.
+type BatchControl struct {
+	n      atomic.Int32
+	pinned atomic.Bool
+}
+
+// Get returns the current batch size (0 = no decision; nil-safe).
+func (b *BatchControl) Get() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.n.Load())
+}
+
+// Set publishes a new batch size (values < 1 are clamped to 1).
+func (b *BatchControl) Set(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.n.Store(int32(n))
+}
+
+// Pin fixes the batch size permanently; the monitor skips pinned controls.
+func (b *BatchControl) Pin(n int) {
+	b.Set(n)
+	b.pinned.Store(true)
+}
+
+// Pinned reports whether the control is exempt from adaptive changes.
+func (b *BatchControl) Pinned() bool { return b != nil && b.pinned.Load() }
 
 // Scaler is a control handle for a replicated kernel group: the monitor
 // widens or narrows the number of active replicas through it (the paper's

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/ringbuffer"
 )
 
 // Config tunes the monitor loop.
@@ -44,6 +45,21 @@ type Config struct {
 	// AutoScale enables dynamic widening/narrowing of replicated kernel
 	// groups via their Scalers.
 	AutoScale bool
+	// AdaptiveBatch enables the per-link batch-size controller: links whose
+	// endpoints demonstrably contend (blocked time or spin escalations
+	// accruing, or sustained near-full occupancy) have their transfer batch
+	// grown ×4 per window toward BatchMax, amortizing synchronization;
+	// links that go idle are halved back toward 1 so latency does not hide
+	// in stale batches. Latency-priority links (pinned controls) are
+	// bypassed. The ramp is deliberately steep: on loaded hosts the monitor
+	// goroutine itself is contended, so windows are scarce.
+	AdaptiveBatch bool
+	// BatchMax caps the adaptive batch size (<=0 selects 256). A link's
+	// batch is additionally capped at half its queue capacity so one
+	// endpoint can never monopolize the whole buffer per hop.
+	BatchMax int
+	// BatchWindow is the number of ticks between batch decisions (<=0: 32).
+	BatchWindow int
 	// ScaleUpFullFrac: widen when the group input queue has been observed
 	// near-full in at least this fraction of recent ticks (default 0.5).
 	ScaleUpFullFrac float64
@@ -74,7 +90,16 @@ func (c *Config) fill() {
 	if c.ScaleWindow <= 0 {
 		c.ScaleWindow = 64
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = DefaultBatchMax
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 32
+	}
 }
+
+// DefaultBatchMax is the adaptive batcher's default size ceiling.
+const DefaultBatchMax = 256
 
 // Monitor periodically samples and re-optimizes a running streaming graph.
 type Monitor struct {
@@ -88,6 +113,11 @@ type Monitor struct {
 
 	// per-link shrink hysteresis counters
 	quiet []int
+	// per-link adaptive batcher state
+	batchTick  []int
+	batchFull  []int
+	batchEmpty []int
+	prevTel    []ringbuffer.TelemetrySnapshot
 	// per-scaler tick state
 	scaleTick  []int
 	fullTicks  []int
@@ -124,6 +154,10 @@ func New(cfg Config, links []*core.LinkInfo, scalers []core.Scaler) *Monitor {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		quiet:      make([]int, len(links)),
+		batchTick:  make([]int, len(links)),
+		batchFull:  make([]int, len(links)),
+		batchEmpty: make([]int, len(links)),
+		prevTel:    make([]ringbuffer.TelemetrySnapshot, len(links)),
 		scaleTick:  make([]int, len(scalers)),
 		fullTicks:  make([]int, len(scalers)),
 		emptyTicks: make([]int, len(scalers)),
@@ -193,6 +227,10 @@ func (m *Monitor) Tick() {
 	for i, l := range m.links {
 		qlen, qcap := l.Queue.Len(), l.Queue.Cap()
 		l.Occupancy.Sample(qlen, qcap)
+
+		if m.cfg.AdaptiveBatch {
+			m.batchStep(i, l, qlen, qcap)
+		}
 
 		if !m.cfg.Resize || !l.ResizeEnabled {
 			continue
@@ -277,4 +315,72 @@ func (m *Monitor) Tick() {
 	m.mu.Lock()
 	m.ticks++
 	m.mu.Unlock()
+}
+
+// batchStep accumulates one tick of occupancy evidence for link i and, every
+// BatchWindow ticks, moves its transfer batch size toward the
+// latency/throughput balance: grow ×2 while the link demonstrably contends
+// (blocked time or spin escalations accrued, or the queue sat near-full for
+// half the window) and elements are actually flowing; shrink ÷2 once the
+// link goes quiet so a later latency-sensitive phase is not stuck behind a
+// large batch. The size is capped at min(BatchMax, cap/2) so neither side
+// can monopolize the queue, and pinned (latency-priority) links are skipped.
+func (m *Monitor) batchStep(i int, l *core.LinkInfo, qlen, qcap int) {
+	bc := l.Batch
+	if bc == nil || bc.Pinned() || l.LatencyPriority {
+		return
+	}
+	m.batchTick[i]++
+	if qcap > 0 && qlen*2 >= qcap {
+		m.batchFull[i]++
+	}
+	if qlen == 0 {
+		m.batchEmpty[i]++
+	}
+	if m.batchTick[i] < m.cfg.BatchWindow {
+		return
+	}
+	window := float64(m.batchTick[i])
+	fullFrac := float64(m.batchFull[i]) / window
+	emptyFrac := float64(m.batchEmpty[i]) / window
+	m.batchTick[i], m.batchFull[i], m.batchEmpty[i] = 0, 0, 0
+
+	tel := l.Queue.Telemetry().Snapshot()
+	prev := m.prevTel[i]
+	m.prevTel[i] = tel
+	moved := tel.Pushes - prev.Pushes
+	contended := tel.Blocked(prev) || fullFrac >= 0.5
+
+	cur := bc.Get()
+	if cur < 1 {
+		cur = 1
+	}
+	limit := m.cfg.BatchMax
+	if qcap/2 < limit {
+		limit = qcap / 2
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	switch {
+	case contended && moved > 0 && cur < limit:
+		next := cur * 4
+		if next > limit {
+			next = limit
+		}
+		bc.Set(next)
+		m.record("batch-up", l.Name, cur, next)
+	case cur > limit:
+		// Capacity shrank under the chosen batch; follow it down.
+		bc.Set(limit)
+		m.record("batch-down", l.Name, cur, limit)
+	case emptyFrac >= 0.9 && moved == 0 && cur > 1:
+		// Shrink only on genuinely idle links: a link observed empty every
+		// tick can still be moving heavily between ticks (a consumer that
+		// drains instantly), and shrinking there costs throughput with no
+		// latency gain — PopN never waits for a full batch anyway.
+		next := cur / 2
+		bc.Set(next)
+		m.record("batch-down", l.Name, cur, next)
+	}
 }

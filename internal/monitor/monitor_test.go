@@ -207,3 +207,89 @@ func TestStartStopLifecycle(t *testing.T) {
 		t.Fatal("monitor ticked after Stop")
 	}
 }
+
+// TestAdaptiveBatchGrowsUnderContention drives the batcher deterministically:
+// a near-full queue with elements flowing must grow the link's batch ×4 each
+// window, capped at min(BatchMax, cap/2).
+func TestAdaptiveBatchGrowsUnderContention(t *testing.T) {
+	li, r := mkLink(16, 0)
+	li.ResizeEnabled = false
+	li.Batch = &core.BatchControl{}
+	for i := 0; i < 12; i++ { // >= cap/2 every tick
+		_ = r.Push(i, ringbuffer.SigNone)
+	}
+	m := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 4, BatchMax: 256},
+		[]*core.LinkInfo{li}, nil)
+	for w := 0; w < 4; w++ {
+		// Keep elements flowing so Pushes advances between windows.
+		_, _, _, _ = r.TryPop()
+		_ = r.Push(100+w, ringbuffer.SigNone)
+		for i := 0; i < 4; i++ {
+			m.Tick()
+		}
+	}
+	// 1 -> 4 -> 8, then capped at cap/2 = 8.
+	if got := li.Batch.Get(); got != 8 {
+		t.Fatalf("batch = %d, want 8 (cap/2)", got)
+	}
+	evs := m.Events()
+	if len(evs) == 0 || evs[0].Kind != "batch-up" {
+		t.Fatalf("events = %+v, want batch-up", evs)
+	}
+}
+
+// TestAdaptiveBatchShrinksWhenIdle halves the batch once the link runs
+// empty for a window.
+func TestAdaptiveBatchShrinksWhenIdle(t *testing.T) {
+	li, _ := mkLink(16, 0)
+	li.ResizeEnabled = false
+	li.Batch = &core.BatchControl{}
+	li.Batch.Set(8)
+	m := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 4},
+		[]*core.LinkInfo{li}, nil)
+	for i := 0; i < 4; i++ { // queue stays empty
+		m.Tick()
+	}
+	if got := li.Batch.Get(); got != 4 {
+		t.Fatalf("batch = %d, want halved to 4", got)
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Kind != "batch-down" || evs[0].From != 8 || evs[0].To != 4 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+// TestAdaptiveBatchSkipsPinned leaves latency-priority (pinned) links alone.
+func TestAdaptiveBatchSkipsPinned(t *testing.T) {
+	li, r := mkLink(16, 0)
+	li.ResizeEnabled = false
+	li.Batch = &core.BatchControl{}
+	li.Batch.Pin(1)
+	for i := 0; i < 12; i++ {
+		_ = r.Push(i, ringbuffer.SigNone)
+	}
+	m := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 2},
+		[]*core.LinkInfo{li}, nil)
+	for i := 0; i < 10; i++ {
+		_, _, _, _ = r.TryPop()
+		_ = r.Push(100+i, ringbuffer.SigNone)
+		m.Tick()
+	}
+	if got := li.Batch.Get(); got != 1 {
+		t.Fatalf("pinned batch changed to %d", got)
+	}
+	if evs := m.Events(); len(evs) != 0 {
+		t.Fatalf("events on pinned link: %+v", evs)
+	}
+}
+
+// TestAdaptiveBatchNilControl must not panic on links without a control
+// (hand-built LinkInfo).
+func TestAdaptiveBatchNilControl(t *testing.T) {
+	li, _ := mkLink(16, 0)
+	li.ResizeEnabled = false
+	m := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 2},
+		[]*core.LinkInfo{li}, nil)
+	m.Tick()
+	m.Tick()
+}

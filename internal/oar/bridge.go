@@ -194,6 +194,12 @@ type Sender[T any] struct {
 	buffer  []frame[T] // unacknowledged frames, ascending Seq
 	acked   atomic.Uint64
 
+	// popVals/popSigs are the bulk-pop scratch buffers: one PopN gathers a
+	// whole frame from the input stream instead of senderBatch TryPops.
+	// Frames copy out of them (the replay buffer must own its memory).
+	popVals []T
+	popSigs []raft.Signal
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	started  bool
@@ -318,18 +324,23 @@ func (s *Sender[T]) dropConn() {
 // replay protection.
 func (s *Sender[T]) Run() raft.Status {
 	in := s.In("in")
-	v, sig, err := raft.PopSig[T](in)
-	if err != nil {
+	if s.popVals == nil {
+		s.popVals = make([]T, senderBatch)
+		s.popSigs = make([]raft.Signal, senderBatch)
+	}
+	limit := in.BatchHint(senderBatch)
+	if limit > senderBatch {
+		limit = senderBatch
+	} else if limit < 1 {
+		limit = 1
+	}
+	n, err := raft.PopNSig[T](in, s.popVals[:limit], s.popSigs[:limit])
+	if n == 0 || err != nil {
 		return s.finish()
 	}
-	f := frame[T]{Vals: []T{v}, Sigs: []raft.Signal{sig}}
-	for len(f.Vals) < senderBatch {
-		v, ok, err := raft.TryPop[T](in)
-		if err != nil || !ok {
-			break
-		}
-		f.Vals = append(f.Vals, v)
-		f.Sigs = append(f.Sigs, raft.SigNone)
+	f := frame[T]{
+		Vals: append([]T(nil), s.popVals[:n]...),
+		Sigs: append([]raft.Signal(nil), s.popSigs[:n]...),
 	}
 	if s.gaveUp {
 		s.dropped.Add(uint64(len(f.Vals)))
@@ -624,13 +635,21 @@ func (r *Receiver[T]) Run() raft.Status {
 			return raft.Stop
 		}
 		out := r.Out("out")
-		for i, v := range f.Vals {
-			sig := raft.SigNone
-			if i < len(f.Sigs) {
-				sig = f.Sigs[i]
-			}
-			if err := raft.PushSig(out, v, sig); err != nil {
+		if len(f.Sigs) == len(f.Vals) {
+			// Whole frame in one bulk push: a single lock acquisition
+			// delivers the batch with its signals aligned.
+			if err := raft.PushNSig(out, f.Vals, f.Sigs); err != nil {
 				return raft.Stop
+			}
+		} else {
+			for i, v := range f.Vals {
+				sig := raft.SigNone
+				if i < len(f.Sigs) {
+					sig = f.Sigs[i]
+				}
+				if err := raft.PushSig(out, v, sig); err != nil {
+					return raft.Stop
+				}
 			}
 		}
 		if f.Seq != 0 {

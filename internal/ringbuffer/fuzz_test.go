@@ -1,6 +1,7 @@
 package ringbuffer
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -87,6 +88,183 @@ func FuzzRingAgainstModel(f *testing.F) {
 		}
 		if _, _, err := r.Pop(); err != ErrClosed {
 			t.Fatalf("final pop err = %v, want ErrClosed", err)
+		}
+	})
+}
+
+// FuzzRingBulkAgainstModel drives the bulk operations (PushN / DrainTo)
+// against the slice model, with resizes interleaved so batches land across
+// wrap-around splits and relocated storage. Signals are derived from values
+// (every 3rd element carries SigUser) so alignment is checked end to end.
+// Ops: 0-99 PushN (batch = op%7+1), 100-199 DrainTo (batch = op%5+1),
+// 200-255 resize.
+func FuzzRingBulkAgainstModel(f *testing.F) {
+	f.Add([]byte{5, 3, 150, 201, 9, 120, 250, 1, 1, 130})
+	f.Add([]byte{99, 99, 199, 199, 230, 99, 150})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			t.Skip()
+		}
+		sigFor := func(v int) Signal {
+			if v%3 == 0 {
+				return SigUser
+			}
+			return SigNone
+		}
+		r := NewRing[int](4)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch {
+			case op < 100: // bulk push (blocks only when batch > free; keep batch <= cap slack via resize first)
+				batch := int(op)%7 + 1
+				free := r.Cap() - r.Len()
+				if free == 0 {
+					continue // a blocking PushN would deadlock single-threaded
+				}
+				if batch > free {
+					batch = free
+				}
+				vs := make([]int, batch)
+				sigs := make([]Signal, batch)
+				for i := range vs {
+					vs[i] = next + i
+					sigs[i] = sigFor(next + i)
+				}
+				if err := r.PushN(vs, sigs); err != nil {
+					t.Fatalf("PushN err: %v", err)
+				}
+				model = append(model, vs...)
+				next += batch
+			case op < 200: // bulk drain
+				batch := int(op)%5 + 1
+				dst := make([]int, batch)
+				sigs := make([]Signal, batch)
+				n, err := r.DrainTo(dst, sigs)
+				if err != nil {
+					t.Fatalf("DrainTo err: %v", err)
+				}
+				if n == 0 && len(model) > 0 {
+					t.Fatalf("DrainTo drained nothing with model len %d", len(model))
+				}
+				if n > len(model) {
+					t.Fatalf("DrainTo = %d, model has %d", n, len(model))
+				}
+				for i := 0; i < n; i++ {
+					if dst[i] != model[i] {
+						t.Fatalf("DrainTo[%d] = %d, model %d", i, dst[i], model[i])
+					}
+					if sigs[i] != sigFor(model[i]) {
+						t.Fatalf("DrainTo sig[%d] = %v, want %v (v=%d)", i, sigs[i], sigFor(model[i]), model[i])
+					}
+				}
+				model = model[n:]
+			default: // resize
+				newCap := int(op-199) * 2
+				if err := r.Resize(newCap); err != nil && err != ErrTooSmall {
+					t.Fatalf("resize err: %v", err)
+				}
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("len = %d, model %d", r.Len(), len(model))
+			}
+		}
+		// Drain the tail and re-verify order + signals after close.
+		r.Close()
+		for len(model) > 0 {
+			dst := make([]int, 3)
+			sigs := make([]Signal, 3)
+			n, err := r.PopN(dst, sigs)
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				if dst[i] != model[i] || sigs[i] != sigFor(model[i]) {
+					t.Fatalf("drain[%d] = (%d,%v), want (%d,%v)", i, dst[i], sigs[i], model[i], sigFor(model[i]))
+				}
+			}
+			model = model[n:]
+		}
+		if _, err := r.PopN(make([]int, 1), nil); err != ErrClosed {
+			t.Fatalf("final PopN err = %v, want ErrClosed", err)
+		}
+	})
+}
+
+// FuzzRingBulkConcurrentResize runs a bulk producer, a bulk consumer and a
+// resizer concurrently on one Ring, then asserts the consumer observed the
+// exact FIFO sequence with every signal still aligned to its element —
+// batches must survive wrap-around splits and storage relocation intact.
+// The fuzzer chooses the batch-size schedule and the resize schedule.
+func FuzzRingBulkConcurrentResize(f *testing.F) {
+	f.Add([]byte{4, 9, 1, 16, 3, 7}, []byte{8, 200, 16, 4, 64})
+	f.Add([]byte{1, 1, 1}, []byte{255, 2, 255, 2})
+	f.Fuzz(func(t *testing.T, batches, resizes []byte) {
+		if len(batches) == 0 || len(batches) > 64 || len(resizes) > 64 {
+			t.Skip()
+		}
+		const total = 2000
+		sigFor := func(v int) Signal {
+			if v%5 == 0 {
+				return SigUser
+			}
+			return SigNone
+		}
+		r := NewRing[int](8)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // producer: PushN with fuzzer-chosen batch sizes
+			defer wg.Done()
+			defer r.Close()
+			next, bi := 0, 0
+			for next < total {
+				batch := int(batches[bi%len(batches)])%17 + 1
+				bi++
+				if batch > total-next {
+					batch = total - next
+				}
+				vs := make([]int, batch)
+				sigs := make([]Signal, batch)
+				for i := range vs {
+					vs[i] = next + i
+					sigs[i] = sigFor(next + i)
+				}
+				if err := r.PushN(vs, sigs); err != nil {
+					t.Errorf("PushN: %v", err)
+					return
+				}
+				next += batch
+			}
+		}()
+		go func() { // resizer: grow/shrink under the traffic
+			defer wg.Done()
+			for _, b := range resizes {
+				_ = r.Resize(int(b)%120 + 2) // ErrTooSmall is fine
+			}
+		}()
+		got := make([]int, 0, total)
+		dst := make([]int, 13)
+		sigs := make([]Signal, 13)
+		for {
+			n, err := r.PopN(dst, sigs)
+			for i := 0; i < n; i++ {
+				if want := sigFor(dst[i]); sigs[i] != want {
+					t.Fatalf("signal misaligned: v=%d sig=%v want %v", dst[i], sigs[i], want)
+				}
+			}
+			got = append(got, dst[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		wg.Wait()
+		if len(got) != total {
+			t.Fatalf("received %d elements, want %d", len(got), total)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("FIFO order broken at %d: got %d", i, v)
+			}
 		}
 	})
 }

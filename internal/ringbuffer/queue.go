@@ -107,6 +107,13 @@ type Telemetry struct {
 	Resizes      counter64
 	Grows        counter64
 	Shrinks      counter64
+	// SpinYields and SpinSleeps count back-off escalations on the lock-free
+	// queue: each transition from busy-spinning to Gosched (yield) and from
+	// yielding to timed sleeps. They expose contention directly — a queue
+	// whose peers escalate often is synchronizing too frequently, which is
+	// the adaptive batcher's grow signal.
+	SpinYields counter64
+	SpinSleeps counter64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -119,6 +126,8 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		Resizes:      t.Resizes.Load(),
 		Grows:        t.Grows.Load(),
 		Shrinks:      t.Shrinks.Load(),
+		SpinYields:   t.SpinYields.Load(),
+		SpinSleeps:   t.SpinSleeps.Load(),
 	}
 }
 
@@ -131,4 +140,16 @@ type TelemetrySnapshot struct {
 	Resizes      uint64
 	Grows        uint64
 	Shrinks      uint64
+	SpinYields   uint64
+	SpinSleeps   uint64
+}
+
+// Blocked reports whether either side of the queue spent time blocked or
+// escalated its spin back-off between prev and t — the contention signal
+// consumed by the monitor's adaptive batcher.
+func (t TelemetrySnapshot) Blocked(prev TelemetrySnapshot) bool {
+	return t.WriteBlockNs > prev.WriteBlockNs ||
+		t.ReadBlockNs > prev.ReadBlockNs ||
+		t.SpinYields > prev.SpinYields ||
+		t.SpinSleeps > prev.SpinSleeps
 }

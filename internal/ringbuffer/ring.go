@@ -205,6 +205,132 @@ func (r *Ring[T]) PushBatch(vs []T, sig Signal) error {
 	return nil
 }
 
+// PushN appends all of vs with their parallel signals in bulk: one lock
+// acquisition per batch (plus condition waits while full) instead of one per
+// element, with the wrap-around handled as a two-copy split. sigs may be nil
+// (every element carries SigNone) or must have len(vs) entries. PushN blocks
+// as needed and returns ErrClosed on a closed ring.
+func (r *Ring[T]) PushN(vs []T, sigs []Signal) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	if sigs != nil && len(sigs) != len(vs) {
+		panic("ringbuffer: PushN signal slice length mismatch")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(vs) > 0 {
+		if err := r.waitForSpaceLocked(1); err != nil {
+			return err
+		}
+		k := min(len(r.vals)-r.n, len(vs))
+		r.enqueueLocked(vs[:k], sigs)
+		vs = vs[k:]
+		if sigs != nil {
+			sigs = sigs[k:]
+		}
+		r.tel.Pushes.Add(uint64(k))
+		r.notEmpty.Broadcast()
+	}
+	return nil
+}
+
+// enqueueLocked bulk-copies vs (and the matching prefix of sigs, which may
+// be nil) into the free region starting at the write index, splitting into
+// two copies when the region wraps. Caller guarantees len(vs) free slots.
+func (r *Ring[T]) enqueueLocked(vs []T, sigs []Signal) {
+	idx := r.index(r.n)
+	first := min(len(vs), len(r.vals)-idx)
+	copy(r.vals[idx:], vs[:first])
+	copy(r.vals, vs[first:])
+	if r.sigs == nil && anySignal(sigs, len(vs)) {
+		r.sigs = make([]Signal, len(r.vals))
+	}
+	if r.sigs != nil {
+		if sigs == nil {
+			clearSignals(r.sigs[idx : idx+first])
+			clearSignals(r.sigs[:len(vs)-first])
+		} else {
+			copy(r.sigs[idx:], sigs[:first])
+			copy(r.sigs, sigs[first:len(vs)])
+		}
+	}
+	r.n += len(vs)
+}
+
+// PopN removes up to len(dst) elements in bulk, blocking until at least one
+// is available: one lock acquisition per batch with the wrap-around handled
+// as a two-copy split. When sigs is non-nil its first n entries receive the
+// elements' synchronized signals (it must hold at least len(dst) entries).
+// Once the ring is closed and drained PopN returns (0, ErrClosed).
+func (r *Ring[T]) PopN(dst []T, sigs []Signal) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.waitForItemsLocked(1); err != nil {
+		return 0, err
+	}
+	return r.dequeueLocked(dst, sigs), nil
+}
+
+// DrainTo is the non-blocking PopN: it removes whatever is buffered, up to
+// len(dst) elements, returning 0 with a nil error when the ring is empty but
+// open and (0, ErrClosed) once it is closed and drained.
+func (r *Ring[T]) DrainTo(dst []T, sigs []Signal) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		if r.closed {
+			return 0, ErrClosed
+		}
+		return 0, nil
+	}
+	return r.dequeueLocked(dst, sigs), nil
+}
+
+// dequeueLocked bulk-copies min(r.n, len(dst)) elements (and signals, when
+// requested) out of the head region, then drops them. Caller guarantees at
+// least one buffered element.
+func (r *Ring[T]) dequeueLocked(dst []T, sigs []Signal) int {
+	n := min(r.n, len(dst))
+	first := min(n, len(r.vals)-r.head)
+	copy(dst, r.vals[r.head:r.head+first])
+	copy(dst[first:n], r.vals)
+	if sigs != nil {
+		if r.sigs == nil {
+			clearSignals(sigs[:n])
+		} else {
+			copy(sigs, r.sigs[r.head:r.head+first])
+			copy(sigs[first:n], r.sigs)
+		}
+	}
+	r.dropLocked(n)
+	return n
+}
+
+// anySignal reports whether the first n entries of sigs carry a non-default
+// signal (sigs may be nil).
+func anySignal(sigs []Signal, n int) bool {
+	for _, s := range sigs[:min(n, len(sigs))] {
+		if s != SigNone {
+			return true
+		}
+	}
+	return false
+}
+
+// clearSignals zeroes a signal region (the compiler lowers this to memclr).
+func clearSignals(s []Signal) {
+	for i := range s {
+		s[i] = SigNone
+	}
+}
+
 // Pop removes and returns the oldest element and its signal, blocking while
 // the ring is empty. Once the ring is closed and drained it returns
 // ErrClosed.

@@ -49,8 +49,21 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 	}
 }
 
-// Len returns the number of buffered elements.
-func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+// Len returns the number of buffered elements. A third party (the monitor)
+// calls it concurrently with both endpoints, so the load order matters: head
+// must be read before tail. Reading tail first can sandwich a consumer
+// head-advance between the two loads and observe head > tail, which as a
+// uint64 difference is a huge bogus length. With head read first the
+// relation head_before <= head_now <= tail_now keeps the difference
+// non-negative; the clamp guards the theoretical torn-interleaving remnant.
+func (q *SPSC[T]) Len() int {
+	h := q.head.Load()
+	t := q.tail.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}
 
 // Cap returns the fixed capacity.
 func (q *SPSC[T]) Cap() int { return len(q.vals) }
@@ -108,8 +121,127 @@ func (q *SPSC[T]) Push(v T, sig Signal) error {
 			blockedAt = nowNanos()
 			q.writerBlockSince.Store(blockedAt)
 		}
-		backoff(&spins)
+		backoff(&spins, &q.tel)
 	}
+}
+
+// PushN appends all of vs with their parallel signals in bulk: the batch is
+// copied into the free region with at most two copies (wrap-around split)
+// and published with a single atomic tail store, instead of one store per
+// element. sigs may be nil (every element carries SigNone) or must have
+// len(vs) entries. PushN spins (escalating back-off) while the queue is full
+// and returns ErrClosed on a closed queue.
+func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
+	if sigs != nil && len(sigs) != len(vs) {
+		panic("ringbuffer: PushN signal slice length mismatch")
+	}
+	var spins int
+	var blockedAt int64
+	for len(vs) > 0 {
+		if q.closed.Load() {
+			q.clearWriterBlock(blockedAt)
+			return ErrClosed
+		}
+		t := q.tail.Load()
+		free := len(q.vals) - int(t-q.head.Load())
+		if free == 0 {
+			if blockedAt == 0 {
+				blockedAt = nowNanos()
+				q.writerBlockSince.Store(blockedAt)
+			}
+			backoff(&spins, &q.tel)
+			continue
+		}
+		k := min(free, len(vs))
+		i := int(t & q.mask)
+		first := min(k, len(q.vals)-i)
+		copy(q.vals[i:], vs[:first])
+		copy(q.vals, vs[first:k])
+		if sigs == nil {
+			clearSignals(q.sigs[i : i+first])
+			clearSignals(q.sigs[:k-first])
+		} else {
+			copy(q.sigs[i:], sigs[:first])
+			copy(q.sigs, sigs[first:k])
+		}
+		q.tail.Store(t + uint64(k)) // release: publishes the whole batch
+		q.tel.Pushes.Add(uint64(k))
+		vs = vs[k:]
+		if sigs != nil {
+			sigs = sigs[k:]
+		}
+		spins = 0
+	}
+	q.clearWriterBlock(blockedAt)
+	return nil
+}
+
+// PopN removes up to len(dst) elements in bulk, spinning until at least one
+// is available: the batch is copied out with at most two copies and consumed
+// with a single atomic head store. When sigs is non-nil its first n entries
+// receive the elements' synchronized signals. Once the queue is closed and
+// drained PopN returns (0, ErrClosed).
+func (q *SPSC[T]) PopN(dst []T, sigs []Signal) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	var spins int
+	var blockedAt int64
+	for {
+		n, err := q.DrainTo(dst, sigs)
+		if n > 0 || err != nil {
+			q.clearReaderBlock(blockedAt)
+			return n, err
+		}
+		if blockedAt == 0 {
+			blockedAt = nowNanos()
+			q.readerBlockSince.Store(blockedAt)
+		}
+		backoff(&spins, &q.tel)
+	}
+}
+
+// DrainTo is the non-blocking PopN: it removes whatever is buffered, up to
+// len(dst) elements, returning 0 with a nil error when the queue is empty
+// but open and (0, ErrClosed) once it is closed and drained.
+func (q *SPSC[T]) DrainTo(dst []T, sigs []Signal) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	h := q.head.Load()
+	avail := int(q.tail.Load() - h)
+	if avail == 0 {
+		if q.closed.Load() {
+			// Re-check emptiness after observing closed: the producer may
+			// have pushed between our tail load and its Close.
+			if h == q.tail.Load() {
+				return 0, ErrClosed
+			}
+			avail = int(q.tail.Load() - h)
+		} else {
+			return 0, nil
+		}
+	}
+	n := min(avail, len(dst))
+	i := int(h & q.mask)
+	first := min(n, len(q.vals)-i)
+	copy(dst, q.vals[i:i+first])
+	copy(dst[first:n], q.vals)
+	if sigs != nil {
+		copy(sigs, q.sigs[i:i+first])
+		copy(sigs[first:n], q.sigs)
+	}
+	// Release payload references so the GC can reclaim popped elements.
+	var zero T
+	for j := 0; j < first; j++ {
+		q.vals[i+j] = zero
+	}
+	for j := 0; j < n-first; j++ {
+		q.vals[j] = zero
+	}
+	q.head.Store(h + uint64(n)) // release: consumes the whole batch
+	q.tel.Pops.Add(uint64(n))
+	return n, nil
 }
 
 func (q *SPSC[T]) clearWriterBlock(blockedAt int64) {
@@ -164,7 +296,7 @@ func (q *SPSC[T]) Pop() (T, Signal, error) {
 			blockedAt = nowNanos()
 			q.readerBlockSince.Store(blockedAt)
 		}
-		backoff(&spins)
+		backoff(&spins, &q.tel)
 	}
 }
 
@@ -201,17 +333,69 @@ func (q *SPSC[T]) PendingDemand() int { return 0 }
 // Telemetry returns the queue's performance counters.
 func (q *SPSC[T]) Telemetry() *Telemetry { return &q.tel }
 
+// BackoffConfig tunes the spin-escalation policy a blocked SPSC endpoint
+// follows: SpinLimit pure busy-spins, then Gosched yields until YieldLimit
+// total iterations, then timed sleeps of Sleep each. The escalation
+// transitions (spin→yield and yield→sleep) are counted in the queue's
+// Telemetry so the contention a link suffers is directly observable.
+type BackoffConfig struct {
+	SpinLimit  int
+	YieldLimit int
+	Sleep      time.Duration
+}
+
+// DefaultBackoff is the escalation used unless SetBackoff overrides it.
+var DefaultBackoff = BackoffConfig{SpinLimit: 64, YieldLimit: 256, Sleep: 10 * time.Microsecond}
+
+// backoffCfg holds the active policy; read lock-free on the spin path.
+var backoffCfg atomic.Pointer[BackoffConfig]
+
+// SetBackoff installs a new escalation policy for every SPSC queue in the
+// process (non-positive fields fall back to DefaultBackoff's values) and
+// returns the previous policy. Intended for experiments and tuning, not the
+// hot path.
+func SetBackoff(cfg BackoffConfig) BackoffConfig {
+	prev := loadBackoff()
+	if cfg.SpinLimit <= 0 {
+		cfg.SpinLimit = DefaultBackoff.SpinLimit
+	}
+	if cfg.YieldLimit <= cfg.SpinLimit {
+		cfg.YieldLimit = cfg.SpinLimit + (DefaultBackoff.YieldLimit - DefaultBackoff.SpinLimit)
+	}
+	if cfg.Sleep <= 0 {
+		cfg.Sleep = DefaultBackoff.Sleep
+	}
+	backoffCfg.Store(&cfg)
+	return prev
+}
+
+// loadBackoff returns the active escalation policy.
+func loadBackoff() BackoffConfig {
+	if p := backoffCfg.Load(); p != nil {
+		return *p
+	}
+	return DefaultBackoff
+}
+
 // backoff escalates from busy spinning to Gosched to short sleeps so a
-// blocked side does not monopolize a core indefinitely.
-func backoff(spins *int) {
+// blocked side does not monopolize a core indefinitely, recording each tier
+// transition in the queue's telemetry.
+func backoff(spins *int, tel *Telemetry) {
+	cfg := loadBackoff()
 	*spins++
 	switch {
-	case *spins < 64:
+	case *spins < cfg.SpinLimit:
 		// busy spin
-	case *spins < 256:
+	case *spins < cfg.YieldLimit:
+		if *spins == cfg.SpinLimit {
+			tel.SpinYields.Inc()
+		}
 		runtime.Gosched()
 	default:
-		time.Sleep(10 * time.Microsecond)
+		if *spins == cfg.YieldLimit {
+			tel.SpinSleeps.Inc()
+		}
+		time.Sleep(cfg.Sleep)
 	}
 }
 

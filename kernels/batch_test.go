@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"reflect"
+	"testing"
+
+	"raftlib/raft"
+)
+
+// TestGenerateBatchedEquivalence checks SetBatch produces the identical
+// stream (values and final sum) as the element-wise path.
+func TestGenerateBatchedEquivalence(t *testing.T) {
+	run := func(batch int) int64 {
+		var sum int64
+		m := raft.NewMap()
+		gen := NewGenerate(1000, func(i int64) int64 { return i * 3 })
+		if batch > 1 {
+			gen.SetBatch(batch)
+		}
+		red := NewReduce(func(a, v int64) int64 { return a + v }, 0, &sum)
+		if batch > 1 {
+			red.SetBatch(batch)
+		}
+		m.MustLink(gen, red)
+		if _, err := m.Exe(); err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	want := run(0)
+	for _, b := range []int{2, 16, 64, 1024} {
+		if got := run(b); got != want {
+			t.Fatalf("batch %d sum = %d, want %d", b, got, want)
+		}
+	}
+}
+
+// TestReadWriteEachBatchedEquivalence round-trips a slice through batched
+// source and sink, requiring an exact copy.
+func TestReadWriteEachBatchedEquivalence(t *testing.T) {
+	src := make([]uint32, 777) // deliberately not a multiple of the batch
+	for i := range src {
+		src[i] = uint32(i * 7)
+	}
+	for _, b := range []int{0, 2, 32, 256} {
+		var dst []uint32
+		m := raft.NewMap()
+		m.MustLink(NewReadEach(src).SetBatch(b), NewWriteEach(&dst).SetBatch(b))
+		if _, err := m.Exe(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(src, dst) {
+			t.Fatalf("batch %d: copy mismatch (%d elements, want %d)", b, len(dst), len(src))
+		}
+	}
+}
+
+// TestBatchedKernelsUnderAdaptiveExe runs batched kernels with the adaptive
+// batcher steering the link and checks the result is unchanged.
+func TestBatchedKernelsUnderAdaptiveExe(t *testing.T) {
+	var sum int64
+	m := raft.NewMap()
+	gen := NewGenerate(20000, func(i int64) int64 { return i }).SetBatch(8)
+	red := NewReduce(func(a, v int64) int64 { return a + v }, 0, &sum).SetBatch(8)
+	m.MustLink(gen, red)
+	if _, err := m.Exe(raft.WithAdaptiveBatching(true)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	if want := int64(n * (n - 1) / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+// TestGenerateBatchedEOFSignal: the batched source must still deliver the
+// EOF signal on the final element.
+func TestGenerateBatchedEOFSignal(t *testing.T) {
+	m := raft.NewMap()
+	gen := NewGenerate(10, func(i int64) int64 { return i }).SetBatch(4)
+	sink := &sigProbe{}
+	sink.SetName("sig-probe")
+	raft.AddInput[int64](sink, "in")
+	m.MustLink(gen, sink)
+	if _, err := m.Exe(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.lastSig != raft.SigEOF || sink.count != 10 {
+		t.Fatalf("count=%d lastSig=%v, want 10 elements ending in SigEOF", sink.count, sink.lastSig)
+	}
+}
+
+type sigProbe struct {
+	raft.KernelBase
+	count   int
+	lastSig raft.Signal
+}
+
+func (s *sigProbe) Run() raft.Status {
+	v, sig, err := raft.PopSig[int64](s.In("in"))
+	if err != nil {
+		return raft.Stop
+	}
+	_ = v
+	s.count++
+	s.lastSig = sig
+	return raft.Proceed
+}

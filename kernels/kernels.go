@@ -17,9 +17,12 @@ import (
 // source from Fig. 3 (there, a random-number generator).
 type Generate[T any] struct {
 	raft.KernelBase
-	n    int64
-	next int64
-	fn   func(i int64) T
+	n     int64
+	next  int64
+	fn    func(i int64) T
+	batch int
+	vals  []T
+	sigs  []raft.Signal
 }
 
 // NewGenerate returns a source kernel pushing fn(0), fn(1), ..., fn(n-1)
@@ -33,19 +36,52 @@ func NewGenerate[T any](n int64, fn func(i int64) T) *Generate[T] {
 	return k
 }
 
+// SetBatch makes each Run produce up to n elements delivered with one bulk
+// push (one lock acquisition) instead of n element-wise pushes. The
+// adaptive batcher's per-link hint, when present, overrides n. Returns the
+// kernel for chaining.
+func (g *Generate[T]) SetBatch(n int) *Generate[T] {
+	g.batch = n
+	return g
+}
+
 // Run implements raft.Kernel.
 func (g *Generate[T]) Run() raft.Status {
 	if g.next >= g.n {
 		return raft.Stop
 	}
-	sig := raft.SigNone
-	if g.next == g.n-1 {
-		sig = raft.SigEOF
+	out := g.Out("out")
+	b := out.BatchHint(g.batch)
+	if b <= 1 {
+		sig := raft.SigNone
+		if g.next == g.n-1 {
+			sig = raft.SigEOF
+		}
+		if err := raft.PushSig(out, g.fn(g.next), sig); err != nil {
+			return raft.Stop
+		}
+		g.next++
+		return raft.Proceed
 	}
-	if err := raft.PushSig(g.Out("out"), g.fn(g.next), sig); err != nil {
+	if rem := g.n - g.next; int64(b) > rem {
+		b = int(rem)
+	}
+	if cap(g.vals) < b {
+		g.vals = make([]T, b)
+		g.sigs = make([]raft.Signal, b)
+	}
+	vals, sigs := g.vals[:b], g.sigs[:b]
+	for i := range vals {
+		vals[i] = g.fn(g.next + int64(i))
+		sigs[i] = raft.SigNone
+	}
+	if g.next+int64(b) == g.n {
+		sigs[b-1] = raft.SigEOF
+	}
+	if err := raft.PushNSig(out, vals, sigs); err != nil {
 		return raft.Stop
 	}
-	g.next++
+	g.next += int64(b)
 	return raft.Proceed
 }
 
@@ -84,8 +120,10 @@ func (p *Print[T]) Finalize() { p.w.Flush() }
 // paper's read_each bridge from C++ containers (§4.2, Fig. 5).
 type ReadEach[T any] struct {
 	raft.KernelBase
-	src []T
-	i   int
+	src   []T
+	i     int
+	batch int
+	sigs  []raft.Signal
 }
 
 // NewReadEach returns a source kernel pushing each element of src (copied
@@ -98,19 +136,50 @@ func NewReadEach[T any](src []T) *ReadEach[T] {
 	return k
 }
 
+// SetBatch makes each Run push up to n consecutive source elements with one
+// bulk operation — the source slice feeds PushN directly, no staging copy.
+// The adaptive batcher's per-link hint, when present, overrides n. Returns
+// the kernel for chaining.
+func (r *ReadEach[T]) SetBatch(n int) *ReadEach[T] {
+	r.batch = n
+	return r
+}
+
 // Run implements raft.Kernel.
 func (r *ReadEach[T]) Run() raft.Status {
 	if r.i >= len(r.src) {
 		return raft.Stop
 	}
-	sig := raft.SigNone
-	if r.i == len(r.src)-1 {
-		sig = raft.SigEOF
+	out := r.Out("out")
+	b := out.BatchHint(r.batch)
+	if b <= 1 {
+		sig := raft.SigNone
+		if r.i == len(r.src)-1 {
+			sig = raft.SigEOF
+		}
+		if err := raft.PushSig(out, r.src[r.i], sig); err != nil {
+			return raft.Stop
+		}
+		r.i++
+		return raft.Proceed
 	}
-	if err := raft.PushSig(r.Out("out"), r.src[r.i], sig); err != nil {
+	if rem := len(r.src) - r.i; b > rem {
+		b = rem
+	}
+	if cap(r.sigs) < b {
+		r.sigs = make([]raft.Signal, b)
+	}
+	sigs := r.sigs[:b]
+	for i := range sigs {
+		sigs[i] = raft.SigNone
+	}
+	if r.i+b == len(r.src) {
+		sigs[b-1] = raft.SigEOF
+	}
+	if err := raft.PushNSig(out, r.src[r.i:r.i+b], sigs); err != nil {
 		return raft.Stop
 	}
-	r.i++
+	r.i += b
 	return raft.Proceed
 }
 
@@ -120,7 +189,9 @@ func (r *ReadEach[T]) Run() raft.Status {
 // returns.
 type WriteEach[T any] struct {
 	raft.KernelBase
-	dst *[]T
+	dst   *[]T
+	batch int
+	vals  []T
 }
 
 // NewWriteEach returns a sink kernel appending each element of port "in"
@@ -132,13 +203,36 @@ func NewWriteEach[T any](dst *[]T) *WriteEach[T] {
 	return k
 }
 
+// SetBatch makes each Run drain up to n elements with one bulk pop before
+// appending them. The adaptive batcher's per-link hint, when present,
+// overrides n. Returns the kernel for chaining.
+func (w *WriteEach[T]) SetBatch(n int) *WriteEach[T] {
+	w.batch = n
+	return w
+}
+
 // Run implements raft.Kernel.
 func (w *WriteEach[T]) Run() raft.Status {
-	v, err := raft.Pop[T](w.In("in"))
-	if err != nil {
+	in := w.In("in")
+	b := in.BatchHint(w.batch)
+	if b <= 1 {
+		v, err := raft.Pop[T](in)
+		if err != nil {
+			return raft.Stop
+		}
+		*w.dst = append(*w.dst, v)
+		return raft.Proceed
+	}
+	if cap(w.vals) < b {
+		w.vals = make([]T, b)
+	}
+	n, err := raft.PopN[T](in, w.vals[:b])
+	if n > 0 {
+		*w.dst = append(*w.dst, w.vals[:n]...)
+	}
+	if err != nil && n == 0 {
 		return raft.Stop
 	}
-	*w.dst = append(*w.dst, v)
 	return raft.Proceed
 }
 
@@ -150,6 +244,8 @@ type Reduce[T any] struct {
 	fn     func(acc, v T) T
 	acc    T
 	result *T
+	batch  int
+	vals   []T
 }
 
 // NewReduce returns a sink kernel folding port "in" with fn starting from
@@ -161,13 +257,36 @@ func NewReduce[T any](fn func(acc, v T) T, init T, result *T) *Reduce[T] {
 	return k
 }
 
+// SetBatch makes each Run pop up to n elements in one bulk operation and
+// fold them locally. The adaptive batcher's per-link hint, when present,
+// overrides n. Returns the kernel for chaining.
+func (r *Reduce[T]) SetBatch(n int) *Reduce[T] {
+	r.batch = n
+	return r
+}
+
 // Run implements raft.Kernel.
 func (r *Reduce[T]) Run() raft.Status {
-	v, err := raft.Pop[T](r.In("in"))
-	if err != nil {
+	in := r.In("in")
+	b := in.BatchHint(r.batch)
+	if b <= 1 {
+		v, err := raft.Pop[T](in)
+		if err != nil {
+			return raft.Stop
+		}
+		r.acc = r.fn(r.acc, v)
+		return raft.Proceed
+	}
+	if cap(r.vals) < b {
+		r.vals = make([]T, b)
+	}
+	n, err := raft.PopN[T](in, r.vals[:b])
+	for _, v := range r.vals[:n] {
+		r.acc = r.fn(r.acc, v)
+	}
+	if err != nil && n == 0 {
 		return raft.Stop
 	}
-	r.acc = r.fn(r.acc, v)
 	return raft.Proceed
 }
 

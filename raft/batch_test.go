@@ -1,0 +1,232 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"raftlib/internal/core"
+)
+
+// bulkHarness binds a pair of ports to one queue, mimicking allocate().
+func bulkHarness(t *testing.T, lockFree bool) (*Port, *Port) {
+	t.Helper()
+	src := newPort[int]("out", Out)
+	dst := newPort[int]("in", In)
+	q, typed := src.mk(8, 0, lockFree)
+	async := &asyncCell{}
+	src.bind(q, typed, async)
+	dst.bind(q, typed, async)
+	bc := &core.BatchControl{}
+	src.batch, dst.batch = bc, bc
+	return src, dst
+}
+
+func testBulkRoundTrip(t *testing.T, lockFree bool) {
+	src, dst := bulkHarness(t, lockFree)
+	vs := []int{1, 2, 3, 4, 5}
+	sigs := []Signal{SigNone, SigUser, SigNone, SigNone, SigEOF}
+	if err := PushNSig(src, vs, sigs); err != nil {
+		t.Fatal(err)
+	}
+	gotV := make([]int, 8)
+	gotS := make([]Signal, 8)
+	n, err := PopNSig[int](dst, gotV, gotS)
+	if err != nil || n != 5 {
+		t.Fatalf("PopNSig = (%d,%v), want (5,nil)", n, err)
+	}
+	for i := range vs {
+		if gotV[i] != vs[i] || gotS[i] != sigs[i] {
+			t.Fatalf("element %d = (%d,%v), want (%d,%v)", i, gotV[i], gotS[i], vs[i], sigs[i])
+		}
+	}
+	// DrainTo on the now-empty open stream: (0, nil).
+	if n, err := DrainTo[int](dst, gotV); n != 0 || err != nil {
+		t.Fatalf("DrainTo empty = (%d,%v), want (0,nil)", n, err)
+	}
+	src.Close()
+	if n, err := PopN[int](dst, gotV); n != 0 || err != ErrClosed {
+		t.Fatalf("PopN closed = (%d,%v), want (0,ErrClosed)", n, err)
+	}
+}
+
+func TestBulkAccessorsRing(t *testing.T) { testBulkRoundTrip(t, false) }
+func TestBulkAccessorsSPSC(t *testing.T) { testBulkRoundTrip(t, true) }
+
+// TestBulkTypeMismatchPanics mirrors the element-wise accessors' contract.
+func TestBulkTypeMismatchPanics(t *testing.T) {
+	src, _ := bulkHarness(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	_ = PushN(src, []string{"x"})
+}
+
+// TestBatchHint checks the 0-means-default contract and the nil-safety of
+// unbound ports.
+func TestBatchHint(t *testing.T) {
+	p := newPort[int]("out", Out)
+	if got := p.BatchHint(16); got != 16 {
+		t.Fatalf("unbound BatchHint = %d, want fallback 16", got)
+	}
+	src, _ := bulkHarness(t, false)
+	if got := src.BatchHint(16); got != 16 {
+		t.Fatalf("no-decision BatchHint = %d, want 16", got)
+	}
+	src.batch.Set(64)
+	if got := src.BatchHint(16); got != 64 {
+		t.Fatalf("decided BatchHint = %d, want 64", got)
+	}
+}
+
+// TestMoveBatchedEquivalence moves a signalled stream through moveBatched
+// and checks the destination matches the source exactly.
+func TestMoveBatchedEquivalence(t *testing.T) {
+	src, _ := bulkHarness(t, false)
+	out, in := bulkHarness(t, false)
+	const total = 300
+	go func() {
+		for i := 0; i < total; i++ {
+			sig := SigNone
+			if i%7 == 0 {
+				sig = SigUser
+			}
+			if err := PushSig(src, i, sig); err != nil {
+				return
+			}
+		}
+		src.Close()
+	}()
+	vals := make([]int, 16)
+	sigs := make([]Signal, 16)
+	go func() {
+		for {
+			if _, err := moveBatched[int](src.typed, out.typed, 16, true, vals, sigs); err != nil {
+				out.Close()
+				return
+			}
+		}
+	}()
+	want := 0
+	for {
+		v, s, err := PopSig[int](in)
+		if err != nil {
+			break
+		}
+		wantSig := SigNone
+		if want%7 == 0 {
+			wantSig = SigUser
+		}
+		if v != want || s != wantSig {
+			t.Fatalf("element %d = (%d,%v), want (%d,%v)", want, v, s, want, wantSig)
+		}
+		want++
+	}
+	if want != total {
+		t.Fatalf("moved %d elements, want %d", want, total)
+	}
+}
+
+// TestExeAdaptiveBatchingEquivalence runs the same pipeline with and
+// without adaptive batching and requires byte-identical results.
+func TestExeAdaptiveBatchingEquivalence(t *testing.T) {
+	run := func(opts ...Option) []int {
+		src := &sliceSource{vals: seq(0, 500)}
+		src.SetName("src")
+		AddOutput[int](src, "out")
+		var got []int
+		sink := &sliceSink{dst: &got}
+		sink.SetName("sink")
+		AddInput[int](sink, "in")
+		m := NewMap()
+		m.MustLink(src, sink)
+		if _, err := m.Exe(append(opts, WithMonitorDelta(ringDelta))...); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	plain := run()
+	adaptive := run(WithAdaptiveBatching(true), WithBatchMax(32))
+	if len(plain) != len(adaptive) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(adaptive))
+	}
+	for i := range plain {
+		if plain[i] != adaptive[i] {
+			t.Fatalf("element %d differs: %d vs %d", i, plain[i], adaptive[i])
+		}
+	}
+}
+
+// TestAsLowLatencyPinsBatch verifies the link option pins the control at 1
+// and reports LatencyPriority to the monitor.
+func TestAsLowLatencyPinsBatch(t *testing.T) {
+	src := &sliceSource{vals: seq(0, 10)}
+	src.SetName("src")
+	AddOutput[int](src, "out")
+	var got []int
+	sink := &sliceSink{dst: &got}
+	sink.SetName("sink")
+	AddInput[int](sink, "in")
+	m := NewMap()
+	l := m.MustLink(src, sink, AsLowLatency())
+	if !l.LowLatency() {
+		t.Fatal("link not marked low-latency")
+	}
+	infos, err := m.allocate(&Config{DefaultCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infos[0].LatencyPriority {
+		t.Fatal("LinkInfo.LatencyPriority not set")
+	}
+	if !infos[0].Batch.Pinned() || infos[0].Batch.Get() != 1 {
+		t.Fatalf("batch = %d pinned=%v, want pinned at 1", infos[0].Batch.Get(), infos[0].Batch.Pinned())
+	}
+	if l.SrcPort.BatchHint(99) != 1 || l.DstPort.BatchHint(99) != 1 {
+		t.Fatal("ports do not see the pinned batch size")
+	}
+}
+
+// --- minimal helper kernels ---
+
+const ringDelta = 50 * time.Microsecond // keep the monitor cheap in tests
+
+type sliceSource struct {
+	KernelBase
+	vals []int
+	i    int
+}
+
+func (s *sliceSource) Run() Status {
+	if s.i >= len(s.vals) {
+		return Stop
+	}
+	if err := Push(s.Out("out"), s.vals[s.i]); err != nil {
+		return Stop
+	}
+	s.i++
+	return Proceed
+}
+
+type sliceSink struct {
+	KernelBase
+	dst *[]int
+}
+
+func (s *sliceSink) Run() Status {
+	v, err := Pop[int](s.In("in"))
+	if err != nil {
+		return Stop
+	}
+	*s.dst = append(*s.dst, v)
+	return Proceed
+}
+
+func seq(from, to int) []int {
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -135,6 +135,10 @@ func (m *Map) convertedLink(src, dst Kernel, sp, dp *Port, spec linkSpec) (*Link
 	if spec.outOfOrder {
 		srcSideOpts = append(srcSideOpts, AsOutOfOrder())
 	}
+	if spec.lowLatency {
+		srcSideOpts = append(srcSideOpts, AsLowLatency())
+		dstSideOpts = append(dstSideOpts, AsLowLatency())
+	}
 	if _, err := m.Link(src, conv, srcSideOpts...); err != nil {
 		return nil, err
 	}
@@ -145,5 +149,6 @@ func (m *Map) convertedLink(src, dst Kernel, sp, dp *Port, spec linkSpec) (*Link
 		Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
 		capacity: spec.capacity, maxCap: spec.maxCap,
 		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
+		lowLatency: spec.lowLatency,
 	}, nil
 }

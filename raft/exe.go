@@ -43,6 +43,15 @@ type Config struct {
 	// Shrink additionally allows the monitor to shrink over-provisioned
 	// queues (default false; conservative).
 	Shrink bool
+	// AdaptiveBatch enables the monitor's adaptive batcher: transfer batch
+	// sizes on each link grow under contention and shrink when a stream
+	// runs empty, steering the batched stream path toward a
+	// latency/throughput balance (default false).
+	AdaptiveBatch bool
+	// BatchMax caps the batch size the adaptive batcher may choose for any
+	// link (default monitor.DefaultBatchMax; each link is further capped at
+	// half its queue capacity).
+	BatchMax int
 
 	// AutoReplicate rewrites eligible kernels (Cloner + single in/out +
 	// inbound link marked AsOutOfOrder) into split/replicas/merge groups.
@@ -138,6 +147,16 @@ func WithDynamicResize(on bool) Option { return func(c *Config) { c.DynamicResiz
 
 // WithShrink allows the monitor to shrink over-provisioned queues.
 func WithShrink(on bool) Option { return func(c *Config) { c.Shrink = on } }
+
+// WithAdaptiveBatching lets the monitor tune each link's transfer batch
+// size from observed occupancy and blocking: contended links batch more
+// (amortizing per-element synchronization), links that run empty batch
+// less (keeping latency low). Links marked AsLowLatency are pinned at
+// batch size 1 and never touched. Requires the monitor (the default).
+func WithAdaptiveBatching(on bool) Option { return func(c *Config) { c.AdaptiveBatch = on } }
+
+// WithBatchMax caps the batch size the adaptive batcher may choose.
+func WithBatchMax(n int) Option { return func(c *Config) { c.BatchMax = n } }
 
 // WithAutoReplicate enables automatic kernel replication with the given
 // replica ceiling (0 = GOMAXPROCS).
@@ -255,6 +274,9 @@ type LinkReport struct {
 	ReadBlockNs   uint64
 	Grows         uint64
 	Shrinks       uint64
+	// Batch is the transfer batch size in effect when execution ended
+	// (0 when the adaptive batcher made no decision for this link).
+	Batch int
 }
 
 // GroupReport describes one replicated kernel group after execution.
@@ -343,10 +365,12 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 	if cfg.MonitorEnabled {
 		mon = monitor.New(monitor.Config{
-			Delta:     cfg.MonitorDelta,
-			Resize:    cfg.DynamicResize && !cfg.LockFree,
-			Shrink:    cfg.Shrink,
-			AutoScale: cfg.AutoScale,
+			Delta:         cfg.MonitorDelta,
+			Resize:        cfg.DynamicResize && !cfg.LockFree,
+			Shrink:        cfg.Shrink,
+			AutoScale:     cfg.AutoScale,
+			AdaptiveBatch: cfg.AdaptiveBatch,
+			BatchMax:      cfg.BatchMax,
 		}, linkInfos, coreScalers)
 		if cfg.DeadlockGrace > 0 {
 			mon.SetDeadlockWatch(monitor.NewDeadlockWatch(actors, linkInfos, cfg.DeadlockGrace,
@@ -460,14 +484,26 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 		l.SrcPort.bind(q, typed, async)
 		l.DstPort.bind(q, typed, async)
 
+		// One batch control per stream, shared by both endpoints and the
+		// monitor. Low-latency links are pinned at 1 so the adaptive
+		// batcher never holds their elements back.
+		bc := &core.BatchControl{}
+		if l.lowLatency {
+			bc.Pin(1)
+		}
+		l.SrcPort.batch = bc
+		l.DstPort.batch = bc
+
 		infos = append(infos, &core.LinkInfo{
-			ID:            i,
-			Name:          fmt.Sprintf("%s.%s->%s.%s", l.Src.kernelBase().Name(), l.SrcPort.name, l.Dst.kernelBase().Name(), l.DstPort.name),
-			Queue:         q,
-			SrcActor:      m.index[l.Src.kernelBase()],
-			DstActor:      m.index[l.Dst.kernelBase()],
-			ResizeEnabled: resizable,
-			MaxCap:        maxCap,
+			ID:              i,
+			Name:            fmt.Sprintf("%s.%s->%s.%s", l.Src.kernelBase().Name(), l.SrcPort.name, l.Dst.kernelBase().Name(), l.DstPort.name),
+			Queue:           q,
+			SrcActor:        m.index[l.Src.kernelBase()],
+			DstActor:        m.index[l.Dst.kernelBase()],
+			ResizeEnabled:   resizable,
+			MaxCap:          maxCap,
+			Batch:           bc,
+			LatencyPriority: l.lowLatency,
 		})
 	}
 	return infos, nil
@@ -592,6 +628,7 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			ReadBlockNs:   tel.ReadBlockNs,
 			Grows:         tel.Grows,
 			Shrinks:       tel.Shrinks,
+			Batch:         l.Batch.Get(),
 		})
 	}
 	if mon != nil {

@@ -208,6 +208,16 @@ func newPort[T any](name string, dir Direction) *Port {
 		},
 		move:         moveItems[T],
 		moveBlocking: moveItemsBlocking[T],
+		mkMover: func(scratch int) func(src, dst any, max int, block bool) (int, error) {
+			if scratch < 1 {
+				scratch = 1
+			}
+			vals := make([]T, scratch)
+			sigs := make([]Signal, scratch)
+			return func(src, dst any, max int, block bool) (int, error) {
+				return moveBatched[T](src, dst, max, block, vals, sigs)
+			}
+		},
 	}
 }
 

@@ -31,6 +31,9 @@ type LiveLink struct {
 	Pushes        uint64
 	Pops          uint64
 	MeanOccupancy float64
+	// Batch is the adaptive batcher's current transfer size for the link
+	// (0 = no decision yet / batching disabled).
+	Batch int
 }
 
 // LiveKernel is the instantaneous state of one kernel.
@@ -115,6 +118,7 @@ func (s *statsStreamer) snapshot() LiveStats {
 			Pushes:        tel.Pushes,
 			Pops:          tel.Pops,
 			MeanOccupancy: l.Occupancy.Mean(),
+			Batch:         l.Batch.Get(),
 		})
 	}
 	for _, a := range s.actors {

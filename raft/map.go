@@ -32,6 +32,7 @@ type Link struct {
 	maxCap      int
 	outOfOrder  bool
 	reorderable bool
+	lowLatency  bool
 }
 
 // OutOfOrder reports whether the link permits out-of-order processing,
@@ -42,6 +43,9 @@ func (l *Link) OutOfOrder() bool { return l.outOfOrder }
 // the original order restored downstream.
 func (l *Link) Reorderable() bool { return l.reorderable }
 
+// LowLatency reports whether the link is exempt from adaptive batching.
+func (l *Link) LowLatency() bool { return l.lowLatency }
+
 // LinkOption customizes one Link call.
 type LinkOption func(*linkSpec)
 
@@ -51,6 +55,7 @@ type linkSpec struct {
 	maxCap      int
 	outOfOrder  bool
 	reorderable bool
+	lowLatency  bool
 	convert     bool
 }
 
@@ -75,6 +80,13 @@ func MaxCap(n int) LinkOption { return func(s *linkSpec) { s.maxCap = n } }
 // that can be processed out of order are ideal candidates for the run-time
 // to automatically parallelize", "indicated by the user at link type").
 func AsOutOfOrder() LinkOption { return func(s *linkSpec) { s.outOfOrder = true } }
+
+// AsLowLatency marks the stream as latency-priority: consumers need each
+// element as soon as it exists, so the adaptive batcher pins the link's
+// transfer batch size at 1 and never grows it (WithAdaptiveBatching's
+// per-link escape hatch). Bulk operations still work on the stream; only
+// the monitor's batching decisions are bypassed.
+func AsLowLatency() LinkOption { return func(s *linkSpec) { s.lowLatency = true } }
 
 // AsReorderable marks the stream's data as processable out of order with
 // the original order restored downstream — the paper's third mode (§4.1:
@@ -144,6 +156,7 @@ func (m *Map) Link(src, dst Kernel, opts ...LinkOption) (*Link, error) {
 		Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
 		capacity: spec.capacity, maxCap: spec.maxCap,
 		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
+		lowLatency: spec.lowLatency,
 	}
 	sp.link = l
 	dp.link = l

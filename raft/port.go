@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"raftlib/internal/core"
 	"raftlib/internal/ringbuffer"
 )
 
@@ -35,6 +36,15 @@ type typedQueue[T any] interface {
 	TryPop() (T, Signal, bool, error)
 }
 
+// bulkQueue is the batched operation set both queue implementations provide:
+// one lock acquisition (Ring) or one atomic publish (SPSC) per batch instead
+// of per element.
+type bulkQueue[T any] interface {
+	PushN([]T, []Signal) error
+	PopN([]T, []Signal) (int, error)
+	DrainTo([]T, []Signal) (int, error)
+}
+
 // Port is one named, typed stream endpoint on a kernel. Ports are declared
 // with AddInput / AddOutput in the kernel's constructor and accessed from
 // Run via the generic stream operations (Pop, Push, Peek, ...).
@@ -55,11 +65,17 @@ type Port struct {
 	// moveBlocking transfers at least one element (blocking on the source
 	// for the first), then up to max total.
 	moveBlocking func(src, dst any, max int) (int, error)
+	// mkMover returns a batched transfer closure with its own scratch
+	// buffers of the given capacity: elements move src→dst as whole frames
+	// (one PopN/DrainTo plus one PushN) instead of element-wise. Adapters
+	// construct one mover each, so the scratch allocation happens once.
+	mkMover func(scratch int) func(src, dst any, max int, block bool) (int, error)
 
 	q     ringbuffer.Queue
 	typed any
 	async *asyncCell
 	link  *Link
+	batch *core.BatchControl
 }
 
 // Name returns the port's name.
@@ -114,12 +130,23 @@ func (p *Port) bind(q ringbuffer.Queue, typed any, async *asyncCell) {
 	p.async = async
 }
 
+// BatchHint returns the adaptive batcher's chosen transfer size for the
+// stream attached to this port, or def when the batcher has made no decision
+// (or the port is unbound). Batch-aware kernels and adapters call it per
+// invocation; it is one lock-free load.
+func (p *Port) BatchHint(def int) int {
+	if n := p.batch.Get(); n > 0 {
+		return n
+	}
+	return def
+}
+
 // cloneSpec returns an unbound copy of the port (same name/type/factories)
 // for the runtime's adapter construction.
 func (p *Port) cloneSpec(name string, dir Direction) *Port {
 	return &Port{
 		name: name, dir: dir, elem: p.elem,
-		mk: p.mk, move: p.move, moveBlocking: p.moveBlocking,
+		mk: p.mk, move: p.move, moveBlocking: p.moveBlocking, mkMover: p.mkMover,
 	}
 }
 
@@ -206,6 +233,56 @@ func PushBatch[T any](p *Port, vs []T, sig Signal) error {
 	return ringOf[T](p).PushBatch(vs, sig)
 }
 
+// bulkOf extracts the batched queue interface from a port, panicking with a
+// descriptive message on element-type mismatch.
+func bulkOf[T any](p *Port) bulkQueue[T] {
+	p.mustBeBound()
+	q, ok := p.typed.(bulkQueue[T])
+	if !ok {
+		panic(typeMismatchPanic[T](p))
+	}
+	return q
+}
+
+// PushN appends all of vs to an output port in one bulk operation — a
+// single lock acquisition (dynamic ring) or atomic publish (lock-free ring)
+// per batch instead of one per element. Every element carries SigNone; use
+// PushNSig to attach synchronized signals. PushN blocks while the stream is
+// full and returns ErrClosed on a closed stream.
+func PushN[T any](p *Port, vs []T) error {
+	return bulkOf[T](p).PushN(vs, nil)
+}
+
+// PushNSig is PushN with per-element synchronized signals: sigs must be nil
+// (all SigNone) or have exactly len(vs) entries, delivered downstream
+// aligned with their elements.
+func PushNSig[T any](p *Port, vs []T, sigs []Signal) error {
+	return bulkOf[T](p).PushN(vs, sigs)
+}
+
+// PopN removes up to len(dst) elements from an input port in one bulk
+// operation, blocking until at least one is available. It returns the count
+// filled; once the stream is closed and drained it returns (0, ErrClosed).
+// The elements' signals are consumed and discarded (like Pop); use PopNSig
+// to observe them.
+func PopN[T any](p *Port, dst []T) (int, error) {
+	return bulkOf[T](p).PopN(dst, nil)
+}
+
+// PopNSig is PopN plus the elements' synchronized signals: the first n
+// entries of sigs (which must hold at least len(dst)) receive the signals
+// aligned with dst.
+func PopNSig[T any](p *Port, dst []T, sigs []Signal) (int, error) {
+	return bulkOf[T](p).PopN(dst, sigs)
+}
+
+// DrainTo is the non-blocking PopN: it removes whatever is buffered, up to
+// len(dst) elements, returning 0 with a nil error when the stream is empty
+// but open and (0, ErrClosed) once it is closed and drained.
+func DrainTo[T any](p *Port, dst []T) (int, error) {
+	return bulkOf[T](p).DrainTo(dst, nil)
+}
+
 // Peek returns the element at offset i from the stream head without
 // consuming it, blocking until it arrives.
 func Peek[T any](p *Port, i int) (T, error) {
@@ -290,6 +367,49 @@ func moveItems[T any](src, dst any, max int) (int, error) {
 		moved++
 	}
 	return moved, nil
+}
+
+// moveBatched transfers up to max elements src→dst as one frame: a single
+// PopN (block=true) or DrainTo (block=false) into the caller-owned scratch
+// buffers followed by a single PushN — two bulk queue operations per hop
+// instead of 2×n element operations. When either queue lacks the bulk
+// interface it falls back to the element-wise movers. max is capped at the
+// scratch capacity.
+func moveBatched[T any](src, dst any, max int, block bool, vals []T, sigs []Signal) (int, error) {
+	sb, sok := src.(bulkQueue[T])
+	db, dok := dst.(bulkQueue[T])
+	if !sok || !dok {
+		if block {
+			return moveItemsBlocking[T](src, dst, max)
+		}
+		return moveItems[T](src, dst, max)
+	}
+	if max > len(vals) {
+		max = len(vals)
+	}
+	if max < 1 {
+		max = 1
+	}
+	var (
+		n   int
+		err error
+	)
+	if block {
+		n, err = sb.PopN(vals[:max], sigs[:max])
+	} else {
+		n, err = sb.DrainTo(vals[:max], sigs[:max])
+	}
+	if n == 0 {
+		return 0, err
+	}
+	if err := db.PushN(vals[:n], sigs[:n]); err != nil {
+		return 0, err
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		vals[i] = zero // release references held by the scratch buffer
+	}
+	return n, nil
 }
 
 // moveItemsBlocking transfers at least one element (blocking on the source

@@ -24,10 +24,10 @@ func (r *Report) String() string {
 	}
 
 	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-6s\n", "link", "cap", "mean occ", "full%", "starv%", "grows")
+	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-6s %-6s\n", "link", "cap", "mean occ", "full%", "starv%", "grows", "batch")
 	for _, l := range r.Links {
-		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8.1f %-8.1f %-6d\n",
-			l.Name, l.FinalCap, l.MeanOccupancy, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows)
+		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8.1f %-8.1f %-6d %-6d\n",
+			l.Name, l.FinalCap, l.MeanOccupancy, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows, l.Batch)
 	}
 
 	if len(r.Groups) > 0 {

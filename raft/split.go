@@ -32,9 +32,14 @@ func (p SplitPolicy) String() string {
 	return "round-robin"
 }
 
-// splitBatch is how many elements a split/merge adapter moves per pick; a
-// small batch amortizes the policy decision without harming balance.
+// splitBatch is how many elements a split/merge adapter moves per pick when
+// the adaptive batcher has made no decision; a small batch amortizes the
+// policy decision without harming balance.
 const splitBatch = 16
+
+// adapterScratch sizes the scratch buffers of an adapter's batched mover —
+// the ceiling on a single framed transfer regardless of the batch hint.
+const adapterScratch = 256
 
 // splitKernel distributes one input stream across up to width output
 // streams, honoring a dynamically adjustable active width (the monitor's
@@ -44,6 +49,9 @@ type splitKernel struct {
 	policy SplitPolicy
 	active atomic.Int32
 	rr     int
+	// mover is the batched transfer closure (one PopN + one PushN per hop)
+	// built from the port spec; its scratch buffers are allocated once here.
+	mover func(src, dst any, max int, block bool) (int, error)
 }
 
 // newSplitFromSpec builds a split whose ports replicate the element type of
@@ -52,6 +60,9 @@ type splitKernel struct {
 func newSplitFromSpec(spec *Port, width int, policy SplitPolicy, initialActive int) *splitKernel {
 	s := &splitKernel{policy: policy}
 	s.SetName("split")
+	if spec.mkMover != nil {
+		s.mover = spec.mkMover(adapterScratch)
+	}
 	s.addPort(spec.cloneSpec("in", In))
 	for i := 0; i < width; i++ {
 		s.addPort(spec.cloneSpec(strconv.Itoa(i), Out))
@@ -92,16 +103,23 @@ func NewSplit[T any](width int, policy SplitPolicy) Kernel {
 // active replica is full.
 func (s *splitKernel) Run() Status {
 	in := s.In("in")
-	out, batch := s.pick()
+	out, batch := s.pick(in.BatchHint(splitBatch))
+	if s.mover != nil {
+		if _, err := s.mover(in.typed, out.typed, batch, true); err != nil {
+			return Stop // input drained (or a downstream queue force-closed)
+		}
+		return Proceed
+	}
 	if _, err := in.moveBlocking(in.typed, out.typed, batch); err != nil {
-		return Stop // input drained (or a downstream queue force-closed)
+		return Stop
 	}
 	return Proceed
 }
 
 // pick selects the destination port among the active outputs and the batch
-// size to move there.
-func (s *splitKernel) pick() (*Port, int) {
+// size to move there; hint is the adaptive batcher's target for the inbound
+// link (falling back to splitBatch).
+func (s *splitKernel) pick(hint int) (*Port, int) {
 	outs := s.OutPorts()
 	active := int(s.active.Load())
 	if active < 1 {
@@ -125,14 +143,14 @@ func (s *splitKernel) pick() (*Port, int) {
 				space = free
 			}
 		}
-		if space > splitBatch {
-			space = splitBatch
+		if space > hint {
+			space = hint
 		}
 		return best, space
 	default:
 		p := outs[s.rr%active]
 		s.rr++
-		return p, splitBatch
+		return p, hint
 	}
 }
 
@@ -143,6 +161,9 @@ type mergeKernel struct {
 	KernelBase
 	next int
 	idle int
+	// mover frames each input sweep (one DrainTo + one PushN per input)
+	// instead of ping-ponging TryPop/Push element-wise.
+	mover func(src, dst any, max int, block bool) (int, error)
 }
 
 // newMergeFromSpec builds a merge whose ports replicate the element type of
@@ -150,6 +171,9 @@ type mergeKernel struct {
 func newMergeFromSpec(spec *Port, width int) *mergeKernel {
 	m := &mergeKernel{}
 	m.SetName("merge")
+	if spec.mkMover != nil {
+		m.mover = spec.mkMover(adapterScratch)
+	}
 	for i := 0; i < width; i++ {
 		m.addPort(spec.cloneSpec(strconv.Itoa(i), In))
 	}
@@ -173,11 +197,20 @@ func NewMerge[T any](width int) Kernel {
 func (m *mergeKernel) Run() Status {
 	out := m.Out("out")
 	ins := m.InPorts()
+	hint := out.BatchHint(splitBatch)
 	moved := 0
 	open := 0
 	for i := range ins {
 		in := ins[(m.next+i)%len(ins)]
-		n, err := in.move(in.typed, out.typed, splitBatch)
+		var (
+			n   int
+			err error
+		)
+		if m.mover != nil {
+			n, err = m.mover(in.typed, out.typed, hint, false)
+		} else {
+			n, err = in.move(in.typed, out.typed, hint)
+		}
 		moved += n
 		if err == nil {
 			open++
