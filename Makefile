@@ -10,11 +10,12 @@ test:
 
 # check is the fast pre-commit gate: vet everything, race-test the
 # packages with the trickiest concurrency (resilience supervisor, oar
-# bridge healing, lock-free ring buffer, batched port path), then smoke
-# the batch ablation so a batching regression fails loudly.
+# bridge healing, lock-free ring buffer, batched port path, sharded
+# trace bus, monitor, histogram counters), then smoke the batch
+# ablation so a batching regression fails loudly.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./raft/...
+	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./internal/trace/... ./internal/monitor/... ./internal/stats/... ./raft/...
 	$(MAKE) bench-smoke
 
 # bench-smoke runs the batch ablation on a small corpus/stream — seconds,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sync"
@@ -41,6 +42,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateFault(corpusMB)
 	case "batch":
 		ablateBatch(corpusMB)
+	case "obs":
+		ablateObs(corpusMB)
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)
@@ -608,6 +611,129 @@ func ablateBatch(corpusMB int) {
 	fmt.Println("windows of contention; on single-core or heavily loaded hosts the")
 	fmt.Println("ramp can lag the run, so its speedup is noisier than static.")
 	fmt.Println("text search is neutral (large elements) and byte-identical.")
+}
+
+// ablateObs measures full-telemetry overhead (A12): the same pipelines run
+// bare, with the event bus recording at the default sampling stride, with
+// the bus plus an idle Prometheus endpoint listening (the deployment
+// shape: always instrumented, scraped occasionally), and with exhaustive
+// stride-1 span capture (every invocation). Occupancy histograms and
+// service timers are unconditionally on — they are part of every
+// configuration — so the ablation isolates the cost of the structured
+// event bus and of the exporter machinery.
+func ablateObs(corpusMB int) {
+	header("A12: Telemetry overhead — off vs event bus vs idle exporter vs stride-1")
+	items := int64(benchItems)
+	want := items * (items - 1) / 2
+
+	type cfg struct {
+		name string
+		opts func() []raft.Option
+	}
+	cases := []cfg{
+		{"off", func() []raft.Option { return nil }},
+		{"trace", func() []raft.Option {
+			return []raft.Option{raft.WithTrace(1 << 16)}
+		}},
+		{"trace+metrics", func() []raft.Option {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Println("error:", err)
+				return []raft.Option{raft.WithTrace(1 << 16)}
+			}
+			return []raft.Option{raft.WithTrace(1 << 16), raft.WithMetricsListener(ln)}
+		}},
+		{"trace stride=1", func() []raft.Option {
+			return []raft.Option{raft.WithTrace(1 << 16), raft.WithTraceStride(1)}
+		}},
+	}
+
+	// report prints one section's per-config best rates with overhead
+	// relative to the first ("off") config.
+	report := func(format func(rate float64) string, best []float64) {
+		for ci, c := range cases {
+			if ci == 0 {
+				fmt.Printf("%-16s %-12s %-10s\n", c.name, format(best[0]), "-")
+			} else {
+				fmt.Printf("%-16s %-12s %-+.1f%%\n", c.name, format(best[ci]), 100*(best[0]/best[ci]-1))
+			}
+		}
+	}
+	// measure interleaves repetitions across configs (rep-major, so host
+	// drift — GC waves, neighbor load on shared cores — hits every config
+	// equally) and keeps the best rate per config.
+	measure := func(reps int, run func(opts []raft.Option) float64) []float64 {
+		best := make([]float64, len(cases))
+		for rep := 0; rep < reps; rep++ {
+			for ci, c := range cases {
+				if r := run(c.opts()); r > best[ci] {
+					best[ci] = r
+				}
+			}
+		}
+		return best
+	}
+
+	// Primary: the small-element pipeline — per-element synchronization
+	// dominates, so any per-invocation telemetry cost is maximally visible.
+	// The 3% bar applies to the shipped defaults (trace, trace+metrics);
+	// stride=1 shows the price of exhaustive capture.
+	fmt.Printf("small-element synthetic: generate -> reduce, %d int64 elements, element-wise, best of 7\n\n", items)
+	fmt.Printf("%-16s %-12s %-10s\n", "config", "Mitems/s", "overhead")
+	runSum := func(batch int) func(opts []raft.Option) float64 {
+		return func(opts []raft.Option) float64 {
+			var sum int64
+			m := raft.NewMap()
+			gen := kernels.NewGenerate(items, func(i int64) int64 { return i })
+			red := kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &sum)
+			if batch > 0 {
+				gen.SetBatch(batch)
+				red.SetBatch(batch)
+			}
+			m.MustLink(gen, red)
+			start := time.Now()
+			if _, err := m.Exe(opts...); err != nil {
+				fmt.Println("error:", err)
+				return 0
+			}
+			elapsed := time.Since(start)
+			if sum != want {
+				fmt.Printf("!! sum = %d, want %d (telemetry changed the stream)\n", sum, want)
+			}
+			return float64(items) / elapsed.Seconds()
+		}
+	}
+	mitems := func(r float64) string { return fmt.Sprintf("%.2f", r/1e6) }
+	report(mitems, measure(7, runSum(0)))
+	fmt.Printf("\nacceptance: trace and trace+metrics (idle exporter) <= 3%% here\n")
+
+	// Secondary: same pipeline with batch 64 — the throughput configuration
+	// (A11); sampling plus batching makes telemetry disappear entirely.
+	fmt.Printf("\nbatched synthetic (batch 64), %d elements, best of 5\n\n", items)
+	fmt.Printf("%-16s %-12s %-10s\n", "config", "Mitems/s", "overhead")
+	report(mitems, measure(5, runSum(64)))
+
+	// Secondary: Figure 10 text search (coarse-grained kernels — chunk-sized
+	// invocations bury the per-invocation cost entirely).
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 23})
+	cores := min(4, runtime.GOMAXPROCS(0))
+	fmt.Printf("\ntext search (Fig. 10 pipeline, %d MiB, %d cores, best of 5):\n\n", corpusMB, cores)
+	fmt.Printf("%-16s %-12s %-10s\n", "config", "GB/s", "overhead")
+	report(gbps, measure(5, func(opts []raft.Option) float64 {
+		res, err := textsearch.Run(data, textsearch.Config{
+			Algo: "horspool", Cores: cores, ExtraExeOpts: opts,
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return 0
+		}
+		return res.Throughput(len(data))
+	}))
+	fmt.Println("\nexpected: at the default stride the bus costs a counter increment")
+	fmt.Println("on most invocations (one span pair per 64), so trace and the idle")
+	fmt.Println("exporter sit within the 3% bar even element-wise; stride=1 pays")
+	fmt.Println("two event publishes per invocation and is priced here honestly.")
+	fmt.Println("batched and chunk-based pipelines bury even stride-1 in the batch.")
 }
 
 // ablateFault measures the resilience subsystem (A10): the overhead of

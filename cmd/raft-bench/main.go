@@ -6,7 +6,7 @@
 //	raft-bench -fig4              queue-size sweep, matmul (paper Figure 4)
 //	raft-bench -fig10             text search GB/s vs cores (paper Figure 10)
 //	raft-bench -ablate <name>     split | resize | clone | sched | monitor |
-//	                              map | tcp | model | swap | fault | batch
+//	                              map | tcp | model | swap | fault | batch | obs
 //	raft-bench -all               everything above
 //
 // Absolute numbers depend on the host; EXPERIMENTS.md records the shape
@@ -27,7 +27,7 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the hardware summary (Table 1)")
 		fig4     = flag.Bool("fig4", false, "run the queue-size sweep (Figure 4)")
 		fig10    = flag.Bool("fig10", false, "run the text-search scaling study (Figure 10)")
-		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch")
+		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs")
 		all      = flag.Bool("all", false, "run every experiment")
 		corpusMB = flag.Int("corpus", 64, "text-search corpus size in MiB (Figure 10)")
 		items    = flag.Int("items", 2_000_000, "synthetic pipeline length in elements (batch ablation)")
@@ -58,7 +58,7 @@ func main() {
 		runAblation(*ablate, *corpusMB, cores)
 		ran = true
 	} else if *all {
-		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch"} {
+		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch", "obs"} {
 			runAblation(name, *corpusMB, cores)
 		}
 	}

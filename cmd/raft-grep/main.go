@@ -7,7 +7,10 @@
 //
 // It prints matching lines by default, mirrors grep -c with -count, and
 // prints byte offsets with -offsets. The match kernels are replicated
-// across cores by the runtime.
+// across cores by the runtime. -stats prints the full execution report
+// (kernels, streams, monitor decisions) to stderr; -trace FILE writes a
+// Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"sort"
 
 	"raftlib/internal/apps/textsearch"
+	"raftlib/raft"
 )
 
 func main() {
@@ -28,7 +32,9 @@ func main() {
 		cores   = flag.Int("cores", runtime.GOMAXPROCS(0), "match kernel replicas")
 		count   = flag.Bool("count", false, "print only the match count (grep -c)")
 		offsets = flag.Bool("offsets", false, "print byte offsets instead of lines")
-		stats   = flag.Bool("stats", false, "print runtime statistics to stderr")
+		stats   = flag.Bool("stats", false, "print the full execution report to stderr")
+		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON to FILE (load in Perfetto)")
+		metrics = flag.String("metrics", "", "serve Prometheus metrics on host:port while running")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -45,11 +51,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	var exeOpts []raft.Option
+	if *tracef != "" {
+		exeOpts = append(exeOpts, raft.WithTrace(1<<16))
+	}
+	if *metrics != "" {
+		exeOpts = append(exeOpts, raft.WithMetricsAddr(*metrics))
+	}
+
 	res, err := textsearch.Run(data, textsearch.Config{
 		Algo:             *algo,
 		Pattern:          pattern,
 		Cores:            *cores,
 		CollectPositions: !*count,
+		ExtraExeOpts:     exeOpts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raft-grep: %v\n", err)
@@ -71,9 +86,25 @@ func main() {
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "raft-grep: %d hits in %v (%.3f GB/s), %d kernels, scheduler %s\n",
-			res.Hits, res.Elapsed, res.Throughput(len(data))/1e9,
-			len(res.Report.Kernels), res.Report.Scheduler)
+		fmt.Fprintf(os.Stderr, "raft-grep: %d hits in %v (%.3f GB/s)\n",
+			res.Hits, res.Elapsed, res.Throughput(len(data))/1e9)
+		fmt.Fprint(os.Stderr, res.Report.String())
+	}
+	if *tracef != "" {
+		f, err := os.Create(*tracef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raft-grep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Report.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "raft-grep: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "raft-grep: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -175,9 +175,13 @@ func TestChaosTextsearchIdenticalToUndisturbed(t *testing.T) {
 		}
 		producer.MustLink(kernels.NewBytesReader(data, 8<<10, len(pattern)-1), match, raft.AsOutOfOrder())
 		producer.MustLink(match, send)
-		// Adaptive batching on both runs: the disturbed result must stay
-		// byte-identical with bulk transfer and batch resizing engaged.
-		prodOpts := []raft.Option{raft.WithAutoReplicate(3), raft.WithAdaptiveBatching(true)}
+		// Adaptive batching AND full telemetry on both runs: the disturbed
+		// result must stay byte-identical with bulk transfer, batch
+		// resizing, and exhaustive (stride-1) event recording engaged.
+		prodOpts := []raft.Option{
+			raft.WithAutoReplicate(3), raft.WithAdaptiveBatching(true),
+			raft.WithTrace(1 << 14), raft.WithTraceStride(1),
+		}
 		if chaos {
 			prodOpts = append(prodOpts,
 				raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
@@ -259,6 +263,7 @@ func TestChaosDistributedSumExact(t *testing.T) {
 		defer wg.Done()
 		_, errs[1] = consumer.Exe(
 			raft.WithAdaptiveBatching(true),
+			raft.WithTrace(1<<14), raft.WithTraceStride(1),
 			raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
 			raft.WithCheckpointStore(raft.NewMemCheckpointStore()),
 			raft.WithFaultInjection(inj))

@@ -7,6 +7,7 @@ import (
 
 	"raftlib/internal/ringbuffer"
 	"raftlib/internal/stats"
+	"raftlib/internal/trace"
 )
 
 // Actor is the engine's view of one schedulable compute kernel. The raft
@@ -58,13 +59,54 @@ type Actor struct {
 	// Finished is set by the scheduler once the actor's lifecycle ends;
 	// the monitor's deadlock detector ignores finished actors.
 	Finished atomic.Bool
+
+	// Trace, when non-nil, receives RunStart/RunEnd events for sampled
+	// invocations (and restart/checkpoint events from the supervisor).
+	// TraceID is the actor id used on the bus — it matches ID for plain
+	// actors but replicas of one kernel share their group's id.
+	Trace   *trace.Recorder
+	TraceID int32
+	// TraceStride samples Run spans statistically: one invocation in every
+	// TraceStride emits its RunStart/RunEnd pair (0 and 1 both mean every
+	// invocation). Structural events — restarts, checkpoints, resizes — are
+	// never sampled; only the high-frequency Run spans are. stepSkip is the
+	// countdown to the next sampled invocation, touched only by the actor's
+	// own goroutine (a countdown avoids a division on the hot path).
+	TraceStride uint32
+	stepSkip    uint32
 }
 
-// StepTimed invokes Step and records the service time.
+// StepTimed invokes Step and records the service time. The clock is read
+// exactly once per edge: the same end capture feeds both the duty-cycle
+// accounting (Service) and the trace bus, so instrumentation never doubles
+// the timing overhead of an invocation. Run spans are emitted for one
+// invocation in every TraceStride — the amortized bus cost on a
+// fine-grained kernel is a counter increment, not two event publishes.
 func (a *Actor) StepTimed() Status {
+	if a.Trace != nil {
+		if a.stepSkip == 0 {
+			if a.TraceStride > 1 {
+				a.stepSkip = a.TraceStride - 1
+			}
+			return a.stepTraced()
+		}
+		a.stepSkip--
+	}
 	start := time.Now()
 	st := a.Step()
 	a.Service.Record(time.Since(start))
+	return st
+}
+
+// stepTraced is the sampled slow path: one invocation bracketed by
+// RunStart/RunEnd events sharing the duty-cycle clock captures.
+func (a *Actor) stepTraced() Status {
+	start := time.Now()
+	a.Trace.Record(a.TraceID, trace.RunStart, start.UnixNano())
+	st := a.Step()
+	end := time.Now()
+	a.Service.Record(end.Sub(start))
+	a.Trace.Record(a.TraceID, trace.RunEnd, end.UnixNano())
 	return st
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"raftlib/internal/core"
 	"raftlib/internal/ringbuffer"
+	"raftlib/internal/trace"
 )
 
 // Config tunes the monitor loop.
@@ -66,6 +67,10 @@ type Config struct {
 	// ScaleWindow is the number of ticks between scaling decisions
 	// (default 64).
 	ScaleWindow int
+	// Trace, when non-nil, additionally publishes every decision on the
+	// run's telemetry bus so resizes, batch moves and width changes land
+	// on the same timeline as kernel invocations.
+	Trace *trace.Recorder
 }
 
 // DefaultDelta is the paper's monitor update period.
@@ -198,9 +203,29 @@ func (m *Monitor) Resizes() uint64 {
 	return m.resizes
 }
 
+// traceKind maps a monitor decision to its telemetry-bus event kind.
+var traceKind = map[string]trace.Kind{
+	"grow":       trace.QueueGrow,
+	"shrink":     trace.QueueShrink,
+	"batch-up":   trace.BatchUp,
+	"batch-down": trace.BatchDown,
+	"scale-up":   trace.ScaleUp,
+	"scale-down": trace.ScaleDown,
+	"deadlock":   trace.Deadlock,
+}
+
 func (m *Monitor) record(kind, target string, from, to int) {
+	now := time.Now()
+	if m.cfg.Trace != nil {
+		if k, ok := traceKind[kind]; ok {
+			m.cfg.Trace.Emit(trace.Event{
+				Actor: -1, Kind: k, At: now.UnixNano(),
+				Prev: int64(from), Arg: int64(to), Label: target,
+			})
+		}
+	}
 	m.mu.Lock()
-	m.events = append(m.events, Event{At: time.Now(), Kind: kind, Target: target, From: from, To: to})
+	m.events = append(m.events, Event{At: now, Kind: kind, Target: target, From: from, To: to})
 	if kind == "grow" || kind == "shrink" {
 		m.resizes++
 	}

@@ -10,8 +10,35 @@ import (
 	"time"
 
 	"raftlib/internal/fault"
+	"raftlib/internal/trace"
 	"raftlib/raft"
 )
+
+// bridgeTrace is the telemetry-bus hookup shared by both bridge endpoints.
+// Exe attaches the run's recorder through raft.TraceAttacher before
+// scheduling, so disconnect/reconnect/replay transitions land on the same
+// timeline as kernel invocations and monitor decisions.
+type bridgeTrace struct {
+	rec   *trace.Recorder
+	actor int32
+}
+
+// AttachTrace implements raft.TraceAttacher.
+func (b *bridgeTrace) AttachTrace(rec *trace.Recorder, actor int32) {
+	b.rec = rec
+	b.actor = actor
+}
+
+// emit publishes one bridge transition (no-op when unattached).
+func (b *bridgeTrace) emit(kind trace.Kind, stream string, arg int64) {
+	if b.rec == nil {
+		return
+	}
+	b.rec.Emit(trace.Event{
+		Actor: b.actor, Kind: kind, At: time.Now().UnixNano(),
+		Arg: arg, Label: stream,
+	})
+}
 
 // A bridge tunnels one raft stream over a TCP connection: the Sender is a
 // sink kernel in the producing process's map, the Receiver a source kernel
@@ -209,6 +236,8 @@ type Sender[T any] struct {
 	replayed   atomic.Uint64
 	dropped    atomic.Uint64
 	downtimeNs atomic.Int64
+
+	trc bridgeTrace
 }
 
 // NewSender returns a bridge sender that will dial the receiver node at
@@ -424,12 +453,16 @@ func (s *Sender[T]) encodeSeq(seq uint64) error {
 	return nil
 }
 
+// AttachTrace implements raft.TraceAttacher.
+func (s *Sender[T]) AttachTrace(rec *trace.Recorder, actor int32) { s.trc.AttachTrace(rec, actor) }
+
 // reconnect re-establishes the connection with capped exponential backoff
 // and replays every unacknowledged frame. It fails (wrapping
 // raft.ErrBridgeDown) once the outage outlasts MaxDowntime.
 func (s *Sender[T]) reconnect() error {
 	start := time.Now()
 	defer func() { s.downtimeNs.Add(int64(time.Since(start))) }()
+	s.trc.emit(trace.BridgeDisconnect, s.stream, 0)
 	backoff := s.opt.reconnectMin
 	for {
 		if s.opt.maxDowntime > 0 && time.Since(start) > s.opt.maxDowntime {
@@ -437,8 +470,13 @@ func (s *Sender[T]) reconnect() error {
 				s.stream, time.Since(start).Round(time.Millisecond), raft.ErrBridgeDown)
 		}
 		if err := s.connect(backoff + s.opt.reconnectMin); err == nil {
+			replayedBefore := s.replayed.Load()
 			if err := s.replay(); err == nil {
 				s.reconnects.Add(1)
+				s.trc.emit(trace.BridgeReconnect, s.stream, int64(s.reconnects.Load()))
+				if n := s.replayed.Load() - replayedBefore; n > 0 {
+					s.trc.emit(trace.BridgeReplay, s.stream, int64(n))
+				}
 				return nil
 			}
 			s.dropConn()
@@ -554,6 +592,8 @@ type Receiver[T any] struct {
 
 	reconnects atomic.Uint64
 	downtimeNs atomic.Int64
+
+	trc bridgeTrace
 }
 
 // NewReceiver registers the named stream endpoint on node and returns the
@@ -669,12 +709,16 @@ func (r *Receiver[T]) ack(seq uint64) {
 	}
 }
 
+// AttachTrace implements raft.TraceAttacher.
+func (r *Receiver[T]) AttachTrace(rec *trace.Recorder, actor int32) { r.trc.AttachTrace(rec, actor) }
+
 // await blocks until the sender reconnects, or the outage outlasts
 // MaxDowntime and the degradation policy fires. done=true carries a final
 // kernel status.
 func (r *Receiver[T]) await() (raft.Status, bool) {
 	start := time.Now()
 	defer func() { r.downtimeNs.Add(int64(time.Since(start))) }()
+	r.trc.emit(trace.BridgeDisconnect, r.stream, 0)
 	var expire <-chan time.Time
 	if r.opt.maxDowntime > 0 {
 		t := time.NewTimer(r.opt.maxDowntime)
@@ -685,6 +729,7 @@ func (r *Receiver[T]) await() (raft.Status, bool) {
 	case conn := <-r.accept:
 		r.setup(conn)
 		r.reconnects.Add(1)
+		r.trc.emit(trace.BridgeReconnect, r.stream, int64(r.reconnects.Load()))
 		return raft.Proceed, false
 	case <-expire:
 		if r.opt.policy == Fail {

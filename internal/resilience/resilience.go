@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/trace"
 )
 
 // Sentinel errors, re-exported by raft/errors.go.
@@ -184,11 +185,23 @@ func (s *Supervisor) step(inner func() core.Status) core.Status {
 				if err := s.h.Checkpoint(); err != nil {
 					return s.fail(fmt.Errorf("%w: %w", ErrCheckpointFailed, err))
 				}
+				s.emit(trace.CheckpointSave, 0)
 			}
 		}
 		return st
 	}
 	return s.fail(perr)
+}
+
+// emit publishes one supervision transition on the run's telemetry bus
+// (when the supervised actor carries one).
+func (s *Supervisor) emit(kind trace.Kind, arg int64) {
+	if rec := s.actor.Trace; rec != nil {
+		rec.Emit(trace.Event{
+			Actor: s.actor.TraceID, Kind: kind,
+			At: time.Now().UnixNano(), Arg: arg,
+		})
+	}
 }
 
 // fail applies the restart policy to one failure.
@@ -207,6 +220,7 @@ func (s *Supervisor) fail(cause error) core.Status {
 		if s.h.OnExhausted != nil {
 			s.h.OnExhausted(err)
 		}
+		s.emit(trace.Escalate, int64(s.attempts))
 		return core.Stop
 	}
 
@@ -218,8 +232,10 @@ func (s *Supervisor) fail(cause error) core.Status {
 			// attempt rather than looping on a corrupt checkpoint.
 			return s.fail(fmt.Errorf("%w: restore: %w", ErrCheckpointFailed, rerr))
 		}
+		s.emit(trace.CheckpointRestore, int64(s.attempts))
 	}
 	s.actor.Restarts.Inc()
+	s.emit(trace.Restart, int64(s.attempts))
 	if s.h.Log != nil {
 		s.h.Log.Add(Event{
 			At: caught, Kernel: s.name, Attempt: s.attempts,

@@ -22,6 +22,7 @@ package ringbuffer
 
 import (
 	"errors"
+	"math/bits"
 	"time"
 )
 
@@ -114,11 +115,36 @@ type Telemetry struct {
 	// the adaptive batcher's grow signal.
 	SpinYields counter64
 	SpinSleeps counter64
+	// occ is the paper's §4.1 "queue occupancy histogram" recorded on the
+	// write side itself rather than by monitor sampling: bucket i counts
+	// push operations that left the queue at a log2-bucketed occupancy
+	// (bucket 0 = {0,1} elements, bucket i = [2^i, 2^(i+1))). One atomic
+	// increment per push op — batched pushes record once per batch, so the
+	// histogram weights synchronization points, which is exactly what the
+	// allocator and batcher reason about.
+	occ [OccBuckets]counter64
+}
+
+// OccBuckets is the number of log2 occupancy buckets; bucket OccBuckets-1
+// absorbs any occupancy ≥ 2^(OccBuckets-1) (capacities beyond 4G elements
+// do not occur).
+const OccBuckets = 33
+
+// recordOcc tallies the occupancy a push operation left behind.
+func (t *Telemetry) recordOcc(n int) {
+	i := 0
+	if n > 1 {
+		i = bits.Len64(uint64(n)) - 1
+		if i >= OccBuckets {
+			i = OccBuckets - 1
+		}
+	}
+	t.occ[i].Inc()
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (t *Telemetry) Snapshot() TelemetrySnapshot {
-	return TelemetrySnapshot{
+	s := TelemetrySnapshot{
 		Pushes:       t.Pushes.Load(),
 		Pops:         t.Pops.Load(),
 		WriteBlockNs: t.WriteBlockNs.Load(),
@@ -129,6 +155,10 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		SpinYields:   t.SpinYields.Load(),
 		SpinSleeps:   t.SpinSleeps.Load(),
 	}
+	for i := range s.Occupancy {
+		s.Occupancy[i] = t.occ[i].Load()
+	}
+	return s
 }
 
 // TelemetrySnapshot is an immutable copy of Telemetry.
@@ -142,6 +172,9 @@ type TelemetrySnapshot struct {
 	Shrinks      uint64
 	SpinYields   uint64
 	SpinSleeps   uint64
+	// Occupancy is the per-push log2 occupancy histogram (see Telemetry.occ
+	// for bucket semantics). Quantiles come from stats.LogQuantile.
+	Occupancy [OccBuckets]uint64
 }
 
 // Blocked reports whether either side of the queue spent time blocked or

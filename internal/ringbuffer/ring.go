@@ -153,6 +153,7 @@ func (r *Ring[T]) Push(v T, sig Signal) error {
 	r.setSigAt(i, sig)
 	r.n++
 	r.tel.Pushes.Inc()
+	r.tel.recordOcc(r.n)
 	r.notEmpty.Signal()
 	return nil
 }
@@ -173,6 +174,7 @@ func (r *Ring[T]) TryPush(v T, sig Signal) (bool, error) {
 	r.setSigAt(i, sig)
 	r.n++
 	r.tel.Pushes.Inc()
+	r.tel.recordOcc(r.n)
 	r.notEmpty.Signal()
 	return true, nil
 }
@@ -199,6 +201,7 @@ func (r *Ring[T]) PushBatch(vs []T, sig Signal) error {
 			r.n++
 		}
 		r.tel.Pushes.Add(uint64(k))
+		r.tel.recordOcc(r.n)
 		vs = vs[k:]
 		r.notEmpty.Broadcast()
 	}
@@ -230,6 +233,7 @@ func (r *Ring[T]) PushN(vs []T, sigs []Signal) error {
 			sigs = sigs[k:]
 		}
 		r.tel.Pushes.Add(uint64(k))
+		r.tel.recordOcc(r.n)
 		r.notEmpty.Broadcast()
 	}
 	return nil

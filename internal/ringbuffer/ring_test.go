@@ -705,3 +705,47 @@ func TestGrowTarget(t *testing.T) {
 		}
 	}
 }
+
+func TestOccupancyHistogramRing(t *testing.T) {
+	r := NewRing[int](16)
+	// Occupancies after each push: 1, 2, 3, 4 -> buckets 0,1,1,2.
+	for i := 0; i < 4; i++ {
+		if err := r.Push(i, SigNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Telemetry().Snapshot()
+	if snap.Occupancy[0] != 1 || snap.Occupancy[1] != 2 || snap.Occupancy[2] != 1 {
+		t.Fatalf("occupancy buckets = %v", snap.Occupancy[:4])
+	}
+	// Bulk push records once per batch at the resulting occupancy (4+8=12
+	// -> bucket 3).
+	if err := r.PushN(make([]int, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap = r.Telemetry().Snapshot()
+	if snap.Occupancy[3] != 1 {
+		t.Fatalf("bulk occupancy buckets = %v", snap.Occupancy[:5])
+	}
+}
+
+func TestOccupancyHistogramSPSC(t *testing.T) {
+	q := NewSPSC[int](8)
+	for i := 0; i < 3; i++ {
+		if ok, err := q.TryPush(i, SigNone); !ok || err != nil {
+			t.Fatalf("push %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	snap := q.Telemetry().Snapshot()
+	// Occupancies 1, 2, 3 -> buckets 0, 1, 1.
+	if snap.Occupancy[0] != 1 || snap.Occupancy[1] != 2 {
+		t.Fatalf("occupancy buckets = %v", snap.Occupancy[:3])
+	}
+	if err := q.PushN(make([]int, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap = q.Telemetry().Snapshot()
+	if snap.Occupancy[3] != 1 { // 3+5 = 8 -> bucket 3
+		t.Fatalf("bulk occupancy buckets = %v", snap.Occupancy[:5])
+	}
+}

@@ -91,7 +91,8 @@ func (q *SPSC[T]) TryPush(v T, sig Signal) (bool, error) {
 		return false, ErrClosed
 	}
 	t := q.tail.Load()
-	if t-q.head.Load() > q.mask {
+	h := q.head.Load()
+	if t-h > q.mask {
 		return false, nil // full
 	}
 	i := t & q.mask
@@ -99,6 +100,7 @@ func (q *SPSC[T]) TryPush(v T, sig Signal) (bool, error) {
 	q.sigs[i] = sig
 	q.tail.Store(t + 1) // release: publishes the slot
 	q.tel.Pushes.Inc()
+	q.tel.recordOcc(int(t + 1 - h))
 	return true, nil
 }
 
@@ -143,7 +145,8 @@ func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 			return ErrClosed
 		}
 		t := q.tail.Load()
-		free := len(q.vals) - int(t-q.head.Load())
+		h := q.head.Load()
+		free := len(q.vals) - int(t-h)
 		if free == 0 {
 			if blockedAt == 0 {
 				blockedAt = nowNanos()
@@ -166,6 +169,7 @@ func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 		}
 		q.tail.Store(t + uint64(k)) // release: publishes the whole batch
 		q.tel.Pushes.Add(uint64(k))
+		q.tel.recordOcc(int(t + uint64(k) - h))
 		vs = vs[k:]
 		if sigs != nil {
 			sigs = sigs[k:]

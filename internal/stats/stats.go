@@ -194,6 +194,46 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max.Load()
 }
 
+// LogQuantile returns an upper-bound estimate of the q-quantile over raw
+// log2 bucket counts laid out like Histogram's (bucket 0 holds {0,1},
+// bucket i holds [2^i, 2^(i+1))). It is shared by every log2-bucketed
+// counter set in the runtime — the per-ring occupancy buckets in
+// internal/ringbuffer carry no methods of their own so the queue types
+// stay dependency-free.
+func LogQuantile(buckets []uint64, q float64) uint64 {
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			if i >= 63 {
+				return math.MaxUint64
+			}
+			return (uint64(1) << uint(i+1)) - 1
+		}
+	}
+	return 0
+}
+
 // Snapshot returns a point-in-time copy of the bucket counts.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
@@ -212,6 +252,11 @@ type HistogramSnapshot struct {
 	Sum     uint64
 	Count   uint64
 	Max     uint64
+}
+
+// Quantile returns the q-quantile upper bound from the snapshot's buckets.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	return LogQuantile(s.Buckets[:], q)
 }
 
 // String renders the non-empty buckets, one per line.
@@ -327,3 +372,6 @@ func (t *ServiceTimer) RatePerSecond() float64 {
 
 // Quantile returns the q-quantile of service time in nanoseconds.
 func (t *ServiceTimer) Quantile(q float64) uint64 { return t.hist.Quantile(q) }
+
+// Hist exposes the underlying service-time histogram (for exporters).
+func (t *ServiceTimer) Hist() *Histogram { return &t.hist }

@@ -304,3 +304,35 @@ func TestServiceTimerEmptyRate(t *testing.T) {
 		t.Fatal("rate of empty timer must be 0")
 	}
 }
+
+func TestLogQuantile(t *testing.T) {
+	// 10 samples in bucket 1 ([2,4)), 90 in bucket 5 ([32,64)).
+	buckets := make([]uint64, 33)
+	buckets[1] = 10
+	buckets[5] = 90
+	if got := LogQuantile(buckets, 0.05); got != 3 {
+		t.Fatalf("p5 = %d, want 3", got)
+	}
+	if got := LogQuantile(buckets, 0.99); got != 63 {
+		t.Fatalf("p99 = %d, want 63", got)
+	}
+	if got := LogQuantile(make([]uint64, 33), 0.5); got != 0 {
+		t.Fatalf("empty = %d, want 0", got)
+	}
+	only := make([]uint64, 33)
+	only[0] = 5
+	if got := LogQuantile(only, 0.5); got != 1 {
+		t.Fatalf("bucket0 = %d, want 1", got)
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(uint64(i))
+	}
+	s := h.Snapshot()
+	if s.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatalf("snapshot quantile %d != live %d", s.Quantile(0.5), h.Quantile(0.5))
+	}
+}

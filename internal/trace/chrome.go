@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteChromeTrace renders the retained events as Chrome trace-event JSON
+// (the format consumed by Perfetto and chrome://tracing): one named track
+// per kernel carrying its RunStart/RunEnd pairs as complete ("X") slices,
+// with monitor, supervisor and bridge decisions as instant ("i") events —
+// actor-scoped decisions on their kernel's track, link/group/application
+// decisions on a trailing "runtime" track. names[i] labels actor i.
+func (r *Recorder) WriteChromeTrace(w io.Writer, names []string) error {
+	return WriteChrome(w, r.Events(), names)
+}
+
+// WriteChrome writes the given chronologically ordered events in Chrome
+// trace-event JSON. The output is deterministic for a fixed input.
+func WriteChrome(w io.Writer, events []Event, names []string) error {
+	bw := &errWriter{w: w}
+	bw.puts(`{"displayTimeUnit":"ns","traceEvents":[`)
+
+	// Track metadata: one tid per actor seen, plus the runtime track.
+	maxActor := int32(-1)
+	runtime := false
+	for _, e := range events {
+		if e.Actor > maxActor {
+			maxActor = e.Actor
+		}
+		if e.Actor < 0 {
+			runtime = true
+		}
+	}
+	first := true
+	meta := func(tid int, name string) {
+		bw.sep(&first)
+		bw.putf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tid, quote(name))
+	}
+	for a := int32(0); a <= maxActor; a++ {
+		name := fmt.Sprintf("kernel-%d", a)
+		if int(a) < len(names) && names[a] != "" {
+			name = names[a]
+		}
+		meta(int(a), name)
+	}
+	runtimeTid := int(maxActor) + 1
+	if runtime {
+		meta(runtimeTid, "runtime")
+	}
+
+	// Spans: pair RunStart/RunEnd per actor in stream order.
+	open := map[int32]int64{}
+	for _, e := range events {
+		switch e.Kind {
+		case RunStart:
+			open[e.Actor] = e.At
+		case RunEnd:
+			s, ok := open[e.Actor]
+			if !ok {
+				continue
+			}
+			delete(open, e.Actor)
+			bw.sep(&first)
+			bw.putf(`{"ph":"X","pid":0,"tid":%d,"name":"run","ts":%s,"dur":%s}`,
+				e.Actor, usec(s), usec(e.At-s))
+		default:
+			tid := runtimeTid
+			if e.Actor >= 0 {
+				tid = int(e.Actor)
+			}
+			bw.sep(&first)
+			bw.putf(`{"ph":"i","s":"t","pid":0,"tid":%d,"name":%s,"ts":%s,"args":{"from":%d,"to":%d,"target":%s}}`,
+				tid, quote(e.Kind.String()), usec(e.At), e.Prev, e.Arg, quote(e.Label))
+		}
+	}
+	bw.puts("]}\n")
+	return bw.err
+}
+
+// usec renders nanoseconds as fractional microseconds (Chrome's ts unit)
+// without losing precision.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// quote JSON-escapes a string the cheap way (labels are identifiers).
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) puts(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+func (e *errWriter) putf(format string, args ...any) {
+	e.puts(fmt.Sprintf(format, args...))
+}
+
+func (e *errWriter) sep(first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	e.puts(",\n")
+}

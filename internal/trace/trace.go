@@ -1,114 +1,262 @@
-// Package trace records per-kernel execution events and renders them as a
-// utilization timeline — a step toward the paper's stated future work:
-// "Future work in visualization could determine the best way to display
-// this information to the user in order to improve their ability to act
-// upon it" (§4.1).
+// Package trace is the runtime's unified telemetry bus: a typed,
+// per-actor-sharded event recorder cheap enough to wrap every kernel
+// invocation, carrying every decision the runtime makes — kernel
+// run start/end, queue resizes, adaptive batch moves, replication width
+// changes, supervised restarts, checkpoint saves/restores, and bridge
+// disconnect/reconnect/replay — plus exporters that render the stream as
+// an ASCII utilization timeline (with monitor decisions overlaid) and as
+// Chrome trace-event JSON loadable in Perfetto. This is the paper's §4.1
+// monitoring surface ("queue size, current kernel configuration … mean
+// queue occupancy, service rate, throughput, queue occupancy histograms")
+// made durable, and the §4.1 future-work visualization made concrete.
 //
-// The recorder is a bounded, mutex-guarded ring: recording is two stores
-// plus an index bump, cheap enough to wrap every kernel invocation, and
-// the ring bounds memory for long runs (old events are overwritten; the
-// timeline then covers the most recent window).
+// Recording discipline: each shard is a bounded ring of atomic slot
+// pointers reserved through an atomic cursor — one atomic add plus one
+// atomic pointer store per event, no locks anywhere on the hot path, and
+// wraparound overwrites the oldest events so memory stays bounded on long
+// runs. Actors hash to shards, so the common single-writer-per-actor case
+// never contends; readers merge the shards chronologically on demand and
+// never stall a writer. Dropped counts are derived from the cursors, not
+// tracked separately, so overwriting costs nothing extra.
 package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Kind labels one event.
 type Kind uint8
 
-// Event kinds.
+// Event kinds. RunStart/RunEnd are the high-frequency pair recorded around
+// every kernel invocation; the rest are low-frequency runtime decisions.
 const (
 	// RunStart marks the beginning of one kernel invocation.
 	RunStart Kind = iota
 	// RunEnd marks its completion.
 	RunEnd
+	// QueueGrow and QueueShrink are monitor resizes (Prev/Arg = old/new cap).
+	QueueGrow
+	QueueShrink
+	// BatchUp and BatchDown are adaptive-batcher moves (Prev/Arg = old/new
+	// transfer batch size).
+	BatchUp
+	BatchDown
+	// ScaleUp and ScaleDown are replication width changes (Prev/Arg =
+	// old/new active replicas).
+	ScaleUp
+	ScaleDown
+	// Restart is one supervised recovery (Arg = 1-based attempt).
+	Restart
+	// Escalate is a kernel whose restart budget is exhausted (Arg = attempts).
+	Escalate
+	// CheckpointSave and CheckpointRestore are snapshot writes and restores.
+	CheckpointSave
+	CheckpointRestore
+	// BridgeDisconnect, BridgeReconnect and BridgeReplay are self-healing
+	// bridge transitions (BridgeReconnect Arg = lifetime reconnects,
+	// BridgeReplay Arg = frames retransmitted).
+	BridgeDisconnect
+	BridgeReconnect
+	BridgeReplay
+	// Deadlock is the monitor's frozen-application abort.
+	Deadlock
 )
 
-// Event is one recorded occurrence.
+var kindNames = [...]string{
+	RunStart:          "run-start",
+	RunEnd:            "run-end",
+	QueueGrow:         "grow",
+	QueueShrink:       "shrink",
+	BatchUp:           "batch-up",
+	BatchDown:         "batch-down",
+	ScaleUp:           "scale-up",
+	ScaleDown:         "scale-down",
+	Restart:           "restart",
+	Escalate:          "escalate",
+	CheckpointSave:    "ckpt-save",
+	CheckpointRestore: "ckpt-restore",
+	BridgeDisconnect:  "bridge-down",
+	BridgeReconnect:   "bridge-up",
+	BridgeReplay:      "bridge-replay",
+	Deadlock:          "deadlock",
+}
+
+// String returns the event kind's stable wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Instant reports whether the kind is a point decision rather than half of
+// a RunStart/RunEnd span pair.
+func (k Kind) Instant() bool { return k != RunStart && k != RunEnd }
+
+// Event is one recorded occurrence. The Actor/Kind/At triple is always
+// set; Prev, Arg and Label carry kind-specific detail (old value, new
+// value, and the link / group / bridge-stream name) and stay zero on the
+// RunStart/RunEnd hot path so recording allocates nothing beyond the slot.
 type Event struct {
-	Kernel int32
-	Kind   Kind
-	At     int64 // nanoseconds, monotonic-ish (time.Now().UnixNano())
+	// Actor is the engine actor (kernel) id the event belongs to, or -1
+	// for events scoped to a link, group or the whole application.
+	Actor int32
+	Kind  Kind
+	// At is the event time in nanoseconds (time.Now().UnixNano()).
+	At int64
+	// Prev and Arg are the kind-specific old and new values.
+	Prev, Arg int64
+	// Label names the non-actor target: a link, group or bridge stream.
+	Label string
 }
 
-// Recorder is a bounded event ring.
+// shard is one bounded ring of the bus. The cursor counts every event
+// ever reserved in the shard; slot i lives at i & mask. Readers load the
+// cursor and walk the most recent min(cursor, len) slots — an overwrite
+// racing the walk simply surfaces the newer event, never a torn one,
+// because slots hold atomic pointers.
+type shard struct {
+	cursor atomic.Uint64
+	slots  []atomic.Pointer[Event]
+	mask   uint64
+	// pad keeps neighboring shards' cursors off one cache line.
+	_ [40]byte
+}
+
+// Recorder is the sharded event bus.
 type Recorder struct {
-	mu      sync.Mutex
-	events  []Event
-	next    int
-	wrapped bool
-	dropped uint64
+	shards []shard
+	smask  uint32
 }
 
-// NewRecorder returns a recorder holding up to capacity events (min 64).
-func NewRecorder(capacity int) *Recorder {
-	if capacity < 64 {
-		capacity = 64
+// NewRecorder returns a bus holding up to capacity events (min 64),
+// sharded for the current process's parallelism.
+func NewRecorder(capacity int) *Recorder { return NewSharded(capacity, 0) }
+
+// NewSharded returns a bus holding up to capacity events (min 64 per
+// shard) split over the given number of shards, rounded up to a power of
+// two (0 selects 8). Size shards to the number of actors so each actor's
+// RunStart/RunEnd stream stays single-writer.
+func NewSharded(capacity, shards int) *Recorder {
+	n := 8
+	if shards > 0 {
+		n = 1
+		for n < shards {
+			n <<= 1
+		}
 	}
-	return &Recorder{events: make([]Event, capacity)}
+	if n > 256 {
+		n = 256
+	}
+	per := capacity / n
+	p := 64
+	for p < per {
+		p <<= 1
+	}
+	r := &Recorder{shards: make([]shard, n), smask: uint32(n - 1)}
+	for i := range r.shards {
+		r.shards[i].slots = make([]atomic.Pointer[Event], p)
+		r.shards[i].mask = uint64(p - 1)
+	}
+	return r
 }
 
-// Record appends one event, overwriting the oldest when full.
-func (r *Recorder) Record(kernel int32, kind Kind, at int64) {
-	r.mu.Lock()
-	if r.wrapped {
-		r.dropped++
-	}
-	r.events[r.next] = Event{Kernel: kernel, Kind: kind, At: at}
-	r.next++
-	if r.next == len(r.events) {
-		r.next = 0
-		r.wrapped = true
-	}
-	r.mu.Unlock()
+// Cap returns the total number of events the bus retains.
+func (r *Recorder) Cap() int {
+	return len(r.shards) * len(r.shards[0].slots)
 }
 
-// Dropped returns how many events were overwritten.
+// Record appends one actor-scoped event — the RunStart/RunEnd hot path.
+func (r *Recorder) Record(actor int32, kind Kind, at int64) {
+	r.Emit(Event{Actor: actor, Kind: kind, At: at})
+}
+
+// Emit appends one event, overwriting the oldest in its shard when full.
+// Safe for concurrent use from any number of goroutines.
+func (r *Recorder) Emit(e Event) {
+	sh := &r.shards[uint32(e.Actor+1)&r.smask]
+	i := sh.cursor.Add(1) - 1
+	sh.slots[i&sh.mask].Store(&e)
+}
+
+// Dropped returns how many events have been overwritten, summed over the
+// shards (derived from the cursors; nothing is tracked on the hot path).
 func (r *Recorder) Dropped() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
+	var d uint64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if c := sh.cursor.Load(); c > uint64(len(sh.slots)) {
+			d += c - uint64(len(sh.slots))
+		}
+	}
+	return d
 }
 
-// Events returns the retained events in chronological order.
-func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.wrapped {
-		out := make([]Event, r.next)
-		copy(out, r.events[:r.next])
-		return out
+// Len returns the number of currently retained events.
+func (r *Recorder) Len() int {
+	var n int
+	for i := range r.shards {
+		sh := &r.shards[i]
+		c := sh.cursor.Load()
+		if c > uint64(len(sh.slots)) {
+			c = uint64(len(sh.slots))
+		}
+		n += int(c)
 	}
-	out := make([]Event, 0, len(r.events))
-	out = append(out, r.events[r.next:]...)
-	out = append(out, r.events[:r.next]...)
+	return n
+}
+
+// Events returns the retained events merged over the shards in
+// chronological order. Each shard's events are gathered oldest-first, so
+// same-timestamp events from one shard (one actor) keep their emission
+// order through the stable sort.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		c := sh.cursor.Load()
+		n := c
+		if n > uint64(len(sh.slots)) {
+			n = uint64(len(sh.slots))
+		}
+		for j := uint64(0); j < n; j++ {
+			if p := sh.slots[(c-n+j)&sh.mask].Load(); p != nil {
+				out = append(out, *p)
+			}
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
 	return out
 }
 
-// Span is one contiguous busy interval of a kernel.
+// Span is one contiguous busy interval of an actor.
 type Span struct {
-	Kernel     int32
+	Actor      int32
 	Start, End int64
 }
 
-// Spans pairs RunStart/RunEnd events per kernel into busy intervals;
+// Spans pairs RunStart/RunEnd events per actor into busy intervals;
 // unmatched starts (still running, or their end was overwritten) are
 // dropped.
 func (r *Recorder) Spans() []Span {
+	return pairSpans(r.Events())
+}
+
+func pairSpans(events []Event) []Span {
 	open := map[int32]int64{}
 	var spans []Span
-	for _, e := range r.Events() {
+	for _, e := range events {
 		switch e.Kind {
 		case RunStart:
-			open[e.Kernel] = e.At
+			open[e.Actor] = e.At
 		case RunEnd:
-			if s, ok := open[e.Kernel]; ok {
-				spans = append(spans, Span{Kernel: e.Kernel, Start: s, End: e.At})
-				delete(open, e.Kernel)
+			if s, ok := open[e.Actor]; ok {
+				spans = append(spans, Span{Actor: e.Actor, Start: s, End: e.At})
+				delete(open, e.Actor)
 			}
 		}
 	}
@@ -118,19 +266,52 @@ func (r *Recorder) Spans() []Span {
 // shades maps utilization quintiles to characters for the ASCII timeline.
 var shades = []byte(" .:*#")
 
-// Timeline renders per-kernel utilization over time as an ASCII grid:
-// one row per kernel, width buckets spanning the recorded window, each
-// cell shaded by the fraction of the bucket the kernel spent running.
+// overlayChar maps a decision kind to its timeline marker. Higher-priority
+// kinds win when several decisions land in one bucket.
+func overlayChar(k Kind) (byte, int) {
+	switch k {
+	case Deadlock:
+		return 'X', 9
+	case Escalate:
+		return 'E', 8
+	case Restart:
+		return 'R', 7
+	case BridgeDisconnect:
+		return 'D', 6
+	case BridgeReconnect:
+		return 'U', 5
+	case BridgeReplay:
+		return 'P', 4
+	case ScaleUp, ScaleDown:
+		return 'W', 3
+	case QueueGrow, QueueShrink:
+		return 'G', 2
+	case BatchUp, BatchDown:
+		return 'B', 1
+	case CheckpointSave, CheckpointRestore:
+		return 'c', 0
+	}
+	return 0, -1
+}
+
+// Timeline renders per-actor utilization over time as an ASCII grid: one
+// row per actor, width buckets spanning the recorded window, each cell
+// shaded by the fraction of the bucket the actor spent running. Restarts
+// and checkpoints are marked on their actor's row; link-, group- and
+// bridge-scoped monitor decisions are overlaid on a trailing "decisions"
+// row (R restart, E escalate, G resize, B batch, W width, D/U/P bridge
+// down/up/replay, c checkpoint, X deadlock).
 func (r *Recorder) Timeline(names []string, width int) string {
 	if width < 10 {
 		width = 60
 	}
-	spans := r.Spans()
+	events := r.Events()
+	spans := pairSpans(events)
 	if len(spans) == 0 {
 		return "trace: no complete spans recorded\n"
 	}
 	lo, hi := spans[0].Start, spans[0].End
-	maxKernel := int32(0)
+	maxActor := int32(0)
 	for _, s := range spans {
 		if s.Start < lo {
 			lo = s.Start
@@ -138,8 +319,8 @@ func (r *Recorder) Timeline(names []string, width int) string {
 		if s.End > hi {
 			hi = s.End
 		}
-		if s.Kernel > maxKernel {
-			maxKernel = s.Kernel
+		if s.Actor > maxActor {
+			maxActor = s.Actor
 		}
 	}
 	if hi <= lo {
@@ -147,7 +328,7 @@ func (r *Recorder) Timeline(names []string, width int) string {
 	}
 	bucket := float64(hi-lo) / float64(width)
 
-	busy := make([][]float64, maxKernel+1)
+	busy := make([][]float64, maxActor+1)
 	for i := range busy {
 		busy[i] = make([]float64, width)
 	}
@@ -162,21 +343,55 @@ func (r *Recorder) Timeline(names []string, width int) string {
 			cellHi := lo + int64(float64(b+1)*bucket)
 			overlap := minI64(s.End, cellHi) - maxI64(s.Start, cellLo)
 			if overlap > 0 {
-				busy[s.Kernel][b] += float64(overlap)
+				busy[s.Actor][b] += float64(overlap)
 			}
+		}
+	}
+
+	// Decision overlays: per-actor marks and the shared decisions row.
+	actorMark := make([]map[int]byte, maxActor+1)
+	decisions := make([]byte, width)
+	decisionPri := make([]int, width)
+	for i := range decisionPri {
+		decisionPri[i] = -1
+	}
+	decided := false
+	for _, e := range events {
+		ch, pri := overlayChar(e.Kind)
+		if pri < 0 || e.At < lo || e.At > hi {
+			continue
+		}
+		b := int(float64(e.At-lo) / bucket)
+		if b >= width {
+			b = width - 1
+		}
+		if e.Actor >= 0 && e.Actor <= maxActor {
+			if actorMark[e.Actor] == nil {
+				actorMark[e.Actor] = map[int]byte{}
+			}
+			actorMark[e.Actor][b] = ch
+		}
+		if pri > decisionPri[b] {
+			decisionPri[b] = pri
+			decisions[b] = ch
+			decided = true
 		}
 	}
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "timeline over %v (%d buckets, shade = busy fraction)\n",
 		time.Duration(hi-lo).Round(time.Microsecond), width)
-	for k := int32(0); k <= maxKernel; k++ {
+	for k := int32(0); k <= maxActor; k++ {
 		name := fmt.Sprintf("kernel-%d", k)
 		if int(k) < len(names) && names[k] != "" {
 			name = names[k]
 		}
 		fmt.Fprintf(&sb, "%-24.24s |", name)
 		for b := 0; b < width; b++ {
+			if ch, ok := actorMark[k][b]; ok {
+				sb.WriteByte(ch)
+				continue
+			}
 			frac := busy[k][b] / bucket
 			if frac > 1 {
 				frac = 1
@@ -185,6 +400,10 @@ func (r *Recorder) Timeline(names []string, width int) string {
 			sb.WriteByte(shades[idx])
 		}
 		sb.WriteString("|\n")
+	}
+	if decided {
+		fmt.Fprintf(&sb, "%-24.24s |%s|\n", "monitor decisions", decisions)
+		sb.WriteString("(R restart, E escalate, G resize, B batch, W width, D/U/P bridge, c ckpt, X deadlock)\n")
 	}
 	if d := r.Dropped(); d > 0 {
 		fmt.Fprintf(&sb, "(%d older events overwritten)\n", d)

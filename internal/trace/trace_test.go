@@ -1,10 +1,18 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRecordAndEventsOrder(t *testing.T) {
 	r := NewRecorder(128)
@@ -26,8 +34,10 @@ func TestRecordAndEventsOrder(t *testing.T) {
 	}
 }
 
-func TestRingWrapKeepsNewest(t *testing.T) {
-	r := NewRecorder(64)
+func TestShardWrapKeepsNewest(t *testing.T) {
+	// One actor writes 100 events into its 64-slot shard: the shard keeps
+	// the newest 64 and the cursor-derived drop count covers the rest.
+	r := NewSharded(64, 1)
 	for i := int64(0); i < 100; i++ {
 		r.Record(0, RunStart, i)
 	}
@@ -44,9 +54,12 @@ func TestRingWrapKeepsNewest(t *testing.T) {
 }
 
 func TestMinimumCapacity(t *testing.T) {
-	r := NewRecorder(1)
-	if len(r.events) != 64 {
-		t.Fatalf("capacity = %d, want clamped 64", len(r.events))
+	r := NewSharded(1, 1)
+	if r.Cap() != 64 {
+		t.Fatalf("capacity = %d, want clamped 64", r.Cap())
+	}
+	if s := NewSharded(1, 3); len(s.shards) != 4 {
+		t.Fatalf("shards = %d, want rounded to 4", len(s.shards))
 	}
 }
 
@@ -61,10 +74,10 @@ func TestSpansPairing(t *testing.T) {
 	if len(spans) != 2 {
 		t.Fatalf("spans = %+v", spans)
 	}
-	if spans[0].Kernel != 0 || spans[0].Start != 0 || spans[0].End != 10 {
+	if spans[0].Actor != 0 || spans[0].Start != 0 || spans[0].End != 10 {
 		t.Fatalf("span0 = %+v", spans[0])
 	}
-	if spans[1].Kernel != 1 || spans[1].Start != 5 || spans[1].End != 15 {
+	if spans[1].Actor != 1 || spans[1].Start != 5 || spans[1].End != 15 {
 		t.Fatalf("span1 = %+v", spans[1])
 	}
 }
@@ -101,6 +114,35 @@ func TestTimelineRendering(t *testing.T) {
 	}
 }
 
+func TestTimelineOverlaysDecisions(t *testing.T) {
+	r := NewRecorder(256)
+	r.Record(0, RunStart, 0)
+	r.Record(0, RunEnd, 1000)
+	r.Emit(Event{Actor: -1, Kind: QueueGrow, At: 250, Prev: 64, Arg: 256, Label: "a->b"})
+	r.Emit(Event{Actor: -1, Kind: BatchUp, At: 750, Prev: 1, Arg: 4, Label: "a->b"})
+	r.Emit(Event{Actor: 0, Kind: Restart, At: 500, Arg: 1})
+	out := r.Timeline([]string{"worker"}, 20)
+	if !strings.Contains(out, "monitor decisions") {
+		t.Fatalf("no decisions row:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var workerRow, decRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "worker") {
+			workerRow = l
+		}
+		if strings.HasPrefix(l, "monitor decisions") {
+			decRow = l
+		}
+	}
+	if !strings.Contains(workerRow, "R") {
+		t.Fatalf("restart not marked on kernel row: %q", workerRow)
+	}
+	if !strings.Contains(decRow, "G") || !strings.Contains(decRow, "B") {
+		t.Fatalf("grow/batch not on decisions row: %q", decRow)
+	}
+}
+
 func TestTimelineEmpty(t *testing.T) {
 	r := NewRecorder(64)
 	if !strings.Contains(r.Timeline(nil, 40), "no complete spans") {
@@ -108,8 +150,171 @@ func TestTimelineEmpty(t *testing.T) {
 	}
 }
 
-func TestRecorderConcurrent(t *testing.T) {
-	r := NewRecorder(1024)
+// TestConcurrentWraparoundAccounting hammers the bus from many goroutines
+// — some on distinct actors (distinct shards), some deliberately sharing
+// one shard — far past capacity, then checks retained + dropped equals
+// the number of events emitted. Run under -race this is also the
+// writer/writer and writer/reader safety proof.
+func TestConcurrentWraparoundAccounting(t *testing.T) {
+	r := NewSharded(512, 4)
+	const perG, writers = 2000, 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A concurrent reader merging mid-flight must never see torn events.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range r.Events() {
+				if e.Kind != RunStart && e.Kind != RunEnd {
+					t.Error("torn event")
+					return
+				}
+			}
+			r.Dropped()
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			// Even goroutines get distinct actors; odd ones all share
+			// actor 1 so one shard sees true multi-writer contention.
+			actor := int32(1)
+			if g%2 == 0 {
+				actor = int32(g * 4)
+			}
+			for i := int64(0); i < perG; i++ {
+				kind := RunStart
+				if i%2 == 1 {
+					kind = RunEnd
+				}
+				r.Record(actor, kind, i)
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+	total := uint64(perG * writers)
+	got := uint64(r.Len()) + r.Dropped()
+	if got != total {
+		t.Fatalf("retained+dropped = %d, want %d", got, total)
+	}
+}
+
+// TestShardedMergeOrder is the merge-order property test: events emitted
+// across many actors with pseudo-random timestamps come back globally
+// non-decreasing in At, and same-actor ties preserve emission order.
+func TestShardedMergeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := NewSharded(4096, 8)
+	type emitted struct {
+		at  int64
+		seq int64
+	}
+	perActor := map[int32][]emitted{}
+	for i := 0; i < 2000; i++ {
+		actor := int32(rng.Intn(16))
+		at := int64(rng.Intn(50)) // dense ties on purpose
+		r.Emit(Event{Actor: actor, Kind: RunStart, At: at, Arg: int64(i)})
+		perActor[actor] = append(perActor[actor], emitted{at, int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 2000 {
+		t.Fatalf("retained %d, want 2000", len(evs))
+	}
+	lastSeq := map[int32]map[int64]int64{}
+	for i, e := range evs {
+		if i > 0 && e.At < evs[i-1].At {
+			t.Fatalf("merge out of order at %d: %d < %d", i, e.At, evs[i-1].At)
+		}
+		// Within one actor and one timestamp, emission order survives
+		// the stable sort.
+		if lastSeq[e.Actor] == nil {
+			lastSeq[e.Actor] = map[int64]int64{}
+		}
+		if prev, ok := lastSeq[e.Actor][e.At]; ok && e.Arg < prev {
+			t.Fatalf("actor %d ts %d: seq %d after %d", e.Actor, e.At, e.Arg, prev)
+		}
+		lastSeq[e.Actor][e.At] = e.Arg
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := RunStart; k <= Deadlock; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if !QueueGrow.Instant() || RunStart.Instant() || RunEnd.Instant() {
+		t.Fatal("Instant misclassifies")
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewSharded(256, 2)
+	r.Record(0, RunStart, 1000)
+	r.Record(0, RunEnd, 3500)
+	r.Record(1, RunStart, 2000)
+	r.Record(1, RunEnd, 6000)
+	r.Emit(Event{Actor: -1, Kind: QueueGrow, At: 2500, Prev: 64, Arg: 256, Label: "gen:out -> work:in"})
+	r.Emit(Event{Actor: 1, Kind: Restart, At: 4000, Arg: 1})
+	r.Emit(Event{Actor: -1, Kind: BatchUp, At: 5000, Prev: 1, Arg: 4, Label: "work:out -> sink:in"})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf, []string{"gen", "work"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Must be well-formed JSON with the expected track structure.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, metas int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	if spans != 2 || instants != 3 || metas != 3 {
+		t.Fatalf("spans=%d instants=%d metas=%d\n%s", spans, instants, metas, buf.String())
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRecorderConcurrentRetention(t *testing.T) {
+	r := NewSharded(1024, 8)
 	var wg sync.WaitGroup
 	for k := int32(0); k < 4; k++ {
 		wg.Add(1)
@@ -122,7 +327,12 @@ func TestRecorderConcurrent(t *testing.T) {
 		}(k)
 	}
 	wg.Wait()
-	if len(r.Events()) != 1024 {
-		t.Fatalf("retained %d", len(r.Events()))
+	// 4 actors × 1000 events, distinct shards of 128 slots each: each
+	// shard wraps, retaining 128.
+	if got := len(r.Events()); got != 4*128 {
+		t.Fatalf("retained %d, want %d", got, 4*128)
+	}
+	if r.Dropped() != 4*(1000-128) {
+		t.Fatalf("dropped = %d", r.Dropped())
 	}
 }

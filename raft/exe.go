@@ -3,6 +3,7 @@ package raft
 import (
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"raftlib/internal/resilience"
 	"raftlib/internal/ringbuffer"
 	"raftlib/internal/scheduler"
+	"raftlib/internal/stats"
 	"raftlib/internal/trace"
 )
 
@@ -84,6 +86,18 @@ type Config struct {
 	// TraceCapacity, when positive, records kernel start/end events into
 	// a bounded ring exposed on the Report (see WithTrace).
 	TraceCapacity int
+
+	// TraceStride samples kernel Run spans: one invocation in every
+	// TraceStride emits RunStart/RunEnd (1 = every invocation; 0 = the
+	// DefaultTraceStride). Structural events are never sampled.
+	TraceStride int
+
+	// MetricsAddr, when non-empty, serves Prometheus text-format metrics
+	// (and net/http/pprof) on that address for the duration of the run
+	// (see WithMetricsAddr). MetricsListener takes precedence when set:
+	// the caller owns the listener and therefore knows its address.
+	MetricsAddr     string
+	MetricsListener net.Listener
 
 	// Supervised wraps every kernel in a restart supervisor (see
 	// WithSupervision / WithCheckpoints).
@@ -179,11 +193,20 @@ func WithSplitPolicy(p SplitPolicy) Option { return func(c *Config) { c.SplitPol
 // WithTopology supplies an explicit compute-place model to the mapper.
 func WithTopology(t mapper.Topology) Option { return func(c *Config) { c.Topology = t } }
 
-// WithTrace records every kernel invocation's start and end into a
-// bounded ring of the given capacity (events; oldest overwritten) and
-// attaches the recorder to the Report, whose Trace can be rendered as an
-// ASCII utilization timeline — the visualization direction the paper
-// leaves as future work (§4.1).
+// DefaultTraceStride is the Run-span sampling stride used by WithTrace:
+// one kernel invocation in every DefaultTraceStride publishes its
+// RunStart/RunEnd pair on the event bus. Sampling keeps the always-on
+// cost of tracing a fine-grained kernel to a local counter increment;
+// structural events (resize, batch, restart, bridge, checkpoint) are
+// never sampled. Use WithTraceStride(1) for exhaustive span capture.
+const DefaultTraceStride = 64
+
+// WithTrace records kernel invocation start/end events into a bounded
+// ring of the given capacity (events; oldest overwritten) and attaches
+// the recorder to the Report, whose Trace can be rendered as an ASCII
+// utilization timeline or exported as a Chrome trace — the visualization
+// direction the paper leaves as future work (§4.1). Run spans are
+// sampled at DefaultTraceStride; see WithTraceStride.
 func WithTrace(capacity int) Option {
 	return func(c *Config) {
 		if capacity <= 0 {
@@ -191,6 +214,42 @@ func WithTrace(capacity int) Option {
 		}
 		c.TraceCapacity = capacity
 	}
+}
+
+// WithTraceStride sets the Run-span sampling stride for WithTrace: one
+// invocation in every n emits its RunStart/RunEnd pair. 1 records every
+// invocation (maximum timeline fidelity, measurable cost on sub-µs
+// kernels); larger strides trade span density for overhead.
+func WithTraceStride(n int) Option {
+	return func(c *Config) {
+		if n < 1 {
+			n = 1
+		}
+		c.TraceStride = n
+	}
+}
+
+// WithMetricsAddr serves Prometheus text-format metrics on addr (e.g.
+// ":9090") while the application runs: per-link occupancy histograms,
+// push/pop/block counters and batch sizes, per-kernel invocation counts
+// and service-time histograms, replicated-group widths, and bridge
+// recovery counters. net/http/pprof is mounted on the same listener under
+// /debug/pprof/. The listener is closed when Exe returns.
+func WithMetricsAddr(addr string) Option { return func(c *Config) { c.MetricsAddr = addr } }
+
+// WithMetricsListener is WithMetricsAddr with a caller-owned listener —
+// the form tests use, since the caller knows the bound address. Exe closes
+// the listener when the run ends.
+func WithMetricsListener(l net.Listener) Option {
+	return func(c *Config) { c.MetricsListener = l }
+}
+
+// TraceAttacher is implemented by kernels that run their own event loops
+// (e.g. oar bridge endpoints) and want to publish lifecycle transitions on
+// the run's trace bus. Exe calls AttachTrace before scheduling when
+// WithTrace is active.
+type TraceAttacher interface {
+	AttachTrace(rec *trace.Recorder, actor int32)
 }
 
 // WithDeadlockDetection makes the monitor detect a globally frozen
@@ -237,6 +296,10 @@ type Report struct {
 	Recoveries []RecoveryEvent
 	// Bridges reports recovery counters of self-healing remote streams.
 	Bridges []BridgeReport
+	// MetricsAddr is the address the Prometheus endpoint was bound to
+	// during the run (empty unless WithMetricsAddr/WithMetricsListener).
+	// The endpoint itself is closed by the time Exe returns.
+	MetricsAddr string
 }
 
 // TraceNames returns the kernel names indexed by trace kernel id for
@@ -255,8 +318,12 @@ type KernelReport struct {
 	Place        int
 	Runs         uint64
 	MeanSvcNanos float64
-	BusyNanos    uint64
-	RatePerSec   float64
+	// SvcP50Nanos and SvcP99Nanos are service-time quantile upper bounds
+	// from the kernel's log2 histogram.
+	SvcP50Nanos uint64
+	SvcP99Nanos uint64
+	BusyNanos   uint64
+	RatePerSec  float64
 	// Restarts counts supervised recoveries of this kernel.
 	Restarts uint64
 }
@@ -274,6 +341,16 @@ type LinkReport struct {
 	ReadBlockNs   uint64
 	Grows         uint64
 	Shrinks       uint64
+	// SpinYields and SpinSleeps count lock-free back-off escalations.
+	SpinYields uint64
+	SpinSleeps uint64
+	// OccHist is the per-push log2 occupancy histogram — the paper's
+	// §4.1 "queue occupancy histogram" (bucket 0 = {0,1} elements,
+	// bucket i = [2^i, 2^(i+1)) elements at push time). OccP50/OccP99
+	// are its quantile upper bounds.
+	OccHist [ringbuffer.OccBuckets]uint64
+	OccP50  uint64
+	OccP99  uint64
 	// Batch is the transfer batch size in effect when execution ended
 	// (0 when the adaptive batcher made no decision for this link).
 	Batch int
@@ -350,7 +427,11 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if cfg.TraceCapacity > 0 {
 		rec = trace.NewRecorder(cfg.TraceCapacity)
 	}
-	actors := m.buildActors(assignment, rec)
+	stride := cfg.TraceStride
+	if stride < 1 {
+		stride = DefaultTraceStride
+	}
+	actors := m.buildActors(assignment, rec, stride)
 	if cfg.Fault != nil || cfg.Supervised {
 		if err := m.wireResilience(&cfg, actors); err != nil {
 			return nil, err
@@ -371,6 +452,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			AutoScale:     cfg.AutoScale,
 			AdaptiveBatch: cfg.AdaptiveBatch,
 			BatchMax:      cfg.BatchMax,
+			Trace:         rec,
 		}, linkInfos, coreScalers)
 		if cfg.DeadlockGrace > 0 {
 			mon.SetDeadlockWatch(monitor.NewDeadlockWatch(actors, linkInfos, cfg.DeadlockGrace,
@@ -388,7 +470,17 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 		mon.Start()
 	}
 
-	// 7. Run to completion.
+	// 7. Run to completion (with the metrics endpoint up, when requested).
+	var msrv *metricsServer
+	if cfg.MetricsAddr != "" || cfg.MetricsListener != nil {
+		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec)
+		if err != nil {
+			if mon != nil {
+				mon.Stop()
+			}
+			return nil, err
+		}
+	}
 	var sched scheduler.Scheduler = scheduler.Goroutine{}
 	if cfg.PoolWorkers > 0 {
 		sched = scheduler.Pool{Workers: cfg.PoolWorkers}
@@ -413,6 +505,10 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	// 8. Report.
 	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, sched.Name(), elapsed)
 	rep.Trace = rec
+	if msrv != nil {
+		rep.MetricsAddr = msrv.Addr()
+		msrv.Stop()
+	}
 	return rep, runErr
 }
 
@@ -509,30 +605,32 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 	return infos, nil
 }
 
-// buildActors wraps every kernel into a core.Actor, optionally
-// instrumenting each Step with the trace recorder.
-func (m *Map) buildActors(assignment mapper.Assignment, rec *trace.Recorder) []*core.Actor {
+// buildActors wraps every kernel into a core.Actor. When tracing is on,
+// each actor carries the shared recorder: core.Actor.StepTimed emits
+// RunStart/RunEnd itself from the same clock reads it uses for duty-cycle
+// accounting, so tracing adds no extra time.Now calls. Kernels that run
+// their own event loops (oar bridges) are handed the recorder through the
+// TraceAttacher interface so their reconnect/replay transitions land on
+// the same bus.
+func (m *Map) buildActors(assignment mapper.Assignment, rec *trace.Recorder, stride int) []*core.Actor {
 	actors := make([]*core.Actor, len(m.kernels))
 	for i, k := range m.kernels {
 		kb := k.kernelBase()
-		step := k.Run
-		if rec != nil {
-			id := int32(i)
-			inner := step
-			step = func() core.Status {
-				rec.Record(id, trace.RunStart, time.Now().UnixNano())
-				st := inner()
-				rec.Record(id, trace.RunEnd, time.Now().UnixNano())
-				return st
-			}
-		}
 		a := &core.Actor{
 			ID:      i,
 			Name:    kb.Name(),
 			Place:   assignment[i],
 			Weight:  kb.Weight(),
-			Step:    step,
+			Step:    k.Run,
 			Virtual: kb.Virtual(),
+		}
+		if rec != nil {
+			a.Trace = rec
+			a.TraceID = int32(i)
+			a.TraceStride = uint32(stride)
+			if ta, ok := k.(TraceAttacher); ok {
+				ta.AttachTrace(rec, int32(i))
+			}
 		}
 		if init, ok := k.(Initializer); ok {
 			a.Init = init.Init
@@ -599,6 +697,8 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			Place:        a.Place,
 			Runs:         a.Service.Count(),
 			MeanSvcNanos: a.Service.MeanNanos(),
+			SvcP50Nanos:  a.Service.Quantile(0.50),
+			SvcP99Nanos:  a.Service.Quantile(0.99),
 			BusyNanos:    a.Service.BusyNanos(),
 			RatePerSec:   a.Service.RatePerSecond(),
 			Restarts:     a.Restarts.Load(),
@@ -628,6 +728,11 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			ReadBlockNs:   tel.ReadBlockNs,
 			Grows:         tel.Grows,
 			Shrinks:       tel.Shrinks,
+			SpinYields:    tel.SpinYields,
+			SpinSleeps:    tel.SpinSleeps,
+			OccHist:       tel.Occupancy,
+			OccP50:        stats.LogQuantile(tel.Occupancy[:], 0.50),
+			OccP99:        stats.LogQuantile(tel.Occupancy[:], 0.99),
 			Batch:         l.Batch.Get(),
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/stats"
 )
 
 // LiveStats is one point-in-time snapshot of a running application,
@@ -31,6 +32,12 @@ type LiveLink struct {
 	Pushes        uint64
 	Pops          uint64
 	MeanOccupancy float64
+	// OccP50 and OccP99 are occupancy quantile upper bounds from the
+	// ring's per-push log2 histogram (elements buffered at push time).
+	OccP50, OccP99 uint64
+	// SpinYields and SpinSleeps count back-off escalations on lock-free
+	// links — the live contention signal.
+	SpinYields, SpinSleeps uint64
 	// Batch is the adaptive batcher's current transfer size for the link
 	// (0 = no decision yet / batching disabled).
 	Batch int
@@ -42,6 +49,8 @@ type LiveKernel struct {
 	Runs uint64
 	// MeanSvcNanos is the mean Run duration so far.
 	MeanSvcNanos float64
+	// SvcP99Nanos is the 99th-percentile Run duration upper bound so far.
+	SvcP99Nanos uint64
 	// RatePerSec is the invocation rate implied by the mean service time.
 	RatePerSec float64
 	// Restarts counts supervised recoveries of the kernel so far.
@@ -118,6 +127,10 @@ func (s *statsStreamer) snapshot() LiveStats {
 			Pushes:        tel.Pushes,
 			Pops:          tel.Pops,
 			MeanOccupancy: l.Occupancy.Mean(),
+			OccP50:        stats.LogQuantile(tel.Occupancy[:], 0.50),
+			OccP99:        stats.LogQuantile(tel.Occupancy[:], 0.99),
+			SpinYields:    tel.SpinYields,
+			SpinSleeps:    tel.SpinSleeps,
 			Batch:         l.Batch.Get(),
 		})
 	}
@@ -126,6 +139,7 @@ func (s *statsStreamer) snapshot() LiveStats {
 			Name:         a.Name,
 			Runs:         a.Service.Count(),
 			MeanSvcNanos: a.Service.MeanNanos(),
+			SvcP99Nanos:  a.Service.Quantile(0.99),
 			RatePerSec:   a.Service.RatePerSecond(),
 			Restarts:     a.Restarts.Load(),
 		})

@@ -1,0 +1,261 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"raftlib/internal/core"
+	"raftlib/internal/monitor"
+	"raftlib/internal/ringbuffer"
+	"raftlib/internal/trace"
+)
+
+// WriteChromeTrace writes the run's event trace as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing): one track per kernel with its
+// invocations as slices, plus monitor, supervisor and bridge decisions as
+// instant markers. Requires WithTrace.
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	if r.Trace == nil {
+		return errors.New("raft: no trace recorded (run with WithTrace)")
+	}
+	return r.Trace.WriteChromeTrace(w, TraceNames(r))
+}
+
+// metricsServer serves the Prometheus text endpoint (plus pprof) for the
+// duration of one Exe. Scrapes read live engine state through atomics, so
+// serving concurrently with execution is safe and nearly free when nobody
+// scrapes.
+type metricsServer struct {
+	ln   net.Listener
+	addr string // captured at bind time; valid after the listener closes
+	srv  *http.Server
+	done chan struct{}
+}
+
+func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
+	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder) (*metricsServer, error) {
+
+	ln := cfg.MetricsListener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("raft: metrics listener: %w", err)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, links, actors, scalers, m, mon, rec)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ms := &metricsServer{
+		ln:   ln,
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ms.done)
+		_ = ms.srv.Serve(ln)
+	}()
+	return ms, nil
+}
+
+// Addr returns the bound address of the metrics endpoint.
+func (ms *metricsServer) Addr() string { return ms.addr }
+
+// Stop closes the endpoint and waits for the serve loop to exit.
+func (ms *metricsServer) Stop() {
+	_ = ms.srv.Close()
+	<-ms.done
+}
+
+// writeMetrics renders the full exposition. One writer, no allocation
+// amortization needed — scrapes are rare relative to the hot path.
+func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
+	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder) {
+
+	var b strings.Builder
+
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	// Per-link counters and gauges.
+	type linkRow struct {
+		name string
+		tel  ringbuffer.TelemetrySnapshot
+		qlen int
+		qcap int
+	}
+	rows := make([]linkRow, len(links))
+	for i, l := range links {
+		rows[i] = linkRow{l.Name, l.Queue.Telemetry().Snapshot(), l.Queue.Len(), l.Queue.Cap()}
+	}
+	linkCounters := []struct {
+		name, help string
+		get        func(ringbuffer.TelemetrySnapshot) uint64
+	}{
+		{"raft_link_pushes_total", "Elements pushed onto the stream.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Pushes }},
+		{"raft_link_pops_total", "Elements popped from the stream.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Pops }},
+		{"raft_link_write_block_ns_total", "Producer block time in nanoseconds.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.WriteBlockNs }},
+		{"raft_link_read_block_ns_total", "Consumer block time in nanoseconds.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.ReadBlockNs }},
+		{"raft_link_grows_total", "Monitor-driven capacity grows.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Grows }},
+		{"raft_link_shrinks_total", "Monitor-driven capacity shrinks.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Shrinks }},
+		{"raft_link_spin_yields_total", "Lock-free back-off spin-to-yield escalations.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.SpinYields }},
+		{"raft_link_spin_sleeps_total", "Lock-free back-off yield-to-sleep escalations.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.SpinSleeps }},
+	}
+	for _, c := range linkCounters {
+		counter(c.name, c.help)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s{link=%q} %d\n", c.name, r.name, c.get(r.tel))
+		}
+	}
+	gauge("raft_link_len", "Instantaneous queue length.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "raft_link_len{link=%q} %d\n", r.name, r.qlen)
+	}
+	gauge("raft_link_cap", "Current queue capacity.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "raft_link_cap{link=%q} %d\n", r.name, r.qcap)
+	}
+	gauge("raft_link_batch", "Adaptive transfer batch size (0 = no decision).")
+	for i, r := range rows {
+		fmt.Fprintf(&b, "raft_link_batch{link=%q} %d\n", r.name, links[i].Batch.Get())
+	}
+
+	// Per-link occupancy histogram: cumulative counts over the log2 bucket
+	// upper edges. The sum is reconstructed from bucket midpoints (the hot
+	// path records one counter per push, not an exact sum).
+	fmt.Fprintf(&b, "# HELP raft_link_occupancy Queue occupancy at push time (elements).\n# TYPE raft_link_occupancy histogram\n")
+	for _, r := range rows {
+		var cum, count uint64
+		var sum float64
+		for i, n := range r.tel.Occupancy {
+			count += n
+			mid := 1.0
+			if i > 0 {
+				mid = 1.5 * float64(uint64(1)<<uint(i)) // midpoint of [2^i, 2^(i+1))
+			}
+			sum += float64(n) * mid
+			cum += n
+			fmt.Fprintf(&b, "raft_link_occupancy_bucket{link=%q,le=\"%d\"} %d\n",
+				r.name, uint64(1)<<uint(i+1)-1, cum)
+		}
+		fmt.Fprintf(&b, "raft_link_occupancy_bucket{link=%q,le=\"+Inf\"} %d\n", r.name, count)
+		fmt.Fprintf(&b, "raft_link_occupancy_sum{link=%q} %g\n", r.name, sum)
+		fmt.Fprintf(&b, "raft_link_occupancy_count{link=%q} %d\n", r.name, count)
+	}
+
+	// Per-kernel counters and service-time histogram.
+	counter("raft_kernel_runs_total", "Kernel invocations.")
+	for _, a := range actors {
+		fmt.Fprintf(&b, "raft_kernel_runs_total{kernel=%q} %d\n", a.Name, a.Service.Count())
+	}
+	counter("raft_kernel_busy_ns_total", "Cumulative kernel busy time in nanoseconds.")
+	for _, a := range actors {
+		fmt.Fprintf(&b, "raft_kernel_busy_ns_total{kernel=%q} %d\n", a.Name, a.Service.BusyNanos())
+	}
+	counter("raft_kernel_restarts_total", "Supervised kernel restarts.")
+	for _, a := range actors {
+		fmt.Fprintf(&b, "raft_kernel_restarts_total{kernel=%q} %d\n", a.Name, a.Restarts.Load())
+	}
+	fmt.Fprintf(&b, "# HELP raft_kernel_service_ns Kernel service time (nanoseconds).\n# TYPE raft_kernel_service_ns histogram\n")
+	for _, a := range actors {
+		snap := a.Service.Hist().Snapshot()
+		var cum uint64
+		for i, n := range snap.Buckets {
+			cum += n
+			if n == 0 && i > 40 {
+				continue // durations beyond ~2^41 ns (~36 min) don't occur
+			}
+			fmt.Fprintf(&b, "raft_kernel_service_ns_bucket{kernel=%q,le=\"%d\"} %d\n",
+				a.Name, uint64(1)<<uint(i+1)-1, cum)
+		}
+		fmt.Fprintf(&b, "raft_kernel_service_ns_bucket{kernel=%q,le=\"+Inf\"} %d\n", a.Name, snap.Count)
+		fmt.Fprintf(&b, "raft_kernel_service_ns_sum{kernel=%q} %d\n", a.Name, snap.Sum)
+		fmt.Fprintf(&b, "raft_kernel_service_ns_count{kernel=%q} %d\n", a.Name, snap.Count)
+	}
+
+	// Replicated groups.
+	if len(scalers) > 0 {
+		gauge("raft_group_active_replicas", "Active replicas in the group.")
+		for _, s := range scalers {
+			fmt.Fprintf(&b, "raft_group_active_replicas{group=%q} %d\n", s.Name(), s.Active())
+		}
+		gauge("raft_group_max_replicas", "Replica ceiling of the group.")
+		for _, s := range scalers {
+			fmt.Fprintf(&b, "raft_group_max_replicas{group=%q} %d\n", s.Name(), s.Max())
+		}
+	}
+
+	// Bridges.
+	var bridges []BridgeReport
+	for _, k := range m.kernels {
+		if br, ok := k.(BridgeReporter); ok {
+			if rep, carried := br.BridgeStats(); carried {
+				bridges = append(bridges, rep)
+			}
+		}
+	}
+	if len(bridges) > 0 {
+		counter("raft_bridge_reconnects_total", "Bridge reconnections.")
+		for _, br := range bridges {
+			fmt.Fprintf(&b, "raft_bridge_reconnects_total{stream=%q} %d\n", br.Stream, br.Reconnects)
+		}
+		counter("raft_bridge_replayed_total", "Frames replayed after reconnect.")
+		for _, br := range bridges {
+			fmt.Fprintf(&b, "raft_bridge_replayed_total{stream=%q} %d\n", br.Stream, br.Replayed)
+		}
+		counter("raft_bridge_dropped_total", "Elements dropped under the Drop policy.")
+		for _, br := range bridges {
+			fmt.Fprintf(&b, "raft_bridge_dropped_total{stream=%q} %d\n", br.Stream, br.Dropped)
+		}
+		counter("raft_bridge_downtime_ns_total", "Cumulative bridge downtime in nanoseconds.")
+		for _, br := range bridges {
+			fmt.Fprintf(&b, "raft_bridge_downtime_ns_total{stream=%q} %d\n", br.Stream, int64(br.Downtime))
+		}
+	}
+
+	// Runtime-wide.
+	if mon != nil {
+		counter("raft_monitor_ticks_total", "Monitor loop iterations.")
+		fmt.Fprintf(&b, "raft_monitor_ticks_total %d\n", mon.Ticks())
+		counter("raft_monitor_resizes_total", "Monitor resize operations.")
+		fmt.Fprintf(&b, "raft_monitor_resizes_total %d\n", mon.Resizes())
+	}
+	if rec != nil {
+		counter("raft_trace_dropped_total", "Trace events overwritten by wraparound.")
+		fmt.Fprintf(&b, "raft_trace_dropped_total %d\n", rec.Dropped())
+	}
+
+	_, _ = io.WriteString(w, b.String())
+}
+
+// pollMetricsOnce is a test helper: fetch the endpoint body with a short
+// timeout.
+func pollMetricsOnce(addr string) (string, error) {
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}

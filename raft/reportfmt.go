@@ -17,17 +17,17 @@ func (r *Report) String() string {
 		r.Elapsed, r.Scheduler, r.CutCost)
 
 	fmt.Fprintf(&b, "\nkernels (%d):\n", len(r.Kernels))
-	fmt.Fprintf(&b, "  %-28s %-6s %-12s %-14s %-14s\n", "name", "place", "runs", "mean svc", "rate/s")
+	fmt.Fprintf(&b, "  %-28s %-6s %-12s %-14s %-14s %-14s\n", "name", "place", "runs", "mean svc", "p99 svc", "rate/s")
 	for _, k := range r.Kernels {
-		fmt.Fprintf(&b, "  %-28s %-6d %-12d %-14s %-14.0f\n",
-			k.Name, k.Place, k.Runs, fmtNanos(k.MeanSvcNanos), k.RatePerSec)
+		fmt.Fprintf(&b, "  %-28s %-6d %-12d %-14s %-14s %-14.0f\n",
+			k.Name, k.Place, k.Runs, fmtNanos(k.MeanSvcNanos), fmtNanos(float64(k.SvcP99Nanos)), k.RatePerSec)
 	}
 
 	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-6s %-6s\n", "link", "cap", "mean occ", "full%", "starv%", "grows", "batch")
+	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-8s %-6s %-7s %-6s\n", "link", "cap", "mean occ", "occ p99", "full%", "starv%", "grows", "spins", "batch")
 	for _, l := range r.Links {
-		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8.1f %-8.1f %-6d %-6d\n",
-			l.Name, l.FinalCap, l.MeanOccupancy, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows, l.Batch)
+		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8d %-8.1f %-8.1f %-6d %-7d %-6d\n",
+			l.Name, l.FinalCap, l.MeanOccupancy, l.OccP99, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows, l.SpinYields+l.SpinSleeps, l.Batch)
 	}
 
 	if len(r.Groups) > 0 {
