@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test check bench bench-smoke
+# CI_SEED de-correlates benchmark flakes across CI runs (the workflow sets
+# it from the run number); locally it defaults to 0 = the canonical seeds.
+CI_SEED ?= 0
+
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-test ci-race ci-smoke
 
 build:
 	$(GO) build ./...
@@ -26,3 +30,30 @@ bench-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# ci runs exactly what .github/workflows/ci.yml runs, as one local command.
+# The workflow jobs invoke the ci-* sub-targets below so the two can never
+# drift: editing a step here edits it for CI too.
+ci: ci-vet ci-fmt ci-test ci-race ci-smoke
+
+ci-vet:
+	$(GO) vet ./...
+
+# gofmt -l prints nothing when the tree is clean; any output fails the gate.
+ci-fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci-test:
+	$(GO) test ./...
+
+# Same package list as `check`: the packages with real concurrency.
+ci-race:
+	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./internal/trace/... ./internal/monitor/... ./internal/stats/... ./raft/...
+
+# Bench smoke for CI: correctness is always asserted; perf bars downgrade
+# to warnings on small runners (auto-detected via GOMAXPROCS < 2). -seed
+# varies per run so a conclusion that only holds for one seed gets caught.
+ci-smoke:
+	$(GO) run ./cmd/raft-bench -ablate batch -corpus 1 -items 500000 -seed $(CI_SEED)
+	$(GO) run ./cmd/raft-bench -ablate rate -items 2000000 -seed $(CI_SEED)

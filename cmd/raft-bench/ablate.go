@@ -44,6 +44,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateBatch(corpusMB)
 	case "obs":
 		ablateObs(corpusMB)
+	case "rate":
+		ablateRate()
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)
@@ -187,7 +189,7 @@ func ablateResize() {
 // monitor-driven auto-scaling on the text search app (A3).
 func ablateClone(corpusMB int) {
 	header("A3: Kernel replication — off / static / monitor-driven auto-scale")
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 7})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 7 + benchSeed})
 	// Use at least 4 replicas so the group machinery is exercised even on
 	// few-core hosts (speedup, of course, requires the cores).
 	replicas := runtime.GOMAXPROCS(0)
@@ -233,7 +235,7 @@ func ablateClone(corpusMB int) {
 // pool (A4).
 func ablateSched(corpusMB int) {
 	header("A4: Scheduler — goroutine-per-kernel vs worker pool")
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 9})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 9 + benchSeed})
 	cores := runtime.GOMAXPROCS(0)
 	fmt.Printf("%-22s %-10s\n", "scheduler", "GB/s")
 	type cfg struct {
@@ -262,7 +264,7 @@ func ablateSched(corpusMB int) {
 // aggressively small δ.
 func ablateMonitor(corpusMB int) {
 	header("A5: Monitoring overhead (TimeTrial-style low-impact claim)")
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 11})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 11 + benchSeed})
 	fmt.Printf("%-22s %-10s %-12s\n", "monitor", "GB/s", "ticks")
 	type cfg struct {
 		name string
@@ -400,7 +402,7 @@ func ablateTCP() {
 // prediction with the measured throughput.
 func ablateModel(corpusMB int) {
 	header("A8: Flow model — predicted vs measured text-search throughput")
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 13})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 13 + benchSeed})
 	seq, err := textsearch.Run(data, textsearch.Config{Algo: "ahocorasick", Cores: 1, Analyze: true})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -436,7 +438,7 @@ func min(a, b int) int {
 // matcher and is measured against pinned single-algorithm runs.
 func ablateSwap(corpusMB int) {
 	header("A9: Dynamic algorithm swap — kernel group vs pinned algorithms")
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 15})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 15 + benchSeed})
 	pattern := []byte(corpus.DefaultPattern)
 	chunk := 16 << 10 // small chunks: plenty of invocations to measure with
 
@@ -532,6 +534,9 @@ func ablateBatch(corpusMB int) {
 	if base > 0 {
 		fmt.Printf("\nspeedup over element-wise: batched %.2fx, adaptive %.2fx (acceptance: batched >= 2x)\n",
 			bulk/base, adaptive/base)
+		if bulk/base < 2 {
+			failf("A11: batched speedup %.2fx < 2x over element-wise", bulk/base)
+		}
 	}
 
 	// Replicated pass-through: the split/merge adapters do all the moving,
@@ -574,7 +579,7 @@ func ablateBatch(corpusMB int) {
 
 	// Figure 10 text search: large elements (chunks), so batching should be
 	// roughly neutral — the check is that results stay byte-identical.
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 21})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 21 + benchSeed})
 	cores := min(4, runtime.GOMAXPROCS(0))
 	fmt.Printf("\ntext search (Fig. 10 pipeline, %d MiB, %d cores):\n", corpusMB, cores)
 	fmt.Printf("%-18s %-10s %-10s\n", "config", "GB/s", "hits")
@@ -715,7 +720,7 @@ func ablateObs(corpusMB int) {
 
 	// Secondary: Figure 10 text search (coarse-grained kernels — chunk-sized
 	// invocations bury the per-invocation cost entirely).
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 23})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 23 + benchSeed})
 	cores := min(4, runtime.GOMAXPROCS(0))
 	fmt.Printf("\ntext search (Fig. 10 pipeline, %d MiB, %d cores, best of 5):\n\n", corpusMB, cores)
 	fmt.Printf("%-16s %-12s %-10s\n", "config", "GB/s", "overhead")
@@ -743,7 +748,7 @@ func ablateObs(corpusMB int) {
 // duplicates elements would be worse than no recovery.
 func ablateFault(corpusMB int) {
 	header("A10: Fault injection — supervision overhead, recovery latency, bridge healing")
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 17})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 17 + benchSeed})
 	pattern := []byte(corpus.DefaultPattern)
 	cores := min(4, runtime.GOMAXPROCS(0))
 

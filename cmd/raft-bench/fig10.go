@@ -20,7 +20,7 @@ func runFig10(corpusMB int, coreCounts []int) {
 	header("Figure 10: Text search throughput (GB/s) by utilized cores")
 	pattern := []byte(corpus.DefaultPattern)
 	fmt.Printf("generating %d MiB corpus (pattern %q)...\n", corpusMB, pattern)
-	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 2015})
+	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 2015 + benchSeed})
 
 	serial := pargrep.GrepSerial(data, pattern)
 	fmt.Printf("plain single-process grep: %s GB/s (%d hits) — the paper's\n",

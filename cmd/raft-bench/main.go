@@ -6,11 +6,21 @@
 //	raft-bench -fig4              queue-size sweep, matmul (paper Figure 4)
 //	raft-bench -fig10             text search GB/s vs cores (paper Figure 10)
 //	raft-bench -ablate <name>     split | resize | clone | sched | monitor |
-//	                              map | tcp | model | swap | fault | batch | obs
+//	                              map | tcp | model | swap | fault | batch |
+//	                              obs | rate
 //	raft-bench -all               everything above
 //
 // Absolute numbers depend on the host; EXPERIMENTS.md records the shape
 // comparisons against the paper.
+//
+// Acceptance assertions (A11 batching speedup, A13 controller parity and
+// overhead) set a non-zero exit status on failure, so CI can gate on the
+// bench smoke. On small runners (GOMAXPROCS < 2, or -small-runner) the
+// assertions downgrade to warnings: single-core hosts cannot overlap
+// producer and consumer, so perf ratios there measure scheduler luck, not
+// the runtime (variance documented in EXPERIMENTS A11). -seed perturbs
+// every workload's deterministic seed, letting CI check that conclusions
+// are not an artifact of one particular corpus.
 package main
 
 import (
@@ -27,17 +37,25 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the hardware summary (Table 1)")
 		fig4     = flag.Bool("fig4", false, "run the queue-size sweep (Figure 4)")
 		fig10    = flag.Bool("fig10", false, "run the text-search scaling study (Figure 10)")
-		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs")
+		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs|rate")
 		all      = flag.Bool("all", false, "run every experiment")
 		corpusMB = flag.Int("corpus", 64, "text-search corpus size in MiB (Figure 10)")
 		items    = flag.Int("items", 2_000_000, "synthetic pipeline length in elements (batch ablation)")
 		reps     = flag.Int("reps", 10, "repetitions per configuration (Figure 4)")
 		coresArg = flag.String("cores", "", "comma-separated core counts for Figure 10 (default 1,2,4,...,NumCPU)")
 		csvOut   = flag.String("csv", "", "directory to also write figure data as CSV")
+		seed     = flag.Uint64("seed", 0, "offset added to every workload seed (CI runs vary it to de-correlate flakes)")
+		small    = flag.Bool("small-runner", false, "downgrade perf assertions to warnings (auto-set when GOMAXPROCS < 2)")
 	)
 	flag.Parse()
 	csvDir = *csvOut
 	benchItems = *items
+	benchSeed = *seed
+	smallRunner = *small || runtime.GOMAXPROCS(0) < 2
+	if smallRunner {
+		fmt.Printf("small-runner mode: GOMAXPROCS=%d — perf assertions are warnings, not failures\n",
+			runtime.GOMAXPROCS(0))
+	}
 
 	cores := parseCores(*coresArg)
 
@@ -58,7 +76,7 @@ func main() {
 		runAblation(*ablate, *corpusMB, cores)
 		ran = true
 	} else if *all {
-		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch", "obs"} {
+		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch", "obs", "rate"} {
 			runAblation(name, *corpusMB, cores)
 		}
 	}
@@ -66,6 +84,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	os.Exit(exitCode)
+}
+
+// benchSeed offsets every deterministic workload seed (the -seed flag).
+var benchSeed uint64
+
+// smallRunner relaxes hard perf assertions into warnings on hosts that
+// cannot overlap pipeline stages (GOMAXPROCS < 2) — or when CI says so.
+var smallRunner bool
+
+// exitCode is the process exit status; failf sets it to 1.
+var exitCode int
+
+// failf reports an acceptance-assertion failure: fatal for the exit
+// status on full-size runners, a warning in small-runner mode.
+func failf(format string, args ...any) {
+	if smallRunner {
+		fmt.Printf("WARN (small-runner): "+format+"\n", args...)
+		return
+	}
+	fmt.Printf("FAIL: "+format+"\n", args...)
+	exitCode = 1
 }
 
 // parseCores parses "1,2,4" or defaults to powers of two up to NumCPU.

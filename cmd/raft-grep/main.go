@@ -8,9 +8,10 @@
 // It prints matching lines by default, mirrors grep -c with -count, and
 // prints byte offsets with -offsets. The match kernels are replicated
 // across cores by the runtime. -stats prints the full execution report
-// (kernels, streams, monitor decisions) to stderr; -trace FILE writes a
-// Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
-// chrome://tracing.
+// (kernels, streams, monitor decisions) to stderr; -rate switches the
+// monitor to the online service-rate controller and adds λ̂/µ̂/ρ̂
+// columns to the report; -trace FILE writes a Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		count   = flag.Bool("count", false, "print only the match count (grep -c)")
 		offsets = flag.Bool("offsets", false, "print byte offsets instead of lines")
 		stats   = flag.Bool("stats", false, "print the full execution report to stderr")
+		rate    = flag.Bool("rate", false, "drive batching/replication from online λ̂/µ̂ estimates (adds λ̂/µ̂/ρ̂ to -stats and -metrics)")
 		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON to FILE (load in Perfetto)")
 		metrics = flag.String("metrics", "", "serve Prometheus metrics on host:port while running")
 	)
@@ -57,6 +59,9 @@ func main() {
 	}
 	if *metrics != "" {
 		exeOpts = append(exeOpts, raft.WithMetricsAddr(*metrics))
+	}
+	if *rate {
+		exeOpts = append(exeOpts, raft.WithServiceRateControl())
 	}
 
 	res, err := textsearch.Run(data, textsearch.Config{

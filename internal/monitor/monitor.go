@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/qmodel"
 	"raftlib/internal/ringbuffer"
 	"raftlib/internal/trace"
 )
@@ -71,6 +72,26 @@ type Config struct {
 	// run's telemetry bus so resizes, batch moves and width changes land
 	// on the same timeline as kernel invocations.
 	Trace *trace.Recorder
+	// Rates, when non-nil with RateControl set, is the online λ̂/µ̂
+	// estimator. The monitor drives its Tick and consumes its estimates;
+	// estimator link index i MUST correspond to links[i] passed to New
+	// (raft keeps the two aligned when it builds the taps).
+	Rates *qmodel.Estimator
+	// RateControl switches the batcher and scaler from the contended-
+	// window heuristics to estimator-driven decisions: batch growth
+	// starts when ρ̂ crosses RhoGrow or the occupancy derivative predicts
+	// a half-full queue within the next batch window (before any
+	// blocking), and the replica scaler steps toward the
+	// qmodel.MinServersWait width for the measured λ̂ and per-replica µ̂.
+	// Links and groups whose estimates are not yet primed fall back to
+	// the heuristics, so enabling this is never worse than leaving it off.
+	RateControl bool
+	// RhoGrow is the utilization ρ̂ = λ̂/µ̂ above which a link's batch is
+	// grown pre-emptively (<=0: 0.7).
+	RhoGrow float64
+	// WaitFactor sets the scaler's waiting-time target as a multiple of
+	// the per-replica mean service time: Wq ≤ WaitFactor/µ̂ (<=0: 2).
+	WaitFactor float64
 }
 
 // DefaultDelta is the paper's monitor update period.
@@ -101,6 +122,12 @@ func (c *Config) fill() {
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 32
 	}
+	if c.RhoGrow <= 0 {
+		c.RhoGrow = 0.7
+	}
+	if c.WaitFactor <= 0 {
+		c.WaitFactor = 2
+	}
 }
 
 // DefaultBatchMax is the adaptive batcher's default size ceiling.
@@ -111,6 +138,7 @@ type Monitor struct {
 	cfg     Config
 	links   []*core.LinkInfo
 	scalers []core.Scaler
+	linkIdx map[*core.LinkInfo]int // link identity → estimator link index
 
 	stop chan struct{}
 	done chan struct{}
@@ -152,10 +180,15 @@ type Event struct {
 // New builds a Monitor over the engine's links and scalers.
 func New(cfg Config, links []*core.LinkInfo, scalers []core.Scaler) *Monitor {
 	cfg.fill()
+	idx := make(map[*core.LinkInfo]int, len(links))
+	for i, l := range links {
+		idx[l] = i
+	}
 	return &Monitor{
 		cfg:        cfg,
 		links:      links,
 		scalers:    scalers,
+		linkIdx:    idx,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		quiet:      make([]int, len(links)),
@@ -245,9 +278,21 @@ func (m *Monitor) loop() {
 	}
 }
 
+// workerLister is implemented by scalers that can report the trace actor
+// ids of their replica workers (raft's group scaler does); the rate-driven
+// width rule needs them to look up per-replica µ̂.
+type workerLister interface {
+	WorkerActors() []int32
+}
+
 // Tick performs one monitor iteration. Exported so tests (and the ablation
 // harness) can drive the monitor deterministically without timing races.
 func (m *Monitor) Tick() {
+	if m.cfg.Rates != nil {
+		// Fold an estimation window if one has elapsed (internally
+		// rate-limited, so the per-tick cost is two clock reads).
+		m.cfg.Rates.Tick(time.Now())
+	}
 	threshold := time.Duration(m.cfg.BlockFactor) * m.cfg.Delta
 	for i, l := range m.links {
 		qlen, qcap := l.Queue.Len(), l.Queue.Cap()
@@ -316,6 +361,9 @@ func (m *Monitor) Tick() {
 			emptyFrac := float64(m.emptyTicks[i]) / window
 			m.scaleTick[i], m.fullTicks[i], m.emptyTicks[i] = 0, 0, 0
 
+			if m.rateWidth(s, in) {
+				continue
+			}
 			switch {
 			case fullFrac >= m.cfg.ScaleUpFullFrac && s.Active() < s.Max():
 				from := s.Active()
@@ -340,6 +388,47 @@ func (m *Monitor) Tick() {
 	m.mu.Lock()
 	m.ticks++
 	m.mu.Unlock()
+}
+
+// rateWidth applies the estimator-driven width rule to scaler s whose
+// group input is link in, and reports whether it owned the decision this
+// window. Width comes from qmodel.MinServersWait — the smallest replica
+// count whose predicted M/M/c waiting time meets WaitFactor/µ̂ — and the
+// monitor steps the active count ±1 toward it per scale window, so a
+// noisy estimate can never slam a group from 1 to Max in one move. Falls
+// back (returns false) whenever the estimates are not primed, leaving the
+// contended-window heuristic in charge.
+func (m *Monitor) rateWidth(s core.Scaler, in *core.LinkInfo) bool {
+	if !m.cfg.RateControl || m.cfg.Rates == nil {
+		return false
+	}
+	wl, ok := s.(workerLister)
+	if !ok {
+		return false
+	}
+	li, ok := m.linkIdx[in]
+	if !ok {
+		return false
+	}
+	lr, ok := m.cfg.Rates.Link(li)
+	if !ok || !lr.Primed || lr.Lambda <= 0 {
+		return false
+	}
+	mu, ok := m.cfg.Rates.GroupMu(wl.WorkerActors())
+	if !ok || mu <= 0 {
+		return false
+	}
+	target := qmodel.MinServersWait(lr.Lambda, mu, m.cfg.WaitFactor/mu, s.Max())
+	cur := s.Active()
+	switch {
+	case target > cur && cur < s.Max():
+		s.SetActive(cur + 1)
+		m.record("scale-up", s.Name(), cur, cur+1)
+	case target < cur && cur > 1:
+		s.SetActive(cur - 1)
+		m.record("scale-down", s.Name(), cur, cur-1)
+	}
+	return true
 }
 
 // batchStep accumulates one tick of occupancy evidence for link i and, every
@@ -374,7 +463,31 @@ func (m *Monitor) batchStep(i int, l *core.LinkInfo, qlen, qcap int) {
 	prev := m.prevTel[i]
 	m.prevTel[i] = tel
 	moved := tel.Pushes - prev.Pushes
+
+	// Pre-saturation signal from the rate estimator: a link running at
+	// high utilization, or whose occupancy derivative predicts a half-full
+	// queue within the next batch window, gets its batch grown *before*
+	// either side ever blocks. Under rate control the estimator OWNS the
+	// decision (with sustained near-full occupancy kept as a
+	// direct-evidence backstop): the blocked-window heuristic counts
+	// consumer starvation as contention, so under light load it batches —
+	// and buys latency — for a link that has no throughput problem. ρ̂
+	// distinguishes the two. λ̂ primes within ~5 estimator windows of
+	// startup, so gating growth on it costs a few milliseconds once,
+	// not adaptivity.
 	contended := tel.Blocked(prev) || fullFrac >= 0.5
+	if m.cfg.RateControl && m.cfg.Rates != nil {
+		if lr, ok := m.cfg.Rates.Link(i); ok {
+			rateHot := false
+			if lr.Primed {
+				horizon := float64(m.cfg.BatchWindow) * m.cfg.Delta.Seconds()
+				predicted := lr.OccMean + lr.OccSlope*horizon
+				rateHot = (lr.Mu > 0 && lr.Rho >= m.cfg.RhoGrow) ||
+					(lr.OccSlope > 0 && predicted >= float64(qcap)/2)
+			}
+			contended = rateHot || fullFrac >= 0.5
+		}
+	}
 
 	cur := bc.Get()
 	if cur < 1 {

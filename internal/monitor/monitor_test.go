@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/qmodel"
 	"raftlib/internal/ringbuffer"
 )
 
@@ -130,10 +131,11 @@ func TestShrinkAfterHysteresis(t *testing.T) {
 }
 
 type fakeScaler struct {
-	name   string
-	active int
-	max    int
-	in     *core.LinkInfo
+	name    string
+	active  int
+	max     int
+	in      *core.LinkInfo
+	workers []int32
 }
 
 func (f *fakeScaler) Name() string               { return f.name }
@@ -142,6 +144,7 @@ func (f *fakeScaler) Max() int                   { return f.max }
 func (f *fakeScaler) SetActive(n int)            { f.active = n }
 func (f *fakeScaler) InputLink() *core.LinkInfo  { return f.in }
 func (f *fakeScaler) OutputLink() *core.LinkInfo { return nil }
+func (f *fakeScaler) WorkerActors() []int32      { return f.workers }
 
 func TestAutoScaleUpOnPressure(t *testing.T) {
 	li, r := mkLink(4, 4)
@@ -292,4 +295,186 @@ func TestAdaptiveBatchNilControl(t *testing.T) {
 		[]*core.LinkInfo{li}, nil)
 	m.Tick()
 	m.Tick()
+}
+
+// primedEstimator builds a qmodel.Estimator for one link (index 0, dst
+// kernel id 1) primed to a chosen utilization: each synthetic window moves
+// n elements with the consumer blocked for blockedFrac of the window, so
+// λ̂ = n/window and µ̂ = n/(window×(1−blockedFrac)), i.e. ρ̂ ≈ blockedFrac's
+// complement. Windows are stamped an hour in the future so the monitor's
+// own Tick(time.Now()) calls land before the estimator's last fold and
+// cannot disturb the primed state.
+func primedEstimator(t *testing.T, n uint64, blockedFrac float64, workerIDs ...int32) *qmodel.Estimator {
+	t.Helper()
+	if len(workerIDs) == 0 {
+		workerIDs = []int32{1}
+	}
+	var runs, pushes, pops, blkR uint64
+	kts := make([]qmodel.KernelTap, len(workerIDs))
+	for i, id := range workerIDs {
+		kts[i] = qmodel.KernelTap{Name: "k", ID: id, Runs: func() uint64 { return runs }}
+	}
+	lts := []qmodel.LinkTap{{
+		Name: "l", Src: 0, Dst: workerIDs[0],
+		Flow:  func() (uint64, uint64) { return pushes, pops },
+		Block: func() (uint64, uint64) { return 0, blkR },
+		Occ:   func() (uint64, float64) { return pushes, 0 },
+		Len:   func() int { return 0 },
+		Cap:   func() int { return 1024 },
+	}}
+	est := qmodel.NewEstimator(qmodel.EstimatorConfig{}, nil, kts, lts)
+	window := 2 * time.Millisecond
+	now := time.Now().Add(time.Hour)
+	est.Tick(now)
+	for i := 0; i < 10; i++ {
+		pushes += n
+		pops += n
+		runs += n
+		blkR += uint64(blockedFrac * float64(window.Nanoseconds()))
+		now = now.Add(window)
+		est.Tick(now)
+	}
+	return est
+}
+
+// TestRateControlBatchUpOnHotLink: under rate control a link at ρ̂≈0.9
+// grows its batch on the utilization signal alone — queue near-empty, no
+// blocking evidence anywhere.
+func TestRateControlBatchUpOnHotLink(t *testing.T) {
+	est := primedEstimator(t, 1000, 0.1) // ρ̂ ≈ 0.9 > RhoGrow 0.7
+	li, r := mkLink(16, 0)
+	li.ResizeEnabled = false
+	li.Batch = &core.BatchControl{}
+	m := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 4,
+		BatchMax: 256, Rates: est, RateControl: true},
+		[]*core.LinkInfo{li}, nil)
+	// Elements flow (moved > 0) but the queue never fills or blocks.
+	_ = r.Push(1, ringbuffer.SigNone)
+	_, _, _, _ = r.TryPop()
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if got := li.Batch.Get(); got != 4 {
+		t.Fatalf("batch = %d, want grown to 4 on ρ̂ alone", got)
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Kind != "batch-up" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+// TestRateControlSuppressesStarvationNoise: consumer-starvation blocking
+// counts as contended-window evidence, so the heuristic batches a link
+// whose consumer is merely idle; the rate controller reads ρ̂≈0.25 and
+// leaves the batch alone.
+func TestRateControlSuppressesStarvationNoise(t *testing.T) {
+	li, r := mkLink(16, 0)
+	li.ResizeEnabled = false
+	li.Batch = &core.BatchControl{}
+	// Manufacture genuine read-block evidence: a consumer waits on the
+	// empty ring until a push releases it.
+	popped := make(chan error, 1)
+	go func() {
+		_, _, err := r.Pop()
+		popped <- err
+	}()
+	for r.ReaderStarvedFor() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	_ = r.Push(1, ringbuffer.SigNone)
+	if err := <-popped; err != nil {
+		t.Fatal(err)
+	}
+
+	est := primedEstimator(t, 1000, 0.75) // ρ̂ ≈ 0.25 < RhoGrow
+	rc := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 4,
+		BatchMax: 256, Rates: est, RateControl: true},
+		[]*core.LinkInfo{li}, nil)
+	for i := 0; i < 4; i++ {
+		rc.Tick()
+	}
+	if got := li.Batch.Get(); got > 1 {
+		t.Fatalf("rate controller batched an underloaded link: batch = %d", got)
+	}
+
+	// The same telemetry drives the heuristic to batch-up — the behavior
+	// the discriminating controller exists to avoid.
+	h := New(Config{Delta: time.Microsecond, AdaptiveBatch: true, BatchWindow: 4,
+		BatchMax: 256}, []*core.LinkInfo{li}, nil)
+	for i := 0; i < 4; i++ {
+		h.Tick()
+	}
+	if got := li.Batch.Get(); got <= 1 {
+		t.Fatalf("heuristic did not batch on blocking evidence: batch = %d", got)
+	}
+}
+
+// TestRateWidthScalesUpTowardMMcTarget: with λ̂ near the per-replica µ̂,
+// MinServersWait picks width 2 and the monitor steps up — even though the
+// input queue is empty, which would have made the heuristic scale DOWN.
+// The step is ±1 per window, never a slam to the target.
+func TestRateWidthScalesUpTowardMMcTarget(t *testing.T) {
+	est := primedEstimator(t, 1000, 0.05) // λ̂=500k, µ̂≈526k: ρ≈0.95
+	li, _ := mkLink(16, 16)
+	li.ResizeEnabled = false
+	sc := &fakeScaler{name: "grp", active: 1, max: 4, in: li, workers: []int32{1}}
+	m := New(Config{Delta: time.Microsecond, AutoScale: true, ScaleWindow: 2,
+		Rates: est, RateControl: true},
+		[]*core.LinkInfo{li}, []core.Scaler{sc})
+	m.Tick()
+	m.Tick()
+	if sc.active != 2 {
+		t.Fatalf("active = %d, want stepped up to 2 on predicted wait", sc.active)
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Kind != "scale-up" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+// TestRateWidthScalesDownWhenOverProvisioned: a lightly loaded group steps
+// back toward the model's single-replica target one step per window.
+func TestRateWidthScalesDownWhenOverProvisioned(t *testing.T) {
+	est := primedEstimator(t, 100, 0.5) // λ̂=50k, µ̂=100k: c=1 suffices
+	li, _ := mkLink(16, 16)
+	li.ResizeEnabled = false
+	sc := &fakeScaler{name: "grp", active: 3, max: 4, in: li, workers: []int32{1}}
+	m := New(Config{Delta: time.Microsecond, AutoScale: true, ScaleWindow: 2,
+		Rates: est, RateControl: true},
+		[]*core.LinkInfo{li}, []core.Scaler{sc})
+	m.Tick()
+	m.Tick()
+	if sc.active != 2 {
+		t.Fatalf("active = %d after one window, want 2 (±1 stepping)", sc.active)
+	}
+	m.Tick()
+	m.Tick()
+	if sc.active != 1 {
+		t.Fatalf("active = %d after two windows, want 1", sc.active)
+	}
+}
+
+// TestRateWidthFallsBackUnprimed: an unprimed estimator must leave the
+// decision to the contended-window heuristic (here: empty queue, scale
+// down), not freeze the group.
+func TestRateWidthFallsBackUnprimed(t *testing.T) {
+	est := qmodel.NewEstimator(qmodel.EstimatorConfig{}, nil,
+		[]qmodel.KernelTap{{Name: "k", ID: 1, Runs: func() uint64 { return 0 }}},
+		[]qmodel.LinkTap{{Name: "l", Src: 0, Dst: 1,
+			Flow: func() (uint64, uint64) { return 0, 0 },
+			Occ:  func() (uint64, float64) { return 0, 0 },
+			Len:  func() int { return 0 },
+			Cap:  func() int { return 16 }}})
+	li, _ := mkLink(4, 4)
+	li.ResizeEnabled = false
+	sc := &fakeScaler{name: "grp", active: 3, max: 4, in: li, workers: []int32{1}}
+	m := New(Config{Delta: time.Microsecond, AutoScale: true, ScaleWindow: 8,
+		Rates: est, RateControl: true},
+		[]*core.LinkInfo{li}, []core.Scaler{sc})
+	for i := 0; i < 8; i++ {
+		m.Tick()
+	}
+	if sc.active != 2 {
+		t.Fatalf("active = %d, want heuristic scale-down to 2", sc.active)
+	}
 }

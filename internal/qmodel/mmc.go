@@ -89,3 +89,31 @@ func MinServers(lambda, mu, eps float64, maxServers int) int {
 	}
 	return maxServers
 }
+
+// MinServersWait returns the smallest server count for which the system
+// is stable and the predicted mean waiting time Wq is at most maxWait,
+// capped at maxServers. This is the replica scaler's sizing rule under
+// online rate estimation: width is chosen from predicted waiting time
+// rather than from an after-the-fact contention window. As ρ→1 (or past
+// it) no finite width meets the target and the recommendation saturates
+// at maxServers instead of diverging — degraded service, never a
+// runaway controller. A non-positive µ (estimator unprimed or consumer
+// stalled) also saturates, for the same reason.
+func MinServersWait(lambda, mu, maxWait float64, maxServers int) int {
+	if maxServers < 1 {
+		maxServers = 1
+	}
+	if lambda <= 0 {
+		return 1
+	}
+	if mu <= 0 || maxWait < 0 {
+		return maxServers
+	}
+	for c := 1; c <= maxServers; c++ {
+		q := MMc{Lambda: lambda, Mu: mu, C: c}
+		if q.Stable() && q.MeanWait() <= maxWait {
+			return c
+		}
+	}
+	return maxServers
+}

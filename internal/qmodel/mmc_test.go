@@ -99,3 +99,50 @@ func TestMinServers(t *testing.T) {
 		t.Fatalf("default MinServers = %d, want 1", got)
 	}
 }
+
+func TestMinServersWait(t *testing.T) {
+	// λ=90/s, µ=100/s per server: one server waits λ/(µ(µ-λ)) = 90ms;
+	// a 100ms budget is met at c=1, a 1ms budget needs more.
+	if got := MinServersWait(90, 100, 0.1, 8); got != 1 {
+		t.Fatalf("loose budget c = %d, want 1", got)
+	}
+	loose := MinServersWait(90, 100, 0.1, 8)
+	tight := MinServersWait(90, 100, 0.001, 8)
+	if tight < loose {
+		t.Fatalf("tighter budget picked fewer servers: %d < %d", tight, loose)
+	}
+	q := MMc{Lambda: 90, Mu: 100, C: tight}
+	if !q.Stable() || q.MeanWait() > 0.001 {
+		t.Fatalf("c=%d misses the budget: wait %v", tight, q.MeanWait())
+	}
+}
+
+// TestMinServersWaitSaturatesNearOne is the ρ→1 edge: as λ approaches c×µ
+// the predicted wait diverges, and the width must pin at maxServers
+// instead of diverging or erroring.
+func TestMinServersWaitSaturatesNearOne(t *testing.T) {
+	for _, lambda := range []float64{999, 999.9, 999.999, 1000, 1500} {
+		if got := MinServersWait(lambda, 100, 1e-6, 10); got != 10 {
+			t.Fatalf("λ=%v: c = %d, want saturated 10", lambda, got)
+		}
+	}
+	// Outright unstable even at max width: still the cap, never a spin.
+	if got := MinServersWait(1e9, 1, 0.01, 4); got != 4 {
+		t.Fatalf("unstable c = %d, want 4", got)
+	}
+}
+
+func TestMinServersWaitDegenerate(t *testing.T) {
+	if got := MinServersWait(0, 100, 0.1, 8); got != 1 {
+		t.Fatalf("no arrivals c = %d, want 1", got)
+	}
+	if got := MinServersWait(100, 0, 0.1, 8); got != 8 {
+		t.Fatalf("unknown µ c = %d, want conservative max", got)
+	}
+	if got := MinServersWait(100, 100, -1, 8); got != 8 {
+		t.Fatalf("negative budget c = %d, want max", got)
+	}
+	if got := MinServersWait(100, 1000, 0.1, 0); got != 1 {
+		t.Fatalf("maxServers<1 c = %d, want clamped 1", got)
+	}
+}

@@ -142,6 +142,42 @@ func (t *Telemetry) recordOcc(n int) {
 	t.occ[i].Inc()
 }
 
+// Flow returns the cumulative push and pop counts — the per-tick read
+// hook of the online rate estimator (two atomic loads, no snapshot copy:
+// the estimator polls every link on every estimation window, so the full
+// Snapshot would be mostly wasted work).
+func (t *Telemetry) Flow() (pushes, pops uint64) {
+	return t.Pushes.Load(), t.Pops.Load()
+}
+
+// BlockNs returns the cumulative producer and consumer block times — the
+// estimator's evidence that a window's observations were contaminated by
+// blocking and should not update the non-blocking service rate.
+func (t *Telemetry) BlockNs() (writeNs, readNs uint64) {
+	return t.WriteBlockNs.Load(), t.ReadBlockNs.Load()
+}
+
+// OccStats reduces the occupancy histogram to its count and occupancy-
+// weighted sum (bucket midpoints): mean-occupancy-at-push over any window
+// is a delta of the two. This is the occupancy read hook the estimator's
+// utilization/derivative signal consumes — it avoids copying all
+// OccBuckets counters per link per window.
+func (t *Telemetry) OccStats() (count uint64, weighted float64) {
+	for i := range t.occ {
+		n := t.occ[i].Load()
+		if n == 0 {
+			continue
+		}
+		mid := 1.0
+		if i > 0 {
+			mid = 1.5 * float64(uint64(1)<<uint(i)) // midpoint of [2^i, 2^(i+1))
+		}
+		count += n
+		weighted += float64(n) * mid
+	}
+	return count, weighted
+}
+
 // Snapshot returns a plain-value copy of the counters.
 func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s := TelemetrySnapshot{

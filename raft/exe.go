@@ -11,6 +11,7 @@ import (
 	"raftlib/internal/graph"
 	"raftlib/internal/mapper"
 	"raftlib/internal/monitor"
+	"raftlib/internal/qmodel"
 	"raftlib/internal/resilience"
 	"raftlib/internal/ringbuffer"
 	"raftlib/internal/scheduler"
@@ -91,6 +92,11 @@ type Config struct {
 	// TraceStride emits RunStart/RunEnd (1 = every invocation; 0 = the
 	// DefaultTraceStride). Structural events are never sampled.
 	TraceStride int
+
+	// ServiceRateControl switches the monitor's batcher and replica scaler
+	// from contended-window heuristics to decisions driven by online λ̂/µ̂
+	// estimates (see WithServiceRateControl).
+	ServiceRateControl bool
 
 	// MetricsAddr, when non-empty, serves Prometheus text-format metrics
 	// (and net/http/pprof) on that address for the duration of the run
@@ -229,6 +235,31 @@ func WithTraceStride(n int) Option {
 	}
 }
 
+// WithServiceRateControl turns the monitor's reactive heuristics into a
+// model-driven controller: an online estimator (internal/qmodel, after
+// the instantaneous-rate model of arXiv:1504.00591) maintains per-kernel
+// non-blocking service rates µ̂ from sampled Run spans and per-link
+// arrival rates λ̂ from flow counters, with burst rejection filtering
+// blocking-contaminated observations. The replica scaler then picks the
+// group width whose predicted M/M/c waiting time meets its target
+// (instead of waiting for the input queue to sit near-full), and the
+// adaptive batcher grows batches when utilization ρ̂ = λ̂/µ̂ runs high or
+// the occupancy derivative predicts saturation — before either side ever
+// blocks. Links and groups with unprimed estimates keep the heuristics,
+// so the option degrades to the default behavior rather than below it.
+//
+// Requires the monitor (the default) and span tracing: if WithTrace was
+// not given, a 64Ki-event recorder is enabled automatically. λ̂/µ̂/ρ̂ show
+// up on LiveStats, the Report, and the Prometheus endpoint.
+func WithServiceRateControl() Option {
+	return func(c *Config) {
+		c.ServiceRateControl = true
+		if c.TraceCapacity <= 0 {
+			c.TraceCapacity = 1 << 16
+		}
+	}
+}
+
 // WithMetricsAddr serves Prometheus text-format metrics on addr (e.g.
 // ":9090") while the application runs: per-link occupancy histograms,
 // push/pop/block counters and batch sizes, per-kernel invocation counts
@@ -326,6 +357,11 @@ type KernelReport struct {
 	RatePerSec  float64
 	// Restarts counts supervised recoveries of this kernel.
 	Restarts uint64
+	// MuHat is the online non-blocking service-rate estimate µ̂
+	// (elements/s) at end of run; 0 unless WithServiceRateControl. Unlike
+	// RatePerSec (achieved throughput, depressed by blocking), µ̂
+	// approximates what the kernel could sustain if never blocked.
+	MuHat float64
 }
 
 // LinkReport is the per-stream slice of a Report.
@@ -354,6 +390,14 @@ type LinkReport struct {
 	// Batch is the transfer batch size in effect when execution ended
 	// (0 when the adaptive batcher made no decision for this link).
 	Batch int
+	// LambdaHat, MuHat and RhoHat are the online estimator's final
+	// arrival rate λ̂ (elements/s), consumer drain rate µ̂ (elements/s)
+	// and utilization ρ̂ = λ̂/µ̂ for this link — the controller's inputs,
+	// surfaced so its decisions are auditable. Zero unless
+	// WithServiceRateControl was set (and the estimates primed).
+	LambdaHat float64
+	MuHat     float64
+	RhoHat    float64
 }
 
 // GroupReport describes one replicated kernel group after execution.
@@ -438,11 +482,16 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 		}
 	}
 
-	// 6. Monitor.
+	// 6. Monitor (and the rate estimator it drives, when requested).
 	var mon *monitor.Monitor
 	coreScalers := make([]core.Scaler, len(scalers))
 	for i, s := range scalers {
 		coreScalers[i] = s
+		s.resolveWorkers(m.index)
+	}
+	var est *qmodel.Estimator
+	if cfg.ServiceRateControl {
+		est = buildEstimator(actors, linkInfos, rec)
 	}
 	if cfg.MonitorEnabled {
 		mon = monitor.New(monitor.Config{
@@ -453,6 +502,8 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			AdaptiveBatch: cfg.AdaptiveBatch,
 			BatchMax:      cfg.BatchMax,
 			Trace:         rec,
+			Rates:         est,
+			RateControl:   cfg.ServiceRateControl,
 		}, linkInfos, coreScalers)
 		if cfg.DeadlockGrace > 0 {
 			mon.SetDeadlockWatch(monitor.NewDeadlockWatch(actors, linkInfos, cfg.DeadlockGrace,
@@ -473,7 +524,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	// 7. Run to completion (with the metrics endpoint up, when requested).
 	var msrv *metricsServer
 	if cfg.MetricsAddr != "" || cfg.MetricsListener != nil {
-		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec)
+		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec, est)
 		if err != nil {
 			if mon != nil {
 				mon.Stop()
@@ -487,7 +538,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 	var streamer *statsStreamer
 	if cfg.Observer != nil {
-		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors)
+		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors, est)
 	}
 	start := time.Now()
 	runErr := sched.Run(actors)
@@ -503,7 +554,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 
 	// 8. Report.
-	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, sched.Name(), elapsed)
+	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, est, sched.Name(), elapsed)
 	rep.Trace = rec
 	if msrv != nil {
 		rep.MetricsAddr = msrv.Addr()
@@ -650,6 +701,38 @@ func (m *Map) buildActors(assignment mapper.Assignment, rec *trace.Recorder, str
 	return actors
 }
 
+// buildEstimator wires the online rate estimator over the engine state
+// through closures, keeping qmodel free of engine imports: kernel taps
+// read invocation counts off each actor's service timer, link taps read
+// flow and occupancy off each queue's telemetry. Tap order matches the
+// engine's link order — the alignment monitor.Config.Rates requires.
+// rec may be nil (λ̂/occupancy only; µ̂ needs sampled spans).
+func buildEstimator(actors []*core.Actor, links []*core.LinkInfo, rec *trace.Recorder) *qmodel.Estimator {
+	var rd *trace.Reader
+	if rec != nil {
+		rd = rec.NewReader()
+	}
+	kts := make([]qmodel.KernelTap, len(actors))
+	for i, a := range actors {
+		kts[i] = qmodel.KernelTap{Name: a.Name, ID: int32(a.ID), Runs: a.Service.Count}
+	}
+	lts := make([]qmodel.LinkTap, len(links))
+	for i, l := range links {
+		tel := l.Queue.Telemetry()
+		lts[i] = qmodel.LinkTap{
+			Name:  l.Name,
+			Src:   int32(l.SrcActor),
+			Dst:   int32(l.DstActor),
+			Flow:  tel.Flow,
+			Block: tel.BlockNs,
+			Occ:   tel.OccStats,
+			Len:   l.Queue.Len,
+			Cap:   l.Queue.Cap,
+		}
+	}
+	return qmodel.NewEstimator(qmodel.EstimatorConfig{}, rd, kts, lts)
+}
+
 // readinessOf builds the cooperative-scheduler progress predicate for a
 // kernel: every input stream must hold data (or be closed, so the pop
 // returns immediately) and every output stream must have space (or be
@@ -684,7 +767,7 @@ func readinessOf(kb *KernelBase) func() bool {
 
 func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignment,
 	actors []*core.Actor, links []*core.LinkInfo, mon *monitor.Monitor,
-	scalers []*groupScaler, schedName string, elapsed time.Duration) *Report {
+	scalers []*groupScaler, est *qmodel.Estimator, schedName string, elapsed time.Duration) *Report {
 
 	rep := &Report{
 		Elapsed:   elapsed,
@@ -692,7 +775,7 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 		CutCost:   mapper.CutCost(g, cfg.Topology, assignment),
 	}
 	for _, a := range actors {
-		rep.Kernels = append(rep.Kernels, KernelReport{
+		kr := KernelReport{
 			Name:         a.Name,
 			Place:        a.Place,
 			Runs:         a.Service.Count(),
@@ -702,7 +785,13 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			BusyNanos:    a.Service.BusyNanos(),
 			RatePerSec:   a.Service.RatePerSecond(),
 			Restarts:     a.Restarts.Load(),
-		})
+		}
+		if est != nil {
+			if r, ok := est.Kernel(int32(a.ID)); ok && r.Primed {
+				kr.MuHat = r.MuElems
+			}
+		}
+		rep.Kernels = append(rep.Kernels, kr)
 	}
 	if cfg.resLog != nil {
 		rep.Recoveries = cfg.resLog.Events()
@@ -714,9 +803,9 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			}
 		}
 	}
-	for _, l := range links {
+	for i, l := range links {
 		tel := l.Queue.Telemetry().Snapshot()
-		rep.Links = append(rep.Links, LinkReport{
+		lr := LinkReport{
 			Name:          l.Name,
 			FinalCap:      l.Queue.Cap(),
 			MeanOccupancy: l.Occupancy.Mean(),
@@ -734,7 +823,13 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			OccP50:        stats.LogQuantile(tel.Occupancy[:], 0.50),
 			OccP99:        stats.LogQuantile(tel.Occupancy[:], 0.99),
 			Batch:         l.Batch.Get(),
-		})
+		}
+		if est != nil {
+			if r, ok := est.Link(i); ok && r.Primed {
+				lr.LambdaHat, lr.MuHat, lr.RhoHat = r.Lambda, r.Mu, r.Rho
+			}
+		}
+		rep.Links = append(rep.Links, lr)
 	}
 	if mon != nil {
 		rep.MonitorTicks = mon.Ticks()
@@ -830,9 +925,10 @@ func (m *Map) rewriteReplicated(cfg *Config) ([]*groupScaler, error) {
 		}
 
 		scalers = append(scalers, &groupScaler{
-			name:  kb.Name(),
-			split: split,
-			max:   r,
+			name:    kb.Name(),
+			split:   split,
+			max:     r,
+			workers: clones,
 		})
 	}
 	return scalers, nil

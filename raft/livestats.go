@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/qmodel"
 	"raftlib/internal/stats"
 )
 
@@ -41,6 +42,10 @@ type LiveLink struct {
 	// Batch is the adaptive batcher's current transfer size for the link
 	// (0 = no decision yet / batching disabled).
 	Batch int
+	// LambdaHat, MuHat and RhoHat are the online arrival-rate, drain-rate
+	// and utilization estimates for the link (elements/s; zero unless
+	// WithServiceRateControl is active and the estimates have primed).
+	LambdaHat, MuHat, RhoHat float64
 }
 
 // LiveKernel is the instantaneous state of one kernel.
@@ -55,6 +60,11 @@ type LiveKernel struct {
 	RatePerSec float64
 	// Restarts counts supervised recoveries of the kernel so far.
 	Restarts uint64
+	// MuHat is the online non-blocking service-rate estimate µ̂
+	// (elements/s; zero unless WithServiceRateControl is active and the
+	// estimate has primed). RatePerSec is achieved throughput; µ̂ is
+	// predicted unblocked capacity.
+	MuHat float64
 }
 
 // Observer receives periodic LiveStats while the application runs. It is
@@ -80,17 +90,19 @@ type statsStreamer struct {
 	fn       Observer
 	links    []*core.LinkInfo
 	actors   []*core.Actor
+	est      *qmodel.Estimator
 	start    time.Time
 	stop     chan struct{}
 	done     chan struct{}
 }
 
-func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor) *statsStreamer {
+func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor, est *qmodel.Estimator) *statsStreamer {
 	s := &statsStreamer{
 		interval: interval,
 		fn:       fn,
 		links:    links,
 		actors:   actors,
+		est:      est,
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -118,9 +130,9 @@ func (s *statsStreamer) loop() {
 func (s *statsStreamer) snapshot() LiveStats {
 	now := time.Now()
 	ls := LiveStats{At: now, Elapsed: now.Sub(s.start)}
-	for _, l := range s.links {
+	for i, l := range s.links {
 		tel := l.Queue.Telemetry().Snapshot()
-		ls.Links = append(ls.Links, LiveLink{
+		ll := LiveLink{
 			Name:          l.Name,
 			Len:           l.Queue.Len(),
 			Cap:           l.Queue.Cap(),
@@ -132,17 +144,29 @@ func (s *statsStreamer) snapshot() LiveStats {
 			SpinYields:    tel.SpinYields,
 			SpinSleeps:    tel.SpinSleeps,
 			Batch:         l.Batch.Get(),
-		})
+		}
+		if s.est != nil {
+			if r, ok := s.est.Link(i); ok && r.Primed {
+				ll.LambdaHat, ll.MuHat, ll.RhoHat = r.Lambda, r.Mu, r.Rho
+			}
+		}
+		ls.Links = append(ls.Links, ll)
 	}
 	for _, a := range s.actors {
-		ls.Kernels = append(ls.Kernels, LiveKernel{
+		lk := LiveKernel{
 			Name:         a.Name,
 			Runs:         a.Service.Count(),
 			MeanSvcNanos: a.Service.MeanNanos(),
 			SvcP99Nanos:  a.Service.Quantile(0.99),
 			RatePerSec:   a.Service.RatePerSecond(),
 			Restarts:     a.Restarts.Load(),
-		})
+		}
+		if s.est != nil {
+			if r, ok := s.est.Kernel(int32(a.ID)); ok && r.Primed {
+				lk.MuHat = r.MuElems
+			}
+		}
+		ls.Kernels = append(ls.Kernels, lk)
 	}
 	return ls
 }

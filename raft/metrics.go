@@ -12,6 +12,7 @@ import (
 
 	"raftlib/internal/core"
 	"raftlib/internal/monitor"
+	"raftlib/internal/qmodel"
 	"raftlib/internal/ringbuffer"
 	"raftlib/internal/trace"
 )
@@ -39,7 +40,8 @@ type metricsServer struct {
 }
 
 func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
-	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder) (*metricsServer, error) {
+	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder,
+	est *qmodel.Estimator) (*metricsServer, error) {
 
 	ln := cfg.MetricsListener
 	if ln == nil {
@@ -52,7 +54,7 @@ func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, links, actors, scalers, m, mon, rec)
+		writeMetrics(w, links, actors, scalers, m, mon, rec, est)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -85,7 +87,8 @@ func (ms *metricsServer) Stop() {
 // writeMetrics renders the full exposition. One writer, no allocation
 // amortization needed — scrapes are rare relative to the hot path.
 func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
-	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder) {
+	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder,
+	est *qmodel.Estimator) {
 
 	var b strings.Builder
 
@@ -137,6 +140,39 @@ func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 	gauge("raft_link_batch", "Adaptive transfer batch size (0 = no decision).")
 	for i, r := range rows {
 		fmt.Fprintf(&b, "raft_link_batch{link=%q} %d\n", r.name, links[i].Batch.Get())
+	}
+
+	// Online rate estimates (the controller's inputs, observable so its
+	// decisions are auditable; only present under WithServiceRateControl).
+	if est != nil {
+		type rateRow struct {
+			name string
+			r    qmodel.LinkRates
+		}
+		rrows := make([]rateRow, 0, len(links))
+		for i, l := range links {
+			if r, ok := est.Link(i); ok {
+				rrows = append(rrows, rateRow{l.Name, r})
+			}
+		}
+		gauge("raft_link_lambda_hat", "Online arrival-rate estimate (elements/s).")
+		for _, rr := range rrows {
+			fmt.Fprintf(&b, "raft_link_lambda_hat{link=%q} %g\n", rr.name, rr.r.Lambda)
+		}
+		gauge("raft_link_mu_hat", "Online consumer drain-rate estimate (elements/s).")
+		for _, rr := range rrows {
+			fmt.Fprintf(&b, "raft_link_mu_hat{link=%q} %g\n", rr.name, rr.r.Mu)
+		}
+		gauge("raft_link_rho_hat", "Online utilization estimate lambda_hat/mu_hat.")
+		for _, rr := range rrows {
+			fmt.Fprintf(&b, "raft_link_rho_hat{link=%q} %g\n", rr.name, rr.r.Rho)
+		}
+		gauge("raft_kernel_mu_hat", "Online non-blocking service-rate estimate (elements/s).")
+		for _, a := range actors {
+			if r, ok := est.Kernel(int32(a.ID)); ok {
+				fmt.Fprintf(&b, "raft_kernel_mu_hat{kernel=%q} %g\n", a.Name, r.MuElems)
+			}
+		}
 	}
 
 	// Per-link occupancy histogram: cumulative counts over the log2 bucket

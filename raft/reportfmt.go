@@ -16,18 +16,44 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "raft execution report: %v under %s, mapper cut cost %v\n",
 		r.Elapsed, r.Scheduler, r.CutCost)
 
+	// λ̂/µ̂/ρ̂ columns appear only when the online estimator ran (they would
+	// be all-zero noise otherwise).
+	rates := false
+	for _, l := range r.Links {
+		if l.LambdaHat != 0 || l.MuHat != 0 {
+			rates = true
+			break
+		}
+	}
+
 	fmt.Fprintf(&b, "\nkernels (%d):\n", len(r.Kernels))
-	fmt.Fprintf(&b, "  %-28s %-6s %-12s %-14s %-14s %-14s\n", "name", "place", "runs", "mean svc", "p99 svc", "rate/s")
+	fmt.Fprintf(&b, "  %-28s %-6s %-12s %-14s %-14s %-14s", "name", "place", "runs", "mean svc", "p99 svc", "rate/s")
+	if rates {
+		fmt.Fprintf(&b, " %-12s", "µ̂/s")
+	}
+	b.WriteByte('\n')
 	for _, k := range r.Kernels {
-		fmt.Fprintf(&b, "  %-28s %-6d %-12d %-14s %-14s %-14.0f\n",
+		fmt.Fprintf(&b, "  %-28s %-6d %-12d %-14s %-14s %-14.0f",
 			k.Name, k.Place, k.Runs, fmtNanos(k.MeanSvcNanos), fmtNanos(float64(k.SvcP99Nanos)), k.RatePerSec)
+		if rates {
+			fmt.Fprintf(&b, " %-12.0f", k.MuHat)
+		}
+		b.WriteByte('\n')
 	}
 
 	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-8s %-6s %-7s %-6s\n", "link", "cap", "mean occ", "occ p99", "full%", "starv%", "grows", "spins", "batch")
+	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-8s %-6s %-7s %-6s", "link", "cap", "mean occ", "occ p99", "full%", "starv%", "grows", "spins", "batch")
+	if rates {
+		fmt.Fprintf(&b, " %-12s %-12s %-6s", "λ̂/s", "µ̂/s", "ρ̂")
+	}
+	b.WriteByte('\n')
 	for _, l := range r.Links {
-		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8d %-8.1f %-8.1f %-6d %-7d %-6d\n",
+		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8d %-8.1f %-8.1f %-6d %-7d %-6d",
 			l.Name, l.FinalCap, l.MeanOccupancy, l.OccP99, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows, l.SpinYields+l.SpinSleeps, l.Batch)
+		if rates {
+			fmt.Fprintf(&b, " %-12.0f %-12.0f %-6.2f", l.LambdaHat, l.MuHat, l.RhoHat)
+		}
+		b.WriteByte('\n')
 	}
 
 	if len(r.Groups) > 0 {

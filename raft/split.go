@@ -243,6 +243,12 @@ type groupScaler struct {
 	max     int
 	inLink  *core.LinkInfo
 	outLink *core.LinkInfo
+	// workers are the replica kernels behind the split, in replica order;
+	// workerIDs are their trace actor ids, resolved once actors exist.
+	// The monitor's rate-driven width rule reads them (via WorkerActors)
+	// to look up each replica's non-blocking service-rate estimate.
+	workers   []Kernel
+	workerIDs []int32
 }
 
 func (g *groupScaler) Name() string { return g.name }
@@ -264,6 +270,21 @@ func (g *groupScaler) SetActive(n int) {
 func (g *groupScaler) InputLink() *core.LinkInfo { return g.inLink }
 
 func (g *groupScaler) OutputLink() *core.LinkInfo { return g.outLink }
+
+// resolveWorkers fills workerIDs from the map's kernel index (actor ids
+// equal kernel indices, and each actor's trace id equals its actor id).
+func (g *groupScaler) resolveWorkers(index map[*KernelBase]int) {
+	g.workerIDs = g.workerIDs[:0]
+	for _, w := range g.workers {
+		if id, ok := index[w.kernelBase()]; ok {
+			g.workerIDs = append(g.workerIDs, int32(id))
+		}
+	}
+}
+
+// WorkerActors implements the monitor's optional workerLister interface:
+// the trace actor ids of the group's replicas, for per-replica µ̂ lookup.
+func (g *groupScaler) WorkerActors() []int32 { return g.workerIDs }
 
 var _ core.Scaler = (*groupScaler)(nil)
 
