@@ -4,7 +4,13 @@ GO ?= go
 # it from the run number); locally it defaults to 0 = the canonical seeds.
 CI_SEED ?= 0
 
-.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-test ci-race ci-smoke
+# FUZZTIME is the budget for the epoch-swap fuzz target (the newest,
+# least-soaked concurrency protocol); FUZZTIME_SHORT for the established
+# ringbuffer targets that mostly re-verify their corpora.
+FUZZTIME ?= 60s
+FUZZTIME_SHORT ?= 15s
+
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-nightly-bars
 
 build:
 	$(GO) build ./...
@@ -34,10 +40,24 @@ bench:
 # ci runs exactly what .github/workflows/ci.yml runs, as one local command.
 # The workflow jobs invoke the ci-* sub-targets below so the two can never
 # drift: editing a step here edits it for CI too.
-ci: ci-vet ci-fmt ci-test ci-race ci-smoke
+ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke
 
 ci-vet:
 	$(GO) vet ./...
+
+# Static analysis and vulnerability scan. The tools are optional locally
+# (skipped with a notice when not installed, so `make ci` works on a bare
+# toolchain); the workflow's lint job installs both, so the gate is always
+# enforced in CI. Install locally with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+ci-lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "ci-lint: staticcheck not installed — skipping locally (enforced in CI)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "ci-lint: govulncheck not installed — skipping locally (enforced in CI)"; fi
 
 # gofmt -l prints nothing when the tree is clean; any output fails the gate.
 ci-fmt:
@@ -47,9 +67,23 @@ ci-fmt:
 ci-test:
 	$(GO) test ./...
 
-# Same package list as `check`: the packages with real concurrency.
+# Same package list as `check`: the packages with real concurrency. The
+# ringbuffer package runs three times — the epoch-swap protocol's races
+# are interleaving-dependent, and repeated runs shake out schedules a
+# single pass misses.
 ci-race:
-	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./internal/trace/... ./internal/monitor/... ./internal/stats/... ./raft/...
+	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/trace/... ./internal/monitor/... ./internal/stats/... ./raft/...
+	$(GO) test -race -count=3 ./internal/ringbuffer/...
+
+# Short-budget coverage-guided fuzzing of the lock-free ring: the
+# epoch-swap target gets the full budget, the established model-based
+# targets a shorter one. Each -fuzz run must name exactly one target.
+ci-fuzz:
+	$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz='^FuzzSPSCResize$$' -fuzztime=$(FUZZTIME)
+	@for t in FuzzSPSCModelResize FuzzRingAgainstModel FuzzRingBulkAgainstModel FuzzRingBulkConcurrentResize; do \
+		echo "$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz=^$$t\$$ -fuzztime=$(FUZZTIME_SHORT)"; \
+		$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME_SHORT) || exit 1; \
+	done
 
 # Bench smoke for CI: correctness is always asserted; perf bars downgrade
 # to warnings on small runners (auto-detected via GOMAXPROCS < 2). -seed
@@ -57,3 +91,12 @@ ci-race:
 ci-smoke:
 	$(GO) run ./cmd/raft-bench -ablate batch -corpus 1 -items 500000 -seed $(CI_SEED)
 	$(GO) run ./cmd/raft-bench -ablate rate -items 2000000 -seed $(CI_SEED)
+
+# The nightly perf gate: the A5 (monitoring overhead), A11 (batching
+# speedup), A12 (telemetry overhead) and A13 (controller parity/latency/
+# overhead) bars, *enforced* — -enforce-bars refuses the small-runner
+# downgrade, so a missed bar fails the job. Runs only on the pinned
+# multi-core runner (see the perf-bars job in .github/workflows/ci.yml);
+# PR-time bench-smoke stays advisory.
+ci-nightly-bars:
+	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate -corpus 16 -seed $(CI_SEED) -enforce-bars

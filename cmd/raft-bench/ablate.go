@@ -5,6 +5,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -137,10 +138,22 @@ func ablateResize() {
 		{name: "dynamic(4->)",
 			opts: []raft.Option{raft.WithDynamicResize(true)},
 			link: []raft.LinkOption{raft.Cap(4)}},
+		// The same three shapes on the lock-free SPSC ring: since the
+		// epoch swap the monitor's §4.1 rules apply to it too, so the
+		// dynamic case must converge like the mutex ring does.
+		{name: "spsc-fixed-4",
+			opts: []raft.Option{raft.WithLockFreeQueues(), raft.WithDynamicResize(false)},
+			link: []raft.LinkOption{raft.Cap(4), raft.MaxCap(4)}},
+		{name: "spsc-fixed-256",
+			opts: []raft.Option{raft.WithLockFreeQueues(), raft.WithDynamicResize(false)},
+			link: []raft.LinkOption{raft.Cap(256), raft.MaxCap(256)}},
+		{name: "spsc-dyn(4->)",
+			opts: []raft.Option{raft.WithLockFreeQueues(), raft.WithDynamicResize(true)},
+			link: []raft.LinkOption{raft.Cap(4)}},
 	}
 	fmt.Printf("burst=%d items, %d bursts, %v fetch latency per burst, %v drain per item\n\n",
 		burst, bursts, fetchLat, drainLat)
-	fmt.Printf("%-14s %-12s %-10s %-10s\n", "config", "elapsed(ms)", "grows", "finalCap")
+	fmt.Printf("%-16s %-6s %-12s %-10s %-10s\n", "config", "ring", "elapsed(ms)", "grows", "finalCap")
 	for _, c := range cases {
 		m := raft.NewMap()
 		var produced int64
@@ -173,16 +186,22 @@ func ablateResize() {
 		}
 		var grows uint64
 		finalCap := 0
+		ring := ""
 		for _, l := range rep.Links {
 			grows += l.Grows
 			finalCap = l.FinalCap
+			ring = l.Ring
 		}
-		fmt.Printf("%-14s %-12.1f %-10d %-10d\n", c.name,
+		fmt.Printf("%-16s %-6s %-12.1f %-10d %-10d\n", c.name, ring,
 			float64(time.Since(start))/float64(time.Millisecond), grows, finalCap)
+		if strings.HasPrefix(c.name, "spsc-dyn") && grows == 0 {
+			failf("A2: the monitor never grew the dynamic lock-free link (epoch swap broken?)")
+		}
 	}
 	fmt.Println("\nexpected: fixed-4 is ~2x slower (consumer idles through every")
 	fmt.Println("fetch); dynamic grows to burst size and matches fixed-256")
-	fmt.Println("without pre-committing the memory.")
+	fmt.Println("without pre-committing the memory — on both ring kinds: the")
+	fmt.Println("epoch swap gives the lock-free ring the same adaptivity.")
 }
 
 // ablateClone compares no replication, static full-width replication, and
@@ -265,24 +284,45 @@ func ablateSched(corpusMB int) {
 func ablateMonitor(corpusMB int) {
 	header("A5: Monitoring overhead (TimeTrial-style low-impact claim)")
 	data := corpus.Generate(corpus.Spec{Bytes: corpusMB << 20, Seed: 11 + benchSeed})
-	fmt.Printf("%-22s %-10s %-12s\n", "monitor", "GB/s", "ticks")
 	type cfg struct {
 		name string
 		opts []raft.Option
 	}
-	for _, c := range []cfg{
+	cases := []cfg{
 		{"off", []raft.Option{raft.WithoutMonitor()}},
 		{"delta=10us (paper)", nil},
 		{"delta=1us", []raft.Option{raft.WithMonitorDelta(time.Microsecond)}},
-	} {
-		res, err := textsearch.Run(data, textsearch.Config{
-			Algo: "horspool", Cores: min(4, runtime.GOMAXPROCS(0)), ExtraExeOpts: c.opts,
-		})
-		if err != nil {
-			fmt.Println("error:", err)
-			return
+	}
+	// Interleave repetitions (rep-major) so host drift hits every config
+	// equally, and keep the best rate per config — same discipline as A12.
+	const reps = 3
+	best := make([]float64, len(cases))
+	ticks := make([]uint64, len(cases))
+	for rep := 0; rep < reps; rep++ {
+		for ci, c := range cases {
+			res, err := textsearch.Run(data, textsearch.Config{
+				Algo: "horspool", Cores: min(4, runtime.GOMAXPROCS(0)), ExtraExeOpts: c.opts,
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			if r := res.Throughput(len(data)); r > best[ci] {
+				best[ci] = r
+				ticks[ci] = res.Report.MonitorTicks
+			}
 		}
-		fmt.Printf("%-22s %-10s %-12d\n", c.name, gbps(res.Throughput(len(data))), res.Report.MonitorTicks)
+	}
+	fmt.Printf("%-22s %-10s %-12s\n", "monitor", "GB/s", "ticks")
+	for ci, c := range cases {
+		fmt.Printf("%-22s %-10s %-12d\n", c.name, gbps(best[ci]), ticks[ci])
+	}
+	// The A5 bar: at the paper's default δ the monitored pipeline must be
+	// within 10% of unmonitored throughput (measured within noise of it;
+	// the margin absorbs runner jitter, not instrumentation cost).
+	if best[1] < 0.90*best[0] {
+		failf("A5: monitored throughput %.3f GB/s is %.1f%% below off (%.3f GB/s), bar is 10%%",
+			best[1]/1e9, 100*(1-best[1]/best[0]), best[0]/1e9)
 	}
 	fmt.Println("\nexpected: monitored throughput within a few percent of off —")
 	fmt.Println("the instrumentation hot path is a handful of atomic ops.")
@@ -709,8 +749,16 @@ func ablateObs(corpusMB int) {
 		}
 	}
 	mitems := func(r float64) string { return fmt.Sprintf("%.2f", r/1e6) }
-	report(mitems, measure(7, runSum(0)))
+	ewise := measure(7, runSum(0))
+	report(mitems, ewise)
 	fmt.Printf("\nacceptance: trace and trace+metrics (idle exporter) <= 3%% here\n")
+	// The A12 bar: the shipped defaults (sampled trace, idle exporter) on
+	// the worst-case element-wise pipeline.
+	for ci := 1; ci <= 2; ci++ {
+		if over := 100 * (ewise[0]/ewise[ci] - 1); over > 3 {
+			failf("A12: %s overhead %.1f%% > 3%% on the element-wise pipeline", cases[ci].name, over)
+		}
+	}
 
 	// Secondary: same pipeline with batch 64 — the throughput configuration
 	// (A11); sampling plus batching makes telemetry disappear entirely.

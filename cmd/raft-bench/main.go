@@ -5,7 +5,8 @@
 //	raft-bench -table1            hardware summary (paper Table 1)
 //	raft-bench -fig4              queue-size sweep, matmul (paper Figure 4)
 //	raft-bench -fig10             text search GB/s vs cores (paper Figure 10)
-//	raft-bench -ablate <name>     split | resize | clone | sched | monitor |
+//	raft-bench -ablate <names>    comma-separated list drawn from:
+//	                              split | resize | clone | sched | monitor |
 //	                              map | tcp | model | swap | fault | batch |
 //	                              obs | rate
 //	raft-bench -all               everything above
@@ -13,14 +14,17 @@
 // Absolute numbers depend on the host; EXPERIMENTS.md records the shape
 // comparisons against the paper.
 //
-// Acceptance assertions (A11 batching speedup, A13 controller parity and
-// overhead) set a non-zero exit status on failure, so CI can gate on the
-// bench smoke. On small runners (GOMAXPROCS < 2, or -small-runner) the
-// assertions downgrade to warnings: single-core hosts cannot overlap
-// producer and consumer, so perf ratios there measure scheduler luck, not
-// the runtime (variance documented in EXPERIMENTS A11). -seed perturbs
-// every workload's deterministic seed, letting CI check that conclusions
-// are not an artifact of one particular corpus.
+// Acceptance assertions (A5 monitoring overhead, A11 batching speedup,
+// A12 telemetry overhead, A13 controller parity and overhead) set a
+// non-zero exit status on failure, so CI can gate on the bench smoke. On
+// small runners (GOMAXPROCS < 2, or -small-runner) the assertions
+// downgrade to warnings: single-core hosts cannot overlap producer and
+// consumer, so perf ratios there measure scheduler luck, not the runtime
+// (variance documented in EXPERIMENTS A11). The nightly CI job on the
+// pinned multi-core runner passes -enforce-bars, which refuses the
+// downgrade — there a missed bar always fails. -seed perturbs every
+// workload's deterministic seed, letting CI check that conclusions are
+// not an artifact of one particular corpus.
 package main
 
 import (
@@ -37,7 +41,7 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the hardware summary (Table 1)")
 		fig4     = flag.Bool("fig4", false, "run the queue-size sweep (Figure 4)")
 		fig10    = flag.Bool("fig10", false, "run the text-search scaling study (Figure 10)")
-		ablate   = flag.String("ablate", "", "run one ablation: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs|rate")
+		ablate   = flag.String("ablate", "", "comma-separated ablations: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs|rate")
 		all      = flag.Bool("all", false, "run every experiment")
 		corpusMB = flag.Int("corpus", 64, "text-search corpus size in MiB (Figure 10)")
 		items    = flag.Int("items", 2_000_000, "synthetic pipeline length in elements (batch ablation)")
@@ -46,13 +50,24 @@ func main() {
 		csvOut   = flag.String("csv", "", "directory to also write figure data as CSV")
 		seed     = flag.Uint64("seed", 0, "offset added to every workload seed (CI runs vary it to de-correlate flakes)")
 		small    = flag.Bool("small-runner", false, "downgrade perf assertions to warnings (auto-set when GOMAXPROCS < 2)")
+		enforce  = flag.Bool("enforce-bars", false, "perf-bar misses always fail, refusing the small-runner downgrade (nightly pinned-runner mode)")
 	)
 	flag.Parse()
 	csvDir = *csvOut
 	benchItems = *items
 	benchSeed = *seed
 	smallRunner = *small || runtime.GOMAXPROCS(0) < 2
-	if smallRunner {
+	if *enforce {
+		// The dedicated-runner gate: a host too small to measure on must
+		// fail loudly rather than silently warn its way to green.
+		if runtime.GOMAXPROCS(0) < 2 {
+			fmt.Fprintf(os.Stderr, "raft-bench: -enforce-bars on a GOMAXPROCS=%d host — perf bars need a multi-core runner\n",
+				runtime.GOMAXPROCS(0))
+			os.Exit(2)
+		}
+		smallRunner = false
+		fmt.Println("enforce-bars mode: perf-bar misses are failures")
+	} else if smallRunner {
 		fmt.Printf("small-runner mode: GOMAXPROCS=%d — perf assertions are warnings, not failures\n",
 			runtime.GOMAXPROCS(0))
 	}
@@ -73,7 +88,9 @@ func main() {
 		ran = true
 	}
 	if *ablate != "" {
-		runAblation(*ablate, *corpusMB, cores)
+		for _, name := range strings.Split(*ablate, ",") {
+			runAblation(strings.TrimSpace(name), *corpusMB, cores)
+		}
 		ran = true
 	} else if *all {
 		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch", "obs", "rate"} {

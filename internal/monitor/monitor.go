@@ -278,6 +278,13 @@ func (m *Monitor) loop() {
 	}
 }
 
+// resizePending is implemented by queues whose Resize is asynchronous
+// (the lock-free SPSC ring's epoch swap): it reports a published swap
+// the producer has not yet installed.
+type resizePending interface {
+	ResizePending() bool
+}
+
 // workerLister is implemented by scalers that can report the trace actor
 // ids of their replica workers (raft's group scaler does); the rate-driven
 // width rule needs them to look up per-replica µ̂.
@@ -303,6 +310,14 @@ func (m *Monitor) Tick() {
 		}
 
 		if !m.cfg.Resize || !l.ResizeEnabled {
+			continue
+		}
+		// Lock-free queues resize asynchronously (epoch swap): the request
+		// is installed at the producer's next push. While one is in flight
+		// the capacity has not changed yet, so skip the link — re-applying
+		// the rules now would stack a second request on the same evidence.
+		if rp, ok := l.Queue.(resizePending); ok && rp.ResizePending() {
+			m.quiet[i] = 0
 			continue
 		}
 		// Write-side rule (§4.1): writer blocked for >= BlockFactor×δ.

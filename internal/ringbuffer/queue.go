@@ -9,9 +9,9 @@
 //     receive the signal at the same time the corresponding data element is
 //     received"). A monitor thread may grow or shrink it at runtime using
 //     the paper's §4.1 rules.
-//   - SPSC[T]: a fixed-capacity lock-free single-producer single-consumer
-//     ring used when dynamic optimization is disabled; exists so the cost
-//     of resizability can be measured (ablation A2).
+//   - SPSC[T]: a lock-free single-producer single-consumer ring whose
+//     capacity changes through an epoch swap (spsc_resize.go), so the
+//     monitor's resize rules apply to it without a lock on the hot path.
 //   - NewRingFromSlice: a pre-filled read-only ring that aliases caller
 //     memory, realizing the paper's zero-copy for_each source (§4.2,
 //     Fig. 6).
@@ -94,6 +94,9 @@ type Queue interface {
 	// exceeds availability (e.g. a PeekRange(n) with n > Cap). This feeds
 	// the paper's read-side resize trigger.
 	PendingDemand() int
+	// Kind identifies the queue implementation ("mutex" or "spsc") for
+	// reports and telemetry.
+	Kind() string
 	// Telemetry returns the queue's performance counters.
 	Telemetry() *Telemetry
 }

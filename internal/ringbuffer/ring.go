@@ -560,6 +560,9 @@ func (r *Ring[T]) ReaderStarvedFor() time.Duration {
 // to exceed capacity, or zero.
 func (r *Ring[T]) PendingDemand() int { return int(r.pendingDemand.Load()) }
 
+// Kind identifies the queue implementation for reports and telemetry.
+func (r *Ring[T]) Kind() string { return "mutex" }
+
 // Telemetry returns the ring's performance counters.
 func (r *Ring[T]) Telemetry() *Telemetry { return &r.tel }
 

@@ -6,27 +6,36 @@ import (
 	"time"
 )
 
-// SPSC is a fixed-capacity lock-free single-producer single-consumer ring.
-// It trades the dynamic resizing of Ring for a pure atomic fast path: one
-// goroutine may push, one may pop, with no mutex on either side. It exists
-// so the cost of the resizable queue can be measured (DESIGN.md ablation
-// A2) and serves as the allocation choice when the runtime's dynamic
-// optimization is turned off.
+// SPSC is a lock-free single-producer single-consumer ring. It trades
+// the mutex of Ring for a pure atomic fast path: one goroutine may
+// push, one may pop, with no lock on either side. Capacity changes go
+// through the epoch-swap protocol in spsc_resize.go — the monitor
+// publishes a new backing ring, the producer installs it at its next
+// push, and the consumer drains the old epoch before following — so
+// the monitor's §4.1 resize rules apply to lock-free links too, with
+// zero added synchronization on the hot path (one extra uncontended
+// atomic load per operation).
 //
 // The implementation uses monotonically increasing head/tail sequence
-// counters (never wrapped), masked into a power-of-two buffer — the
-// classic Lamport queue with cache-line padding between the producer and
-// consumer fields to avoid false sharing.
+// counters (never wrapped), masked into a power-of-two buffer per
+// epoch — the classic Lamport queue with cache-line padding between
+// the producer and consumer fields to avoid false sharing. Because the
+// sequences are global across epochs, Len and all Telemetry counters
+// (Flow, OccStats, block times) stay coherent across a swap.
 type SPSC[T any] struct {
-	mask uint64
-	vals []T
-	sigs []Signal
-
 	_pad0 [64]byte
 	tail  atomic.Uint64 // next write sequence (producer-owned)
+	prod  *spscSeg[T]   // epoch being written (producer-owned)
 	_pad1 [64]byte
 	head  atomic.Uint64 // next read sequence (consumer-owned)
+	cons  *spscSeg[T]   // epoch being read (consumer-owned)
 	_pad2 [64]byte
+
+	// active is the newest epoch, for third-party observers (Cap);
+	// pending is a monitor-published swap request awaiting the
+	// producer (see spsc_resize.go).
+	active  atomic.Pointer[spscSeg[T]]
+	pending atomic.Pointer[spscSeg[T]]
 
 	closed atomic.Bool
 	tel    Telemetry
@@ -38,15 +47,12 @@ type SPSC[T any] struct {
 // NewSPSC returns a lock-free ring whose capacity is capacity rounded up to
 // a power of two (minimum 2).
 func NewSPSC[T any](capacity int) *SPSC[T] {
-	n := 2
-	for n < capacity {
-		n <<= 1
-	}
-	return &SPSC[T]{
-		mask: uint64(n - 1),
-		vals: make([]T, n),
-		sigs: make([]Signal, n),
-	}
+	q := &SPSC[T]{}
+	seg := newSeg[T](capacity, 0)
+	q.prod = seg
+	q.cons = seg
+	q.active.Store(seg)
+	return q
 }
 
 // Len returns the number of buffered elements. A third party (the monitor)
@@ -56,6 +62,8 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 // uint64 difference is a huge bogus length. With head read first the
 // relation head_before <= head_now <= tail_now keeps the difference
 // non-negative; the clamp guards the theoretical torn-interleaving remnant.
+// During an epoch swap Len may transiently exceed Cap: the old epoch's
+// backlog does not occupy the new ring.
 func (q *SPSC[T]) Len() int {
 	h := q.head.Load()
 	t := q.tail.Load()
@@ -65,18 +73,11 @@ func (q *SPSC[T]) Len() int {
 	return int(t - h)
 }
 
-// Cap returns the fixed capacity.
-func (q *SPSC[T]) Cap() int { return len(q.vals) }
+// Cap returns the capacity of the newest epoch.
+func (q *SPSC[T]) Cap() int { return len(q.active.Load().vals) }
 
-// Resize is unsupported on the lock-free ring; it returns ErrTooSmall when
-// asked to shrink below Len and nil (no-op) otherwise so that a monitor
-// treating all queues uniformly degrades gracefully.
-func (q *SPSC[T]) Resize(newCap int) error {
-	if newCap < q.Len() {
-		return ErrTooSmall
-	}
-	return nil
-}
+// Kind identifies the queue implementation for reports and telemetry.
+func (q *SPSC[T]) Kind() string { return "spsc" }
 
 // Close marks the producer finished. Idempotent.
 func (q *SPSC[T]) Close() { q.closed.Store(true) }
@@ -85,19 +86,25 @@ func (q *SPSC[T]) Close() { q.closed.Store(true) }
 func (q *SPSC[T]) Closed() bool { return q.closed.Load() }
 
 // TryPush appends v without blocking; it reports whether the element was
-// accepted and returns ErrClosed on a closed queue.
+// accepted and returns ErrClosed on a closed queue. A pending epoch swap
+// is installed first, so a full old ring never wedges the producer once
+// the monitor has granted more space.
 func (q *SPSC[T]) TryPush(v T, sig Signal) (bool, error) {
 	if q.closed.Load() {
 		return false, ErrClosed
 	}
 	t := q.tail.Load()
+	if q.pending.Load() != nil {
+		q.install(t)
+	}
+	s := q.prod
 	h := q.head.Load()
-	if t-h > q.mask {
+	if s.freeAt(t, h) == 0 {
 		return false, nil // full
 	}
-	i := t & q.mask
-	q.vals[i] = v
-	q.sigs[i] = sig
+	i := (t - s.base) & s.mask
+	s.vals[i] = v
+	s.sigs[i] = sig
 	q.tail.Store(t + 1) // release: publishes the slot
 	q.tel.Pushes.Inc()
 	q.tel.recordOcc(int(t + 1 - h))
@@ -132,7 +139,9 @@ func (q *SPSC[T]) Push(v T, sig Signal) error {
 // and published with a single atomic tail store, instead of one store per
 // element. sigs may be nil (every element carries SigNone) or must have
 // len(vs) entries. PushN spins (escalating back-off) while the queue is full
-// and returns ErrClosed on a closed queue.
+// and returns ErrClosed on a closed queue. A batch that meets an epoch swap
+// is split at the boundary: the remainder of the old ring is filled, the
+// swap installs, and the rest of the batch lands in the new ring.
 func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 	if sigs != nil && len(sigs) != len(vs) {
 		panic("ringbuffer: PushN signal slice length mismatch")
@@ -145,8 +154,12 @@ func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 			return ErrClosed
 		}
 		t := q.tail.Load()
+		if q.pending.Load() != nil {
+			q.install(t)
+		}
+		s := q.prod
 		h := q.head.Load()
-		free := len(q.vals) - int(t-h)
+		free := s.freeAt(t, h)
 		if free == 0 {
 			if blockedAt == 0 {
 				blockedAt = nowNanos()
@@ -156,16 +169,16 @@ func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 			continue
 		}
 		k := min(free, len(vs))
-		i := int(t & q.mask)
-		first := min(k, len(q.vals)-i)
-		copy(q.vals[i:], vs[:first])
-		copy(q.vals, vs[first:k])
+		i := int((t - s.base) & s.mask)
+		first := min(k, len(s.vals)-i)
+		copy(s.vals[i:], vs[:first])
+		copy(s.vals, vs[first:k])
 		if sigs == nil {
-			clearSignals(q.sigs[i : i+first])
-			clearSignals(q.sigs[:k-first])
+			clearSignals(s.sigs[i : i+first])
+			clearSignals(s.sigs[:k-first])
 		} else {
-			copy(q.sigs[i:], sigs[:first])
-			copy(q.sigs, sigs[first:k])
+			copy(s.sigs[i:], sigs[:first])
+			copy(s.sigs, sigs[first:k])
 		}
 		q.tail.Store(t + uint64(k)) // release: publishes the whole batch
 		q.tel.Pushes.Add(uint64(k))
@@ -207,45 +220,57 @@ func (q *SPSC[T]) PopN(dst []T, sigs []Signal) (int, error) {
 
 // DrainTo is the non-blocking PopN: it removes whatever is buffered, up to
 // len(dst) elements, returning 0 with a nil error when the queue is empty
-// but open and (0, ErrClosed) once it is closed and drained.
+// but open and (0, ErrClosed) once it is closed and drained. A drain that
+// crosses an epoch boundary copies each epoch's contribution separately
+// (the batch splits at the seal) and still publishes one head advance for
+// the whole batch.
 func (q *SPSC[T]) DrainTo(dst []T, sigs []Signal) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
 	}
 	h := q.head.Load()
-	avail := int(q.tail.Load() - h)
-	if avail == 0 {
-		if q.closed.Load() {
-			// Re-check emptiness after observing closed: the producer may
-			// have pushed between our tail load and its Close.
-			if h == q.tail.Load() {
-				return 0, ErrClosed
-			}
-			avail = int(q.tail.Load() - h)
-		} else {
+	t := q.tail.Load()
+	if t == h {
+		if !q.closed.Load() {
 			return 0, nil
 		}
+		// Re-check emptiness after observing closed: the producer may
+		// have pushed between our tail load and its Close.
+		t = q.tail.Load()
+		if t == h {
+			return 0, ErrClosed
+		}
 	}
-	n := min(avail, len(dst))
-	i := int(h & q.mask)
-	first := min(n, len(q.vals)-i)
-	copy(dst, q.vals[i:i+first])
-	copy(dst[first:n], q.vals)
-	if sigs != nil {
-		copy(sigs, q.sigs[i:i+first])
-		copy(sigs[first:n], q.sigs)
+	total := 0
+	for total < len(dst) && h < t {
+		s := q.segFor(h)
+		limit := t
+		if sealed := s.sealedAt.Load(); sealed < limit {
+			limit = sealed // this epoch ends before the tail
+		}
+		n := min(int(limit-h), len(dst)-total)
+		i := int((h - s.base) & s.mask)
+		first := min(n, len(s.vals)-i)
+		copy(dst[total:], s.vals[i:i+first])
+		copy(dst[total+first:total+n], s.vals)
+		if sigs != nil {
+			copy(sigs[total:], s.sigs[i:i+first])
+			copy(sigs[total+first:total+n], s.sigs)
+		}
+		// Release payload references so the GC can reclaim popped elements.
+		var zero T
+		for j := 0; j < first; j++ {
+			s.vals[i+j] = zero
+		}
+		for j := 0; j < n-first; j++ {
+			s.vals[j] = zero
+		}
+		h += uint64(n)
+		total += n
 	}
-	// Release payload references so the GC can reclaim popped elements.
-	var zero T
-	for j := 0; j < first; j++ {
-		q.vals[i+j] = zero
-	}
-	for j := 0; j < n-first; j++ {
-		q.vals[j] = zero
-	}
-	q.head.Store(h + uint64(n)) // release: consumes the whole batch
-	q.tel.Pops.Add(uint64(n))
-	return n, nil
+	q.head.Store(h) // release: consumes the whole batch
+	q.tel.Pops.Add(uint64(total))
+	return total, nil
 }
 
 func (q *SPSC[T]) clearWriterBlock(blockedAt int64) {
@@ -270,11 +295,12 @@ func (q *SPSC[T]) TryPop() (v T, s Signal, ok bool, err error) {
 			return v, SigNone, false, nil
 		}
 	}
-	i := h & q.mask
-	v = q.vals[i]
-	s = q.sigs[i]
+	seg := q.segFor(h)
+	i := (h - seg.base) & seg.mask
+	v = seg.vals[i]
+	s = seg.sigs[i]
 	var zero T
-	q.vals[i] = zero
+	seg.vals[i] = zero
 	q.head.Store(h + 1)
 	q.tel.Pops.Inc()
 	return v, s, true, nil

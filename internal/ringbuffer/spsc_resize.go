@@ -1,0 +1,167 @@
+package ringbuffer
+
+import "sync/atomic"
+
+// Epoch-based capacity swap for the lock-free SPSC ring.
+//
+// The paper's §4.1 resizer stops both endpoints, copies the buffered
+// region into a larger array (one memmove when the data sits in the
+// non-wrapped position, two when it wraps) and resumes. That protocol
+// needs a lock; the SPSC ring has none to take. Instead the swap is
+// split across the three parties so that no side ever waits on another:
+//
+//	monitor   Resize(n) allocates the new backing ring and publishes it
+//	          in q.pending (one atomic store; returns immediately).
+//	producer  at its next push it installs the pending ring: the old
+//	          segment's next pointer is set, then the old epoch's tail
+//	          is tagged in sealedAt — every sequence >= sealedAt lives
+//	          in the successor. Subsequent pushes land in the new ring.
+//	consumer  drains the old segment to exhaustion (head < sealedAt),
+//	          then follows next into the new epoch and keeps popping.
+//
+// Sequence numbers are global and monotonic, so FIFO order is
+// preserved across the boundary by construction, and the signal array
+// travels with its value array — a SigEOF sealed into the old epoch is
+// read exactly where it was written. The old segment is never copied:
+// the consumer reads it in place (the degenerate case of the paper's
+// non-wrapped fast path — zero elements moved) and the garbage
+// collector reclaims it once the consumer moves on. Bulk operations
+// split their batches at the boundary: PushN fills the remainder of
+// the old epoch and continues in the new one on its next iteration;
+// DrainTo copies each epoch's contribution with the usual one-or-two
+// memmove wrap split and publishes a single head advance for the
+// whole batch.
+//
+// Ordering argument (Go memory model, all atomics are seq-cst):
+// install writes np.base (plain) before old.next.Store(np), and
+// next.Store before old.sealedAt.Store(t). A consumer that observes
+// head >= sealedAt therefore observes next != nil and a fully
+// initialized successor. Slots written into the new segment before
+// tail.Store(t+k) are visible to any consumer that acquires that tail
+// value, exactly as within one epoch.
+
+// sealNone is the sealedAt sentinel of a segment still accepting
+// writes: no sequence number ever reaches it.
+const sealNone = ^uint64(0)
+
+// spscSeg is one epoch of an SPSC ring: a power-of-two value/signal
+// array addressed by global sequence numbers relative to base.
+type spscSeg[T any] struct {
+	mask uint64
+	vals []T
+	sigs []Signal
+	// base is the global sequence of the first element written into
+	// this segment; the slot for sequence s is (s-base)&mask. Written
+	// by the producer before the segment is published via next (and at
+	// construction for the initial segment).
+	base uint64
+	// next is the successor epoch, set by the producer strictly before
+	// sealedAt so a consumer that sees the seal always finds it.
+	next atomic.Pointer[spscSeg[T]]
+	// sealedAt is the first sequence that lives in the successor;
+	// sealNone while this segment is the producer's write target.
+	sealedAt atomic.Uint64
+}
+
+// newSeg allocates a segment with capacity rounded up to a power of
+// two (minimum 2), starting at the given global sequence.
+func newSeg[T any](capacity int, base uint64) *spscSeg[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	s := &spscSeg[T]{
+		mask: uint64(n - 1),
+		vals: make([]T, n),
+		sigs: make([]Signal, n),
+		base: base,
+	}
+	s.sealedAt.Store(sealNone)
+	return s
+}
+
+// freeAt returns the free slots of the segment for a producer at tail t
+// with the consumer at head h. Sequences below base live in older
+// epochs and do not occupy this segment, so a producer keeps running in
+// the new ring while the consumer is still draining the old one.
+func (s *spscSeg[T]) freeAt(t, h uint64) int {
+	start := s.base
+	if h > start {
+		start = h
+	}
+	return len(s.vals) - int(t-start)
+}
+
+// Resize requests an epoch swap to newCap (rounded up to a power of
+// two, minimum 2). It is asynchronous: the request returns immediately
+// and the producer installs the new ring at its next push — a producer
+// spinning on a full queue picks it up on its next spin iteration, so
+// the monitor's write-block grow rule unblocks it without any lock.
+// Shrinking below the current length returns ErrTooSmall (the Queue
+// contract; the backlog itself would be safe either way since it stays
+// in the old epoch). Only one goroutine (the runtime monitor) may call
+// Resize; use ResizePending to avoid stacking requests.
+func (q *SPSC[T]) Resize(newCap int) error {
+	if newCap < q.Len() {
+		return ErrTooSmall
+	}
+	n := 2
+	for n < newCap {
+		n <<= 1
+	}
+	if n == q.Cap() {
+		return nil
+	}
+	// base is provisional: install overwrites it with the producer's
+	// tail before publishing the segment to the consumer.
+	q.pending.Store(newSeg[T](n, 0))
+	return nil
+}
+
+// ResizePending reports whether a published swap has not yet been
+// installed by the producer. The monitor skips a link with a swap in
+// flight so one blocked window cannot stack multiple grow requests.
+func (q *SPSC[T]) ResizePending() bool { return q.pending.Load() != nil }
+
+// install moves the producer into the pending epoch at tail sequence t.
+// Producer-only. The store order (next, active, sealedAt) is what lets
+// the consumer chase the chain without locks; see the package comment
+// above.
+func (q *SPSC[T]) install(t uint64) {
+	np := q.pending.Swap(nil)
+	if np == nil {
+		return
+	}
+	old := q.prod
+	if len(np.vals) == len(old.vals) {
+		return // raced with an identical capacity; nothing to do
+	}
+	np.base = t
+	old.next.Store(np)
+	q.active.Store(np)
+	old.sealedAt.Store(t)
+	q.prod = np
+	q.tel.Resizes.Inc()
+	if len(np.vals) > len(old.vals) {
+		q.tel.Grows.Inc()
+	} else {
+		q.tel.Shrinks.Inc()
+	}
+}
+
+// segFor returns the segment holding sequence h, following sealed
+// epochs forward and caching the position. Consumer-only. On the hot
+// path (no swap in flight) this is a single atomic load: h < sealNone
+// always holds for the active segment.
+func (q *SPSC[T]) segFor(h uint64) *spscSeg[T] {
+	s := q.cons
+	for h >= s.sealedAt.Load() {
+		nxt := s.next.Load()
+		if nxt == nil {
+			break // unreachable: next is published before the seal
+		}
+		s = nxt
+		q.cons = s
+	}
+	return s
+}

@@ -142,13 +142,48 @@ func TestSPSCResizeContract(t *testing.T) {
 		t.Fatalf("shrink below len = %v, want ErrTooSmall", err)
 	}
 	if err := q.Resize(1024); err != nil {
-		t.Fatalf("grow request = %v, want nil no-op", err)
+		t.Fatalf("grow request = %v, want nil", err)
+	}
+	if !q.ResizePending() {
+		t.Fatal("grow request should be pending until the producer's next push")
 	}
 	if q.Cap() != 4 {
-		t.Fatalf("cap changed to %d; SPSC must be fixed", q.Cap())
+		t.Fatalf("cap = %d before install; the swap must wait for the producer", q.Cap())
+	}
+	// The next push installs the epoch; capacity changes then.
+	if err := q.Push(2, SigNone); err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 1024 {
+		t.Fatalf("cap = %d after install, want 1024", q.Cap())
+	}
+	if q.ResizePending() {
+		t.Fatal("request should be consumed by the install")
+	}
+	tel := q.Telemetry().Snapshot()
+	if tel.Resizes != 1 || tel.Grows != 1 {
+		t.Fatalf("telemetry resizes=%d grows=%d, want 1/1", tel.Resizes, tel.Grows)
+	}
+	// FIFO across the boundary: element 1 lives in the old epoch,
+	// element 2 in the new one.
+	for want := 1; want <= 2; want++ {
+		v, _, err := q.Pop()
+		if err != nil || v != want {
+			t.Fatalf("pop = (%d, %v), want %d", v, err, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after drain", q.Len())
+	}
+	// Resize to the current capacity is a nil no-op.
+	if err := q.Resize(1024); err != nil || q.ResizePending() {
+		t.Fatalf("same-cap resize = %v pending=%v, want nil no-op", err, q.ResizePending())
 	}
 	if q.PendingDemand() != 0 {
 		t.Fatal("SPSC PendingDemand must be 0")
+	}
+	if q.Kind() != "spsc" {
+		t.Fatalf("kind = %q", q.Kind())
 	}
 }
 

@@ -139,6 +139,10 @@ func (m *Map) convertedLink(src, dst Kernel, sp, dp *Port, spec linkSpec) (*Link
 		srcSideOpts = append(srcSideOpts, AsLowLatency())
 		dstSideOpts = append(dstSideOpts, AsLowLatency())
 	}
+	if spec.lockFree {
+		srcSideOpts = append(srcSideOpts, AsLockFree())
+		dstSideOpts = append(dstSideOpts, AsLockFree())
+	}
 	if _, err := m.Link(src, conv, srcSideOpts...); err != nil {
 		return nil, err
 	}
@@ -149,6 +153,6 @@ func (m *Map) convertedLink(src, dst Kernel, sp, dp *Port, spec linkSpec) (*Link
 		Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
 		capacity: spec.capacity, maxCap: spec.maxCap,
 		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
-		lowLatency: spec.lowLatency,
+		lowLatency: spec.lowLatency, lockFree: spec.lockFree,
 	}, nil
 }

@@ -28,8 +28,10 @@ type Config struct {
 	// MaxCapacity bounds monitor growth for streams without an explicit
 	// WithMaxCapacity (default 1<<20 elements; 0 = unbounded).
 	MaxCapacity int
-	// LockFree selects fixed-capacity lock-free SPSC queues instead of
-	// dynamic rings; it disables resizing and window (PeekRange) access.
+	// LockFree selects lock-free SPSC queues instead of mutex rings for
+	// every stream. Window (PeekRange) access is unavailable on SPSC
+	// links; the monitor still resizes them (epoch swap) when
+	// DynamicResize is on.
 	LockFree bool
 
 	// PoolWorkers > 0 selects the worker-pool scheduler with that many
@@ -148,8 +150,11 @@ func WithDefaultCapacity(n int) Option { return func(c *Config) { c.DefaultCapac
 // WithMaxCapacity sets the default growth bound for dynamic streams.
 func WithMaxCapacity(n int) Option { return func(c *Config) { c.MaxCapacity = n } }
 
-// WithLockFreeQueues selects fixed-capacity lock-free SPSC streams (no
-// dynamic resizing, no window access) — the A2 ablation configuration.
+// WithLockFreeQueues selects lock-free SPSC streams for every link (no
+// window access) — the fast-ring configuration of the A2 ablation.
+// Since the epoch swap the monitor's dynamic resizing applies to these
+// streams too; combine with WithDynamicResize(false) for truly fixed
+// capacities. Per-link selection is AsLockFree.
 func WithLockFreeQueues() Option { return func(c *Config) { c.LockFree = true } }
 
 // WithPoolScheduler multiplexes kernels over n worker goroutines instead of
@@ -366,7 +371,10 @@ type KernelReport struct {
 
 // LinkReport is the per-stream slice of a Report.
 type LinkReport struct {
-	Name          string
+	Name string
+	// Ring is the queue implementation backing the stream ("mutex" or
+	// "spsc"), so reports show which links ran lock-free.
+	Ring          string
 	FinalCap      int
 	MeanOccupancy float64
 	FullFrac      float64
@@ -375,8 +383,11 @@ type LinkReport struct {
 	Pops          uint64
 	WriteBlockNs  uint64
 	ReadBlockNs   uint64
-	Grows         uint64
-	Shrinks       uint64
+	// Resizes counts installed capacity changes (Grows + Shrinks); on
+	// lock-free links these are epoch swaps.
+	Resizes uint64
+	Grows   uint64
+	Shrinks uint64
 	// SpinYields and SpinSleeps count lock-free back-off escalations.
 	SpinYields uint64
 	SpinSleeps uint64
@@ -496,7 +507,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if cfg.MonitorEnabled {
 		mon = monitor.New(monitor.Config{
 			Delta:         cfg.MonitorDelta,
-			Resize:        cfg.DynamicResize && !cfg.LockFree,
+			Resize:        cfg.DynamicResize,
 			Shrink:        cfg.Shrink,
 			AutoScale:     cfg.AutoScale,
 			AdaptiveBatch: cfg.AdaptiveBatch,
@@ -617,7 +628,10 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 
 		var q ringbuffer.Queue
 		var typed any
-		resizable := !cfg.LockFree
+		// Lock-free links are resizable too since the epoch swap: the
+		// monitor publishes a new ring and the producer installs it at
+		// its next push, so every allocation choice obeys the §4.1 rules.
+		resizable := true
 		if qp, ok := l.Src.(QueueProvider); ok {
 			if pq, pt, provided := qp.ProvideQueue(l.SrcPort.name); provided {
 				q, typed = pq, pt
@@ -625,7 +639,7 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 			}
 		}
 		if q == nil {
-			q, typed = l.SrcPort.mk(capacity, maxCap, cfg.LockFree)
+			q, typed = l.SrcPort.mk(capacity, maxCap, cfg.LockFree || l.lockFree)
 		}
 		async := &asyncCell{}
 		l.SrcPort.bind(q, typed, async)
@@ -807,6 +821,7 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 		tel := l.Queue.Telemetry().Snapshot()
 		lr := LinkReport{
 			Name:          l.Name,
+			Ring:          l.Queue.Kind(),
 			FinalCap:      l.Queue.Cap(),
 			MeanOccupancy: l.Occupancy.Mean(),
 			FullFrac:      l.Occupancy.FullFraction(),
@@ -815,6 +830,7 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			Pops:          tel.Pops,
 			WriteBlockNs:  tel.WriteBlockNs,
 			ReadBlockNs:   tel.ReadBlockNs,
+			Resizes:       tel.Resizes,
 			Grows:         tel.Grows,
 			Shrinks:       tel.Shrinks,
 			SpinYields:    tel.SpinYields,

@@ -1,0 +1,102 @@
+package raft
+
+import (
+	"testing"
+
+	"raftlib/internal/trace"
+)
+
+// TestLockFreeLinksResizeUnderLoad is the end-to-end proof of the epoch
+// swap: lock-free SPSC links start at capacity 1, the monitor observes
+// the blocked producer and publishes grows, and the producer installs
+// them mid-stream — all without losing or reordering a single element.
+func TestLockFreeLinksResizeUnderLoad(t *testing.T) {
+	m := NewMap()
+	sink := newCollect()
+	work := newWork()
+	if _, err := m.Link(newGen(20_000), work, Cap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(work, sink, Cap(1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe(WithLockFreeQueues(), WithDynamicResize(true), WithTrace(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.values()) != 20_000 {
+		t.Fatalf("received %d, want 20000", len(sink.values()))
+	}
+	var resizes uint64
+	for _, l := range rep.Links {
+		if l.Ring != "spsc" {
+			t.Fatalf("link %s ring = %q, want spsc under WithLockFreeQueues", l.Name, l.Ring)
+		}
+		resizes += l.Resizes
+	}
+	if resizes == 0 {
+		t.Fatal("expected the monitor to resize a 1-element lock-free queue under load")
+	}
+	grows := 0
+	for _, e := range rep.MonitorEvents {
+		if e.Kind == "grow" {
+			grows++
+		}
+	}
+	if grows == 0 {
+		t.Fatalf("no grow decision in monitor events: %+v", rep.MonitorEvents)
+	}
+	// The decisions must also be visible on the trace bus.
+	traced := 0
+	for _, e := range rep.Trace.Events() {
+		if e.Kind == trace.QueueGrow {
+			traced++
+		}
+	}
+	if traced == 0 {
+		t.Fatal("no QueueGrow event reached the trace recorder")
+	}
+}
+
+// TestAsLockFreePerLink checks the per-link opt-in: only the marked
+// stream runs on the SPSC ring, and the report's ring column says so.
+func TestAsLockFreePerLink(t *testing.T) {
+	m := NewMap()
+	sink := newCollect()
+	work := newWork()
+	l1, err := m.Link(newGen(5_000), work, AsLockFree(), Cap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l1.LockFree() {
+		t.Fatal("LockFree() accessor should reflect AsLockFree")
+	}
+	if _, err := m.Link(work, sink); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe(WithDynamicResize(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.values()) != 5_000 {
+		t.Fatalf("received %d, want 5000", len(sink.values()))
+	}
+	rings := map[string]string{}
+	for _, l := range rep.Links {
+		rings[l.Name] = l.Ring
+	}
+	spsc, mutex := 0, 0
+	for _, r := range rings {
+		switch r {
+		case "spsc":
+			spsc++
+		case "mutex":
+			mutex++
+		default:
+			t.Fatalf("unknown ring kind %q in %v", r, rings)
+		}
+	}
+	if spsc != 1 || mutex != 1 {
+		t.Fatalf("ring kinds = %v, want exactly one spsc and one mutex", rings)
+	}
+}

@@ -33,6 +33,7 @@ type Link struct {
 	outOfOrder  bool
 	reorderable bool
 	lowLatency  bool
+	lockFree    bool
 }
 
 // OutOfOrder reports whether the link permits out-of-order processing,
@@ -46,6 +47,9 @@ func (l *Link) Reorderable() bool { return l.reorderable }
 // LowLatency reports whether the link is exempt from adaptive batching.
 func (l *Link) LowLatency() bool { return l.lowLatency }
 
+// LockFree reports whether the link requested a lock-free SPSC queue.
+func (l *Link) LockFree() bool { return l.lockFree }
+
 // LinkOption customizes one Link call.
 type LinkOption func(*linkSpec)
 
@@ -56,6 +60,7 @@ type linkSpec struct {
 	outOfOrder  bool
 	reorderable bool
 	lowLatency  bool
+	lockFree    bool
 	convert     bool
 }
 
@@ -87,6 +92,14 @@ func AsOutOfOrder() LinkOption { return func(s *linkSpec) { s.outOfOrder = true 
 // per-link escape hatch). Bulk operations still work on the stream; only
 // the monitor's batching decisions are bypassed.
 func AsLowLatency() LinkOption { return func(s *linkSpec) { s.lowLatency = true } }
+
+// AsLockFree backs this one stream with a lock-free SPSC queue instead of
+// the default mutex ring — the per-link form of WithLockFreeQueues. The
+// stream loses window (PeekRange) access but keeps dynamic resizing: the
+// monitor publishes a larger ring and the producer installs it at its
+// next push (epoch swap), so hot single-stream links get the fast ring
+// without giving up §4.1's buffer-sizing rules.
+func AsLockFree() LinkOption { return func(s *linkSpec) { s.lockFree = true } }
 
 // AsReorderable marks the stream's data as processable out of order with
 // the original order restored downstream — the paper's third mode (§4.1:
@@ -156,7 +169,7 @@ func (m *Map) Link(src, dst Kernel, opts ...LinkOption) (*Link, error) {
 		Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
 		capacity: spec.capacity, maxCap: spec.maxCap,
 		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
-		lowLatency: spec.lowLatency,
+		lowLatency: spec.lowLatency, lockFree: spec.lockFree,
 	}
 	sp.link = l
 	dp.link = l

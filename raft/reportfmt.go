@@ -42,14 +42,14 @@ func (r *Report) String() string {
 	}
 
 	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	fmt.Fprintf(&b, "  %-44s %-8s %-10s %-8s %-8s %-8s %-6s %-7s %-6s", "link", "cap", "mean occ", "occ p99", "full%", "starv%", "grows", "spins", "batch")
+	fmt.Fprintf(&b, "  %-44s %-6s %-8s %-10s %-8s %-8s %-8s %-5s %-6s %-7s %-6s", "link", "ring", "cap", "mean occ", "occ p99", "full%", "starv%", "resz", "grows", "spins", "batch")
 	if rates {
 		fmt.Fprintf(&b, " %-12s %-12s %-6s", "λ̂/s", "µ̂/s", "ρ̂")
 	}
 	b.WriteByte('\n')
 	for _, l := range r.Links {
-		fmt.Fprintf(&b, "  %-44s %-8d %-10.1f %-8d %-8.1f %-8.1f %-6d %-7d %-6d",
-			l.Name, l.FinalCap, l.MeanOccupancy, l.OccP99, 100*l.FullFrac, 100*l.StarvedFrac, l.Grows, l.SpinYields+l.SpinSleeps, l.Batch)
+		fmt.Fprintf(&b, "  %-44s %-6s %-8d %-10.1f %-8d %-8.1f %-8.1f %-5d %-6d %-7d %-6d",
+			l.Name, l.Ring, l.FinalCap, l.MeanOccupancy, l.OccP99, 100*l.FullFrac, 100*l.StarvedFrac, l.Resizes, l.Grows, l.SpinYields+l.SpinSleeps, l.Batch)
 		if rates {
 			fmt.Fprintf(&b, " %-12.0f %-12.0f %-6.2f", l.LambdaHat, l.MuHat, l.RhoHat)
 		}
