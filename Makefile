@@ -10,7 +10,7 @@ CI_SEED ?= 0
 FUZZTIME ?= 60s
 FUZZTIME_SHORT ?= 15s
 
-.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-nightly-bars
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-nightly-bars
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 # ablation so a batching regression fails loudly.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./internal/trace/... ./internal/monitor/... ./internal/stats/... ./raft/...
+	$(GO) test -race ./internal/resilience/... ./internal/oar/... ./internal/ringbuffer/... ./internal/trace/... ./internal/monitor/... ./internal/stats/... ./internal/gateway/... ./raft/...
 	$(MAKE) bench-smoke
 
 # bench-smoke runs the batch ablation on a small corpus/stream — seconds,
@@ -40,7 +40,7 @@ bench:
 # ci runs exactly what .github/workflows/ci.yml runs, as one local command.
 # The workflow jobs invoke the ci-* sub-targets below so the two can never
 # drift: editing a step here edits it for CI too.
-ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke
+ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway
 
 ci-vet:
 	$(GO) vet ./...
@@ -92,11 +92,22 @@ ci-smoke:
 	$(GO) run ./cmd/raft-bench -ablate batch -corpus 1 -items 500000 -seed $(CI_SEED)
 	$(GO) run ./cmd/raft-bench -ablate rate -items 2000000 -seed $(CI_SEED)
 
+# Gateway gate: race-test the admission front door (token buckets, the
+# source-kernel handoff, the HTTP/framed servers are all concurrent by
+# construction), then run the A14 ablation as a seeded smoke — the
+# shed-before-saturation and best-effort bars assert on every run, and
+# the isolation bar enforces on multi-core hosts.
+ci-gateway:
+	$(GO) test -race ./internal/gateway/...
+	$(GO) test -race -run 'Gateway' ./raft/
+	$(GO) run ./cmd/raft-bench -ablate gateway -seed $(CI_SEED)
+
 # The nightly perf gate: the A5 (monitoring overhead), A11 (batching
-# speedup), A12 (telemetry overhead) and A13 (controller parity/latency/
-# overhead) bars, *enforced* — -enforce-bars refuses the small-runner
-# downgrade, so a missed bar fails the job. Runs only on the pinned
-# multi-core runner (see the perf-bars job in .github/workflows/ci.yml);
-# PR-time bench-smoke stays advisory.
+# speedup), A12 (telemetry overhead), A13 (controller parity/latency/
+# overhead) and A14 (gateway admission/isolation) bars, *enforced* —
+# -enforce-bars refuses the small-runner downgrade, so a missed bar
+# fails the job. Runs only on the pinned multi-core runner (see the
+# perf-bars job in .github/workflows/ci.yml); PR-time bench-smoke stays
+# advisory.
 ci-nightly-bars:
-	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate -corpus 16 -seed $(CI_SEED) -enforce-bars
+	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway -corpus 16 -seed $(CI_SEED) -enforce-bars

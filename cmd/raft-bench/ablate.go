@@ -47,6 +47,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateObs(corpusMB)
 	case "rate":
 		ablateRate()
+	case "gateway":
+		ablateGateway()
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)

@@ -137,6 +137,10 @@ type LinkInfo struct {
 	// LatencyPriority marks a link whose consumers need elements as soon as
 	// they exist: the batcher bypasses it (batch pinned at 1).
 	LatencyPriority bool
+	// BestEffort marks a link running the drop/latest-wins overflow policy
+	// (AsBestEffort): the monitor's drop watcher only polls links that have
+	// it set.
+	BestEffort bool
 }
 
 func (l *LinkInfo) String() string {

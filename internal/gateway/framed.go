@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// The framed protocol is the gRPC-style binary alternative to the HTTP
+// API for high-rate producers: one TCP connection, length-prefixed
+// request/response frames, no per-batch header parsing.
+//
+// Request frame:
+//
+//	uint32 BE  frame length (bytes after this field)
+//	uint8      source name length, then the source name
+//	uint8      tenant name length, then the tenant name ("" = default)
+//	...        payload (frame remainder), passed to the source's Decode
+//
+// Response frame:
+//
+//	uint32 BE  frame length (bytes after this field)
+//	uint8      status (FrameAccepted..FrameError)
+//	uint32 BE  value: admitted element count, or retry-after seconds
+//	...        message (frame remainder, human-readable; empty on accept)
+//
+// Responses are written in request order (one in flight per connection is
+// the simple client; pipelining works because the gateway answers in
+// order). A malformed frame closes the connection — framing is broken,
+// so nothing later on the stream can be trusted.
+
+// Framed response status codes.
+const (
+	FrameAccepted = 0 // batch admitted; value = element count
+	FrameShed     = 1 // admission control shed; value = retry-after seconds
+	FrameQuota    = 2 // tenant quota exceeded; value = retry-after seconds
+	FrameError    = 3 // bad frame, unknown source, or stream closed
+)
+
+// maxFrame bounds one framed request, mirroring MaxBody for HTTP.
+func (s *Server) maxFrame() uint32 { return uint32(s.cfg.MaxBody) }
+
+func (s *Server) serveFramed(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Stop
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveFramedConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveFramedConn(conn net.Conn) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		frameLen := binary.BigEndian.Uint32(lenBuf[:])
+		if frameLen < 2 || frameLen > s.maxFrame() {
+			writeFrame(conn, FrameError, 0, fmt.Sprintf("frame length %d out of range", frameLen))
+			return
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		source, tenant, payload, err := splitFrame(frame)
+		if err != nil {
+			writeFrame(conn, FrameError, 0, err.Error())
+			return
+		}
+		res := s.ingest(tenant, source, payload)
+		var werr error
+		switch res.code {
+		case accepted:
+			werr = writeFrame(conn, FrameAccepted, uint32(res.n), "")
+		case shedModel:
+			werr = writeFrame(conn, FrameShed, retrySecs(res), res.msg)
+		case shedQuota:
+			werr = writeFrame(conn, FrameQuota, retrySecs(res), res.msg)
+		default:
+			werr = writeFrame(conn, FrameError, 0, res.msg)
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+func splitFrame(frame []byte) (source, tenant string, payload []byte, err error) {
+	sl := int(frame[0])
+	if 1+sl+1 > len(frame) {
+		return "", "", nil, errors.New("source name exceeds frame")
+	}
+	source = string(frame[1 : 1+sl])
+	rest := frame[1+sl:]
+	tl := int(rest[0])
+	if 1+tl > len(rest) {
+		return "", "", nil, errors.New("tenant name exceeds frame")
+	}
+	tenant = string(rest[1 : 1+tl])
+	return source, tenant, rest[1+tl:], nil
+}
+
+func retrySecs(res ingestResult) uint32 {
+	secs := int64((res.retry + 999999999) / 1000000000)
+	if secs < 1 {
+		secs = 1
+	}
+	return uint32(secs)
+}
+
+func writeFrame(conn net.Conn, status uint8, value uint32, msg string) error {
+	out := make([]byte, 4+1+4+len(msg))
+	binary.BigEndian.PutUint32(out, uint32(1+4+len(msg)))
+	out[4] = status
+	binary.BigEndian.PutUint32(out[5:], value)
+	copy(out[9:], msg)
+	_, err := conn.Write(out)
+	return err
+}

@@ -151,6 +151,9 @@ type Monitor struct {
 	batchFull  []int
 	batchEmpty []int
 	prevTel    []ringbuffer.TelemetrySnapshot
+	// per-link drop watcher state (best-effort links only)
+	dropTick []int
+	dropSeen []uint64
 	// per-scaler tick state
 	scaleTick  []int
 	fullTicks  []int
@@ -196,6 +199,8 @@ func New(cfg Config, links []*core.LinkInfo, scalers []core.Scaler) *Monitor {
 		batchFull:  make([]int, len(links)),
 		batchEmpty: make([]int, len(links)),
 		prevTel:    make([]ringbuffer.TelemetrySnapshot, len(links)),
+		dropTick:   make([]int, len(links)),
+		dropSeen:   make([]uint64, len(links)),
 		scaleTick:  make([]int, len(scalers)),
 		fullTicks:  make([]int, len(scalers)),
 		emptyTicks: make([]int, len(scalers)),
@@ -245,6 +250,7 @@ var traceKind = map[string]trace.Kind{
 	"scale-up":   trace.ScaleUp,
 	"scale-down": trace.ScaleDown,
 	"deadlock":   trace.Deadlock,
+	"drop":       trace.Drop,
 }
 
 func (m *Monitor) record(kind, target string, from, to int) {
@@ -307,6 +313,10 @@ func (m *Monitor) Tick() {
 
 		if m.cfg.AdaptiveBatch {
 			m.batchStep(i, l, qlen, qcap)
+		}
+
+		if l.BestEffort {
+			m.dropStep(i, l)
 		}
 
 		if !m.cfg.Resize || !l.ResizeEnabled {
@@ -444,6 +454,28 @@ func (m *Monitor) rateWidth(s core.Scaler, in *core.LinkInfo) bool {
 		m.record("scale-down", s.Name(), cur, cur-1)
 	}
 	return true
+}
+
+// dropWindow is the tick interval between drop-watcher emissions. A
+// saturated best-effort link drops on nearly every push; emitting one
+// event per δ-tick would flood the telemetry bus with information the
+// cumulative counter already carries, so the watcher coalesces a window's
+// drops into a single event carrying the old and new cumulative counts.
+const dropWindow = 1024
+
+// dropStep polls link i's best-effort drop counter (one atomic load) and,
+// at most once per dropWindow ticks, records the delta as a "drop" event.
+func (m *Monitor) dropStep(i int, l *core.LinkInfo) {
+	m.dropTick[i]++
+	if m.dropTick[i] < dropWindow {
+		return
+	}
+	m.dropTick[i] = 0
+	cur := l.Queue.Telemetry().Drops()
+	if prev := m.dropSeen[i]; cur > prev {
+		m.dropSeen[i] = cur
+		m.record("drop", l.Name, int(prev), int(cur))
+	}
 }
 
 // batchStep accumulates one tick of occupancy evidence for link i and, every

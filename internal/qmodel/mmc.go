@@ -90,6 +90,33 @@ func MinServers(lambda, mu, eps float64, maxServers int) int {
 	return maxServers
 }
 
+// PredictWait returns the predicted mean waiting time before service Wq
+// (seconds) for an M/M/c system with arrival rate lambda, per-server
+// service rate mu (both in elements/s) and c servers — the Erlang-C wait
+// formula shared by the replica scaler's sizing rule and the ingestion
+// gateway's admission controller. Boundary behavior is deliberately
+// conservative for control use:
+//
+//   - lambda <= 0 (no offered load): 0 — an arrival into an idle system
+//     does not wait.
+//   - mu <= 0 or c < 1 (µ̂ unknown: estimator unprimed or consumer
+//     stalled): +Inf — a controller that cannot predict the wait must
+//     assume the worst, never admit on a guess.
+//   - ρ = λ/(cµ) >= 1 (saturated): +Inf — the queue grows without bound.
+func PredictWait(lambda, mu float64, c int) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if mu <= 0 || c < 1 {
+		return math.Inf(1)
+	}
+	q := MMc{Lambda: lambda, Mu: mu, C: c}
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return q.MeanWait()
+}
+
 // MinServersWait returns the smallest server count for which the system
 // is stable and the predicted mean waiting time Wq is at most maxWait,
 // capped at maxServers. This is the replica scaler's sizing rule under
@@ -110,8 +137,7 @@ func MinServersWait(lambda, mu, maxWait float64, maxServers int) int {
 		return maxServers
 	}
 	for c := 1; c <= maxServers; c++ {
-		q := MMc{Lambda: lambda, Mu: mu, C: c}
-		if q.Stable() && q.MeanWait() <= maxWait {
+		if PredictWait(lambda, mu, c) <= maxWait {
 			return c
 		}
 	}

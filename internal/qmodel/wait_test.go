@@ -1,0 +1,97 @@
+package qmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPredictWaitMM1 checks the c=1 boundary against the closed-form M/M/1
+// waiting time Wq = ρ/(µ(1-ρ)).
+func TestPredictWaitMM1(t *testing.T) {
+	lambda, mu := 80.0, 100.0
+	rho := lambda / mu
+	want := rho / (mu * (1 - rho))
+	got := PredictWait(lambda, mu, 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PredictWait(%g, %g, 1) = %g, want %g", lambda, mu, got, want)
+	}
+}
+
+// TestPredictWaitSaturation checks that ρ→1 (and past it) predicts an
+// unbounded wait instead of a finite optimistic one.
+func TestPredictWaitSaturation(t *testing.T) {
+	if w := PredictWait(100, 100, 1); !math.IsInf(w, 1) {
+		t.Fatalf("rho=1: PredictWait = %g, want +Inf", w)
+	}
+	if w := PredictWait(250, 100, 2); !math.IsInf(w, 1) {
+		t.Fatalf("rho>1: PredictWait = %g, want +Inf", w)
+	}
+	// Just-stable systems predict a large but finite wait that shrinks as
+	// utilization falls.
+	near := PredictWait(99, 100, 1)
+	far := PredictWait(50, 100, 1)
+	if math.IsInf(near, 1) || near <= far {
+		t.Fatalf("wait should be finite and decreasing in headroom: near=%g far=%g", near, far)
+	}
+}
+
+// TestPredictWaitUnknownMu checks the conservative fallback: an unprimed or
+// stalled µ̂ must predict +Inf, never a number an admission controller could
+// admit on.
+func TestPredictWaitUnknownMu(t *testing.T) {
+	if w := PredictWait(10, 0, 4); !math.IsInf(w, 1) {
+		t.Fatalf("mu=0: PredictWait = %g, want +Inf", w)
+	}
+	if w := PredictWait(10, -1, 4); !math.IsInf(w, 1) {
+		t.Fatalf("mu<0: PredictWait = %g, want +Inf", w)
+	}
+	if w := PredictWait(10, 100, 0); !math.IsInf(w, 1) {
+		t.Fatalf("c=0: PredictWait = %g, want +Inf", w)
+	}
+}
+
+// TestPredictWaitNoLoad checks that zero offered load waits zero even when
+// the service rate is unknown (an idle system admits instantly).
+func TestPredictWaitNoLoad(t *testing.T) {
+	if w := PredictWait(0, 0, 1); w != 0 {
+		t.Fatalf("lambda=0: PredictWait = %g, want 0", w)
+	}
+	if w := PredictWait(-5, 100, 2); w != 0 {
+		t.Fatalf("lambda<0: PredictWait = %g, want 0", w)
+	}
+}
+
+// TestPredictWaitMonotoneInServers checks that adding servers never makes
+// the predicted wait worse — the property MinServersWait's search relies on.
+func TestPredictWaitMonotoneInServers(t *testing.T) {
+	lambda, mu := 300.0, 100.0 // needs c >= 4 for stability
+	prev := math.Inf(1)
+	for c := 1; c <= 8; c++ {
+		w := PredictWait(lambda, mu, c)
+		if w > prev {
+			t.Fatalf("wait increased with servers: c=%d w=%g prev=%g", c, w, prev)
+		}
+		prev = w
+	}
+	if math.IsInf(prev, 1) {
+		t.Fatalf("c=8 at rho=0.375 should be finite")
+	}
+}
+
+// TestMinServersWaitUsesPredictWait pins the shared-implementation contract:
+// the width MinServersWait picks is exactly the smallest c whose
+// PredictWait meets the target.
+func TestMinServersWaitUsesPredictWait(t *testing.T) {
+	lambda, mu, maxWait := 450.0, 100.0, 0.01
+	got := MinServersWait(lambda, mu, maxWait, 16)
+	want := 16
+	for c := 1; c <= 16; c++ {
+		if PredictWait(lambda, mu, c) <= maxWait {
+			want = c
+			break
+		}
+	}
+	if got != want {
+		t.Fatalf("MinServersWait = %d, want %d (first c meeting PredictWait <= %g)", got, want, maxWait)
+	}
+}

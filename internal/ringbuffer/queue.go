@@ -118,6 +118,12 @@ type Telemetry struct {
 	// the adaptive batcher's grow signal.
 	SpinYields counter64
 	SpinSleeps counter64
+	// Dropped counts elements discarded by the best-effort overflow policy
+	// (SetBestEffort): stale elements evicted from the head of a full mutex
+	// ring (latest-wins) or incoming elements shed by a full lock-free ring.
+	// Dropped elements are counted in neither Pushes nor Pops, so flow-based
+	// rate estimates stay uncontaminated by the shed traffic.
+	Dropped counter64
 	// occ is the paper's §4.1 "queue occupancy histogram" recorded on the
 	// write side itself rather than by monitor sampling: bucket i counts
 	// push operations that left the queue at a log2-bucketed occupancy
@@ -181,6 +187,12 @@ func (t *Telemetry) OccStats() (count uint64, weighted float64) {
 	return count, weighted
 }
 
+// Drops returns the cumulative best-effort drop count — the one-atomic-load
+// read hook the monitor's per-tick drop watcher and the ingestion gateway's
+// per-source counters poll (the full Snapshot copies the whole occupancy
+// histogram, wasted work at those call rates).
+func (t *Telemetry) Drops() uint64 { return t.Dropped.Load() }
+
 // Snapshot returns a plain-value copy of the counters.
 func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	s := TelemetrySnapshot{
@@ -193,6 +205,7 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		Shrinks:      t.Shrinks.Load(),
 		SpinYields:   t.SpinYields.Load(),
 		SpinSleeps:   t.SpinSleeps.Load(),
+		Dropped:      t.Dropped.Load(),
 	}
 	for i := range s.Occupancy {
 		s.Occupancy[i] = t.occ[i].Load()
@@ -211,6 +224,8 @@ type TelemetrySnapshot struct {
 	Shrinks      uint64
 	SpinYields   uint64
 	SpinSleeps   uint64
+	// Dropped counts elements discarded by the best-effort overflow policy.
+	Dropped uint64
 	// Occupancy is the per-push log2 occupancy histogram (see Telemetry.occ
 	// for bucket semantics). Quantiles come from stats.LogQuantile.
 	Occupancy [OccBuckets]uint64

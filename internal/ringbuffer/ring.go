@@ -29,9 +29,10 @@ type Ring[T any] struct {
 	head int // index of the oldest element
 	n    int // number of buffered elements
 
-	closed   bool
-	readOnly bool // slice-backed rings reject writes and resizes
-	maxCap   int  // growth bound; 0 means unbounded
+	closed     bool
+	readOnly   bool // slice-backed rings reject writes and resizes
+	bestEffort bool // full ring evicts oldest (latest-wins) instead of blocking
+	maxCap     int  // growth bound; 0 means unbounded
 
 	// writerBlockSince/readerBlockSince hold the UnixNano at which the
 	// producer/consumer began waiting, or 0 when not blocked. They are
@@ -87,6 +88,42 @@ func (r *Ring[T]) SetMaxCap(n int) {
 	r.mu.Lock()
 	r.maxCap = n
 	r.mu.Unlock()
+}
+
+// SetBestEffort switches the ring's overflow policy: with best effort on, a
+// push into a full ring evicts the oldest buffered elements instead of
+// blocking the producer — latest-wins semantics for soft-real-time streams
+// that degrade by freshness rather than latency. Evicted elements are
+// counted in Telemetry.Dropped (and in neither Pushes nor Pops). Elements
+// carrying a synchronized signal (EOF, termination) are never evicted: a
+// signal-pinned head sheds the incoming signal-free elements instead, and a
+// signal-carrying incoming element falls back to the blocking path so
+// control flow is never lost.
+func (r *Ring[T]) SetBestEffort(on bool) {
+	r.mu.Lock()
+	r.bestEffort = on
+	r.mu.Unlock()
+}
+
+// evictLocked discards up to want of the oldest signal-free elements to
+// make room for a best-effort push, stopping early at a signal-carrying
+// head. Evictions count as Dropped, not Pops: the elements were never
+// consumed, and the flow counters feeding λ̂/µ̂ must not see them.
+func (r *Ring[T]) evictLocked(want int) {
+	var zero T
+	dropped := 0
+	for dropped < want && r.n > 0 && r.sigAt(r.head) == SigNone {
+		r.vals[r.head] = zero
+		r.head = r.index0(r.head + 1)
+		r.n--
+		dropped++
+	}
+	if dropped > 0 {
+		r.tel.Dropped.Add(uint64(dropped))
+	}
+	if r.n == 0 {
+		r.head = 0 // keep the buffer in the fast non-wrapped position
+	}
 }
 
 // Len returns the number of buffered elements.
@@ -145,6 +182,16 @@ func (r *Ring[T]) setSigAt(i int, s Signal) {
 func (r *Ring[T]) Push(v T, sig Signal) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.bestEffort && !r.closed && !r.readOnly && r.n == len(r.vals) {
+		r.evictLocked(1)
+		if r.n == len(r.vals) && sig == SigNone {
+			// Head pinned by a signal-carrying element: shed the incoming
+			// element instead (it is signal-free, so nothing is lost but
+			// payload the policy already permits losing).
+			r.tel.Dropped.Inc()
+			return nil
+		}
+	}
 	if err := r.waitForSpaceLocked(1); err != nil {
 		return err
 	}
@@ -166,6 +213,9 @@ func (r *Ring[T]) TryPush(v T, sig Signal) (bool, error) {
 	if r.closed || r.readOnly {
 		return false, ErrClosed
 	}
+	if r.bestEffort && r.n == len(r.vals) {
+		r.evictLocked(1)
+	}
 	if r.n == len(r.vals) {
 		return false, nil
 	}
@@ -185,6 +235,9 @@ func (r *Ring[T]) PushBatch(vs []T, sig Signal) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for len(vs) > 0 {
+		if r.bestEffort && !r.closed && r.n == len(r.vals) {
+			r.evictLocked(len(vs))
+		}
 		if err := r.waitForSpaceLocked(1); err != nil {
 			return err
 		}
@@ -223,6 +276,27 @@ func (r *Ring[T]) PushN(vs []T, sigs []Signal) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for len(vs) > 0 {
+		if r.bestEffort && !r.closed && !r.readOnly && r.n == len(r.vals) {
+			r.evictLocked(len(vs))
+			if r.n == len(r.vals) {
+				// Head pinned by a signal-carrying element: shed the
+				// incoming signal-free prefix instead of blocking, and let
+				// any signal-carrying element fall through to the blocking
+				// path below.
+				shed := 0
+				for shed < len(vs) && (sigs == nil || sigs[shed] == SigNone) {
+					shed++
+				}
+				if shed > 0 {
+					r.tel.Dropped.Add(uint64(shed))
+					vs = vs[shed:]
+					if sigs != nil {
+						sigs = sigs[shed:]
+					}
+					continue
+				}
+			}
+		}
 		if err := r.waitForSpaceLocked(1); err != nil {
 			return err
 		}

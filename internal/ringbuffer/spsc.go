@@ -38,7 +38,16 @@ type SPSC[T any] struct {
 	pending atomic.Pointer[spscSeg[T]]
 
 	closed atomic.Bool
-	tel    Telemetry
+	// bestEffort selects the overflow policy: a full queue sheds incoming
+	// signal-free elements (counted in Telemetry.Dropped) instead of
+	// spinning the producer. Unlike the mutex ring, the SPSC queue cannot
+	// evict the oldest element — the head sequence is consumer-owned (plain
+	// release store, no CAS) and stealing it from the producer side would
+	// race a consumer mid-copy — so best effort here is drop-newest rather
+	// than latest-wins. Both sides of the asymmetry satisfy the policy's
+	// contract: the producer never blocks and every loss is counted.
+	bestEffort atomic.Bool
+	tel        Telemetry
 
 	writerBlockSince atomic.Int64
 	readerBlockSince atomic.Int64
@@ -78,6 +87,14 @@ func (q *SPSC[T]) Cap() int { return len(q.active.Load().vals) }
 
 // Kind identifies the queue implementation for reports and telemetry.
 func (q *SPSC[T]) Kind() string { return "spsc" }
+
+// SetBestEffort switches the queue's overflow policy to drop-newest: a
+// full queue sheds incoming signal-free elements, counted in
+// Telemetry.Dropped, instead of spinning the producer. Signal-carrying
+// elements (EOF, termination) always take the blocking path. See the
+// bestEffort field for why this side is drop-newest while the mutex ring
+// is latest-wins.
+func (q *SPSC[T]) SetBestEffort(on bool) { q.bestEffort.Store(on) }
 
 // Close marks the producer finished. Idempotent.
 func (q *SPSC[T]) Close() { q.closed.Store(true) }
@@ -126,6 +143,11 @@ func (q *SPSC[T]) Push(v T, sig Signal) error {
 			q.clearWriterBlock(blockedAt)
 			return nil
 		}
+		if q.bestEffort.Load() && sig == SigNone {
+			q.clearWriterBlock(blockedAt)
+			q.tel.Dropped.Inc()
+			return nil
+		}
 		if blockedAt == 0 {
 			blockedAt = nowNanos()
 			q.writerBlockSince.Store(blockedAt)
@@ -161,6 +183,23 @@ func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 		h := q.head.Load()
 		free := s.freeAt(t, h)
 		if free == 0 {
+			if q.bestEffort.Load() {
+				// Shed the incoming signal-free prefix; a signal-carrying
+				// element falls through to the blocking spin so control
+				// flow (EOF) is never lost.
+				shed := 0
+				for shed < len(vs) && (sigs == nil || sigs[shed] == SigNone) {
+					shed++
+				}
+				if shed > 0 {
+					q.tel.Dropped.Add(uint64(shed))
+					vs = vs[shed:]
+					if sigs != nil {
+						sigs = sigs[shed:]
+					}
+					continue
+				}
+			}
 			if blockedAt == 0 {
 				blockedAt = nowNanos()
 				q.writerBlockSince.Store(blockedAt)

@@ -64,6 +64,16 @@ const (
 	BridgeReplay
 	// Deadlock is the monitor's frozen-application abort.
 	Deadlock
+	// Admit is one ingestion-gateway batch accepted into a source port
+	// (Arg = elements admitted, Label = "tenant/source").
+	Admit
+	// Shed is one gateway batch rejected by admission control (Arg =
+	// predicted wait in milliseconds, or -1 when unbounded; Label =
+	// "tenant/source").
+	Shed
+	// Drop records best-effort overflow discards on a link (Prev/Arg =
+	// old/new cumulative drop count, Label = link name).
+	Drop
 )
 
 var kindNames = [...]string{
@@ -83,6 +93,9 @@ var kindNames = [...]string{
 	BridgeReconnect:   "bridge-up",
 	BridgeReplay:      "bridge-replay",
 	Deadlock:          "deadlock",
+	Admit:             "admit",
+	Shed:              "shed",
+	Drop:              "drop",
 }
 
 // String returns the event kind's stable wire name.
@@ -288,6 +301,8 @@ func overlayChar(k Kind) (byte, int) {
 		return 'G', 2
 	case BatchUp, BatchDown:
 		return 'B', 1
+	case Shed, Drop:
+		return 's', 1
 	case CheckpointSave, CheckpointRestore:
 		return 'c', 0
 	}
@@ -300,7 +315,7 @@ func overlayChar(k Kind) (byte, int) {
 // and checkpoints are marked on their actor's row; link-, group- and
 // bridge-scoped monitor decisions are overlaid on a trailing "decisions"
 // row (R restart, E escalate, G resize, B batch, W width, D/U/P bridge
-// down/up/replay, c checkpoint, X deadlock).
+// down/up/replay, s shed/drop, c checkpoint, X deadlock).
 func (r *Recorder) Timeline(names []string, width int) string {
 	if width < 10 {
 		width = 60

@@ -143,6 +143,10 @@ func (m *Map) convertedLink(src, dst Kernel, sp, dp *Port, spec linkSpec) (*Link
 		srcSideOpts = append(srcSideOpts, AsLockFree())
 		dstSideOpts = append(dstSideOpts, AsLockFree())
 	}
+	if spec.bestEffort {
+		srcSideOpts = append(srcSideOpts, AsBestEffort())
+		dstSideOpts = append(dstSideOpts, AsBestEffort())
+	}
 	if _, err := m.Link(src, conv, srcSideOpts...); err != nil {
 		return nil, err
 	}
@@ -154,5 +158,6 @@ func (m *Map) convertedLink(src, dst Kernel, sp, dp *Port, spec linkSpec) (*Link
 		capacity: spec.capacity, maxCap: spec.maxCap,
 		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
 		lowLatency: spec.lowLatency, lockFree: spec.lockFree,
+		bestEffort: spec.bestEffort,
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"raftlib/internal/core"
+	"raftlib/internal/gateway"
 	"raftlib/internal/graph"
 	"raftlib/internal/mapper"
 	"raftlib/internal/monitor"
@@ -124,6 +125,12 @@ type Config struct {
 	// Fault is the armed fault-injection plan, if any (see
 	// WithFaultInjection).
 	Fault *FaultInjector
+
+	// Gateway, when non-nil, is the multi-tenant ingestion front door wired
+	// to this run's source kernels (see WithGateway). Exe binds each
+	// registered source to its link, starts the gateway's listeners for the
+	// duration of the run, and stops them before returning.
+	Gateway *gateway.Server
 
 	// resLog collects supervision events during one Exe for the Report.
 	resLog *resilience.Log
@@ -336,6 +343,9 @@ type Report struct {
 	// during the run (empty unless WithMetricsAddr/WithMetricsListener).
 	// The endpoint itself is closed by the time Exe returns.
 	MetricsAddr string
+	// Gateway summarizes ingestion-gateway admission activity (per-tenant
+	// admitted/shed counts, per-source drops); nil unless WithGateway.
+	Gateway *GatewayReport
 }
 
 // TraceNames returns the kernel names indexed by trace kernel id for
@@ -391,6 +401,9 @@ type LinkReport struct {
 	// SpinYields and SpinSleeps count lock-free back-off escalations.
 	SpinYields uint64
 	SpinSleeps uint64
+	// Dropped counts elements discarded by the best-effort overflow policy
+	// (AsBestEffort). Zero on backpressure links.
+	Dropped uint64
 	// OccHist is the per-push log2 occupancy histogram — the paper's
 	// §4.1 "queue occupancy histogram" (bucket 0 = {0,1} elements,
 	// bucket i = [2^i, 2^(i+1)) elements at push time). OccP50/OccP99
@@ -532,6 +545,17 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 		mon.Start()
 	}
 
+	// 6b. Ingestion gateway: bind each registered source to its engine link
+	// so admission control sees live occupancy, rates and replica width.
+	if cfg.Gateway != nil {
+		if err := m.wireGateway(&cfg, linkInfos, scalers, est, rec); err != nil {
+			if mon != nil {
+				mon.Stop()
+			}
+			return nil, err
+		}
+	}
+
 	// 7. Run to completion (with the metrics endpoint up, when requested).
 	var msrv *metricsServer
 	if cfg.MetricsAddr != "" || cfg.MetricsListener != nil {
@@ -551,9 +575,26 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if cfg.Observer != nil {
 		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors, est)
 	}
+	if cfg.Gateway != nil {
+		if err := cfg.Gateway.Start(); err != nil {
+			if mon != nil {
+				mon.Stop()
+			}
+			if streamer != nil {
+				streamer.Stop()
+			}
+			if msrv != nil {
+				msrv.Stop()
+			}
+			return nil, err
+		}
+	}
 	start := time.Now()
 	runErr := sched.Run(actors)
 	elapsed := time.Since(start)
+	if cfg.Gateway != nil {
+		cfg.Gateway.Stop()
+	}
 	if mon != nil {
 		mon.Stop()
 	}
@@ -567,6 +608,9 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	// 8. Report.
 	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, est, sched.Name(), elapsed)
 	rep.Trace = rec
+	if cfg.Gateway != nil {
+		rep.Gateway = gatewayReport(cfg.Gateway)
+	}
 	if msrv != nil {
 		rep.MetricsAddr = msrv.Addr()
 		msrv.Stop()
@@ -641,6 +685,14 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 		if q == nil {
 			q, typed = l.SrcPort.mk(capacity, maxCap, cfg.LockFree || l.lockFree)
 		}
+		if l.bestEffort {
+			// Both ring kinds implement the setter; provider-owned queues
+			// (read-only source rings) have nothing to drop and simply keep
+			// their default policy.
+			if be, ok := q.(interface{ SetBestEffort(bool) }); ok {
+				be.SetBestEffort(true)
+			}
+		}
 		async := &asyncCell{}
 		l.SrcPort.bind(q, typed, async)
 		l.DstPort.bind(q, typed, async)
@@ -665,6 +717,7 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 			MaxCap:          maxCap,
 			Batch:           bc,
 			LatencyPriority: l.lowLatency,
+			BestEffort:      l.bestEffort,
 		})
 	}
 	return infos, nil
@@ -835,6 +888,7 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			Shrinks:       tel.Shrinks,
 			SpinYields:    tel.SpinYields,
 			SpinSleeps:    tel.SpinSleeps,
+			Dropped:       tel.Dropped,
 			OccHist:       tel.Occupancy,
 			OccP50:        stats.LogQuantile(tel.Occupancy[:], 0.50),
 			OccP99:        stats.LogQuantile(tel.Occupancy[:], 0.99),

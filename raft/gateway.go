@@ -1,0 +1,280 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"raftlib/internal/core"
+	"raftlib/internal/gateway"
+	"raftlib/internal/qmodel"
+	"raftlib/internal/trace"
+)
+
+// WithGateway attaches a multi-tenant ingestion gateway (see
+// internal/gateway and NewGateway) to the run: Exe wires every source
+// registered on it (BindSource) to that source's engine link — live
+// occupancy, the online λ̂/µ̂/ρ̂ estimates, the consumer replica width and
+// the best-effort drop counter — starts its listeners just before the
+// graph runs, and stops them when the graph completes. Admission
+// decisions land on the run's trace bus when WithTrace is active, and the
+// Report carries a GatewayReport.
+func WithGateway(gw *gateway.Server) Option {
+	return func(c *Config) { c.Gateway = gw }
+}
+
+// Gateway re-exports the ingestion-gateway server type so applications
+// reference it without importing the internal package.
+type Gateway = gateway.Server
+
+// GatewayConfig re-exports the gateway configuration so applications
+// construct gateways without importing the internal package.
+type GatewayConfig = gateway.Config
+
+// GatewayQuota re-exports the per-tenant quota type.
+type GatewayQuota = gateway.Quota
+
+// NewGateway builds an ingestion gateway, binding its listeners eagerly
+// so the address can be advertised before Exe starts serving.
+func NewGateway(cfg GatewayConfig) (*gateway.Server, error) {
+	return gateway.New(cfg)
+}
+
+// sourceBatch is one admitted batch in flight from the gateway to the
+// Source kernel; done reports delivery (nil = in the stream's FIFO).
+type sourceBatch[T any] struct {
+	vals []T
+	done chan error
+}
+
+// Source is an externally-fed source kernel: the bridge between the
+// ingestion gateway's admitted batches and a graph stream. It has a
+// single output port "out"; batches arrive through inject (called by the
+// gateway on its HTTP/framed serving goroutines), are pushed in bulk onto
+// the stream, and the caller is unblocked only once the batch is in the
+// FIFO — so an accepted request means exactly-once delivery to the graph.
+// The kernel stops after CloseIntake (draining buffered batches first) or
+// when its downstream closes the stream (abort).
+type Source[T any] struct {
+	KernelBase
+
+	feed       chan sourceBatch[T]
+	intakeDone chan struct{}
+	stopped    chan struct{}
+	closeOnce  sync.Once
+	stopOnce   sync.Once
+}
+
+// NewSource builds a gateway-fed source kernel. The name doubles as the
+// {source} path segment of the gateway's ingest URL.
+func NewSource[T any](name string) *Source[T] {
+	s := &Source[T]{
+		feed:       make(chan sourceBatch[T], 16),
+		intakeDone: make(chan struct{}),
+		stopped:    make(chan struct{}),
+	}
+	s.SetName(name)
+	AddOutput[T](s, "out")
+	return s
+}
+
+// CloseIntake ends the source's stream: no new batches are accepted,
+// buffered ones drain, then EOF propagates downstream. Idempotent; wired
+// to the gateway's close endpoint by BindSource.
+func (s *Source[T]) CloseIntake() {
+	s.closeOnce.Do(func() { close(s.intakeDone) })
+}
+
+// Run delivers admitted batches onto the output stream. A 5ms poll keeps
+// the kernel responsive to downstream aborts (the stream force-closed by
+// Raise or deadlock teardown) even when no traffic arrives.
+func (s *Source[T]) Run() Status {
+	out := s.Out("out")
+	select {
+	case b := <-s.feed:
+		b.done <- PushN[T](out, b.vals)
+		return Proceed
+	case <-s.intakeDone:
+		// Drain batches that made it into the feed before close; their
+		// injectors are still waiting on done.
+		for {
+			select {
+			case b := <-s.feed:
+				b.done <- PushN[T](out, b.vals)
+			default:
+				return Stop
+			}
+		}
+	case <-time.After(5 * time.Millisecond):
+		if q := out.Queue(); q != nil && q.Closed() {
+			return Stop
+		}
+		return Proceed
+	}
+}
+
+// Finalize marks the kernel stopped, failing any inject still in flight.
+func (s *Source[T]) Finalize() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+}
+
+// inject hands one admitted batch to the kernel and blocks until it is in
+// the stream's FIFO (nil) or the source can no longer deliver it
+// (ErrClosed / stream error — the gateway answers 503, the batch was NOT
+// admitted).
+func (s *Source[T]) inject(vals []T) error {
+	b := sourceBatch[T]{vals: vals, done: make(chan error, 1)}
+	select {
+	case s.feed <- b:
+	case <-s.intakeDone:
+		return ErrClosed
+	case <-s.stopped:
+		return ErrClosed
+	}
+	select {
+	case err := <-b.done:
+		return err
+	case <-s.stopped:
+		// The kernel stopped while the batch waited. It may still have
+		// been delivered by the drain loop racing this select — done is
+		// buffered, so one final check settles which side of the
+		// exactly-once line the batch landed on.
+		select {
+		case err := <-b.done:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// BindSource registers a Source kernel with a gateway: dec parses one
+// request payload into an element batch (its error becomes HTTP 400).
+// Exe completes the binding with the engine-side wiring when the graph
+// runs; until then the gateway answers 503 for this source.
+func BindSource[T any](gw *gateway.Server, src *Source[T], dec func(payload []byte) ([]T, error)) error {
+	if src.Name() == "" {
+		return fmt.Errorf("raft: BindSource requires a named source")
+	}
+	return gw.Register(gateway.Binding{
+		Name: src.Name(),
+		Decode: func(payload []byte) (any, int, error) {
+			vals, err := dec(payload)
+			if err != nil {
+				return nil, 0, err
+			}
+			return vals, len(vals), nil
+		},
+		Push: func(batch any) error {
+			return src.inject(batch.([]T))
+		},
+		CloseIntake: src.CloseIntake,
+	})
+}
+
+// wireGateway completes every registered binding with closures over the
+// engine state allocated for this run: the source's outbound link (the
+// admission model's target), its telemetry drop counter, the online rate
+// estimates when WithServiceRateControl is active, and the active replica
+// width when the source feeds a replicated group's split.
+func (m *Map) wireGateway(cfg *Config, linkInfos []*core.LinkInfo,
+	scalers []*groupScaler, est *qmodel.Estimator, rec *trace.Recorder) error {
+
+	gw := cfg.Gateway
+	for _, name := range gw.Sources() {
+		idx := -1
+		for i, l := range m.links {
+			if l.Src.kernelBase().Name() == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("raft: gateway source %q has no outbound link in this map", name)
+		}
+		l, li := m.links[idx], linkInfos[idx]
+		tel := li.Queue.Telemetry()
+		w := gateway.Wiring{
+			Queue:      func() (int, int) { return li.Queue.Len(), li.Queue.Cap() },
+			Dropped:    tel.Drops,
+			Servers:    func() int { return 1 },
+			BestEffort: li.BestEffort,
+		}
+		if est != nil {
+			linkIdx := idx
+			w.Rates = func() (lambda, mu, rho float64, ok bool) {
+				r, ok := est.Link(linkIdx)
+				if !ok || !r.Primed {
+					return 0, 0, 0, false
+				}
+				return r.Lambda, r.Mu, r.Rho, true
+			}
+		}
+		for _, sc := range scalers {
+			if l.Dst.kernelBase() == sc.split.kernelBase() {
+				w.Servers = sc.Active
+				break
+			}
+		}
+		if err := gw.Wire(name, w); err != nil {
+			return err
+		}
+	}
+	if rec != nil {
+		gw.SetTrace(rec, -1)
+	}
+	return nil
+}
+
+// GatewayReport summarizes ingestion-gateway activity for one run.
+type GatewayReport struct {
+	// Addr is the gateway's HTTP listen address.
+	Addr string
+	// Tenants holds per-tenant admission counters (sorted by name).
+	Tenants []GatewayTenant
+	// Sources holds per-source ingestion counters (sorted by name).
+	Sources []GatewaySource
+}
+
+// GatewayTenant is one tenant's admission counters.
+type GatewayTenant struct {
+	Name            string
+	AdmittedBatches uint64
+	AdmittedElems   uint64
+	// ShedQuota counts batches refused by the tenant's token bucket;
+	// ShedModel counts batches refused by model-driven admission control
+	// (occupancy, utilization or predicted-wait thresholds).
+	ShedQuota uint64
+	ShedModel uint64
+}
+
+// GatewaySource is one source's ingestion counters.
+type GatewaySource struct {
+	Name          string
+	AdmittedElems uint64
+	// Dropped is the source link's best-effort drop count (zero on
+	// backpressure links).
+	Dropped uint64
+}
+
+func gatewayReport(gw *gateway.Server) *GatewayReport {
+	st := gw.Stats()
+	rep := &GatewayReport{Addr: gw.Addr()}
+	for _, t := range st.Tenants {
+		rep.Tenants = append(rep.Tenants, GatewayTenant{
+			Name:            t.Name,
+			AdmittedBatches: t.AdmittedBatches,
+			AdmittedElems:   t.AdmittedElems,
+			ShedQuota:       t.ShedQuota,
+			ShedModel:       t.ShedModel,
+		})
+	}
+	for _, s := range st.Sources {
+		rep.Sources = append(rep.Sources, GatewaySource{
+			Name:          s.Name,
+			AdmittedElems: s.AdmittedElems,
+			Dropped:       s.Dropped,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,256 @@
+package raft
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// postChunks POSTs newline-separated chunks for one tenant and returns
+// the response status, Retry-After seconds (0 when absent) and latency.
+func postChunks(t *testing.T, url, tenant string, chunks []string) (status int, retryAfter int, latency time.Duration) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/ingest/ingest", strings.NewReader(strings.Join(chunks, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Raft-Tenant", tenant)
+	begin := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	latency = time.Since(begin)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		retryAfter, _ = strconv.Atoi(ra)
+	}
+	return resp.StatusCode, retryAfter, latency
+}
+
+// TestGatewayEndToEnd drives a shared text-search pipeline through the
+// ingestion gateway with two tenants: a flooding one that the admission
+// model must shed (429 + positive Retry-After before the queue saturates)
+// and a steady one whose request latency must stay bounded — the
+// isolation property the gateway exists for. Every admitted chunk
+// contains the needle exactly once, so the pipeline's final count equals
+// the gateway's admitted-element total: exactly-once for admitted
+// batches, shed batches contribute nothing.
+func TestGatewayEndToEnd(t *testing.T) {
+	gw, err := NewGateway(GatewayConfig{
+		Tenants: map[string]GatewayQuota{
+			"steady": {Rate: 50000, Burst: 1000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource[[]byte]("ingest")
+	if err := BindSource(gw, src, func(p []byte) ([][]byte, error) {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("empty payload")
+		}
+		return bytes.Split(p, []byte("\n")), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// match: ~100µs of work per chunk bounds the service rate, so a
+	// flooding producer must outrun the pipeline.
+	match := NewLambdaIO[[]byte, int](1, 1, func(k *LambdaKernel) Status {
+		chunk, err := Pop[[]byte](k.In("0"))
+		if err != nil {
+			return Stop
+		}
+		time.Sleep(100 * time.Microsecond)
+		if err := Push(k.Out("0"), bytes.Count(chunk, []byte("needle"))); err != nil {
+			return Stop
+		}
+		return Proceed
+	})
+	match.SetName("match")
+	var total atomic.Int64
+	sink := NewLambdaIO[int, int](1, 0, func(k *LambdaKernel) Status {
+		n, err := Pop[int](k.In("0"))
+		if err != nil {
+			return Stop
+		}
+		total.Add(int64(n))
+		return Proceed
+	})
+	sink.SetName("sink")
+
+	m := NewMap()
+	// A small bounded intake queue makes the occupancy shed rule bite
+	// quickly under flood.
+	if _, err := m.Link(src, match, Cap(16), MaxCap(16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(match, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		defer close(done)
+		rep, runErr = m.Exe(WithGateway(gw), WithDynamicResize(false))
+	}()
+
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	// Wait for Exe to wire the source (503 until then).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _, _ := postChunks(t, ts.URL, "warmup", []string{"warmup needle chunk"})
+		if status == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("source never wired (last status %d)", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Flood tenant: large batches back-to-back. The pipeline drains
+	// ~10k chunks/s, the flood offers far more, so the model must shed.
+	floodDone := make(chan struct{})
+	var floodSheds, floodRetryOK atomic.Int64
+	go func() {
+		defer close(floodDone)
+		chunks := make([]string, 50)
+		for i := range chunks {
+			chunks[i] = "the needle in row " + strconv.Itoa(i)
+		}
+		stop := time.Now().Add(250 * time.Millisecond)
+		for time.Now().Before(stop) {
+			status, retry, _ := postChunks(t, ts.URL, "flood", chunks)
+			if status == http.StatusTooManyRequests {
+				floodSheds.Add(1)
+				if retry > 0 {
+					floodRetryOK.Add(1)
+				}
+			}
+		}
+	}()
+
+	// Steady tenant: small paced batches; record latencies.
+	var latencies []time.Duration
+	steadyAdmitted := 0
+	for i := 0; i < 25; i++ {
+		status, _, lat := postChunks(t, ts.URL, "steady", []string{
+			"steady needle a" + strconv.Itoa(i), "steady needle b" + strconv.Itoa(i),
+		})
+		latencies = append(latencies, lat)
+		if status == http.StatusAccepted {
+			steadyAdmitted++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	<-floodDone
+
+	// Graceful shutdown: EOF the intake, let the pipeline drain.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sources/ingest/close", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close intake: %v / %v", err, resp)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Exe did not complete after intake close")
+	}
+	if runErr != nil {
+		t.Fatalf("Exe: %v", runErr)
+	}
+
+	// (b) the flood was shed with a usable Retry-After.
+	if floodSheds.Load() == 0 {
+		t.Fatal("flood tenant was never shed")
+	}
+	if floodRetryOK.Load() != floodSheds.Load() {
+		t.Fatalf("%d/%d sheds carried a positive Retry-After",
+			floodRetryOK.Load(), floodSheds.Load())
+	}
+
+	// (a) the steady tenant's latency stayed bounded: shedding answers
+	// fast instead of parking requests behind the flood's backlog.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if p99 > 500*time.Millisecond {
+		t.Fatalf("steady tenant p99 = %v, want bounded under flood", p99)
+	}
+	if steadyAdmitted == 0 {
+		t.Fatal("steady tenant never admitted")
+	}
+
+	// (c) exactly-once for admitted batches: every admitted chunk holds
+	// the needle exactly once, so the pipeline count must equal the
+	// gateway's admitted-element total — nothing lost, nothing duplicated,
+	// shed batches invisible.
+	if rep.Gateway == nil {
+		t.Fatal("report carries no gateway section")
+	}
+	var admitted uint64
+	for _, tn := range rep.Gateway.Tenants {
+		admitted += tn.AdmittedElems
+	}
+	if got := uint64(total.Load()); got != admitted {
+		t.Fatalf("pipeline counted %d needles, gateway admitted %d elements", got, admitted)
+	}
+	if len(rep.Gateway.Sources) != 1 || rep.Gateway.Sources[0].AdmittedElems != admitted {
+		t.Fatalf("source stats = %+v, want %d admitted", rep.Gateway.Sources, admitted)
+	}
+}
+
+// TestGatewaySourceAbort checks that a Source kernel stops (and pending
+// injects fail instead of hanging) when its downstream closes the stream.
+func TestGatewaySourceAbort(t *testing.T) {
+	src := NewSource[int]("nums")
+	// One-pop consumer: reads a single element then stops, closing the
+	// stream from the consumer side.
+	sink := NewLambdaIO[int, int](1, 0, func(k *LambdaKernel) Status {
+		if _, err := Pop[int](k.In("0")); err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("pop: %v", err)
+		}
+		return Stop
+	})
+	m := NewMap()
+	if _, err := m.Link(src, sink, Cap(4)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Exe()
+	}()
+	// First inject is consumed; subsequent ones must fail once the stream
+	// closes rather than blocking forever.
+	if err := src.inject([]int{1}); err != nil {
+		t.Fatalf("first inject: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := src.inject([]int{2}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("inject kept succeeding after downstream stopped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Exe hung after downstream abort")
+	}
+}

@@ -39,6 +39,9 @@ type LiveLink struct {
 	// SpinYields and SpinSleeps count back-off escalations on lock-free
 	// links — the live contention signal.
 	SpinYields, SpinSleeps uint64
+	// Dropped counts elements shed so far by the best-effort overflow
+	// policy (zero on backpressure links).
+	Dropped uint64
 	// Batch is the adaptive batcher's current transfer size for the link
 	// (0 = no decision yet / batching disabled).
 	Batch int
@@ -143,6 +146,7 @@ func (s *statsStreamer) snapshot() LiveStats {
 			OccP99:        stats.LogQuantile(tel.Occupancy[:], 0.99),
 			SpinYields:    tel.SpinYields,
 			SpinSleeps:    tel.SpinSleeps,
+			Dropped:       tel.Dropped,
 			Batch:         l.Batch.Get(),
 		}
 		if s.est != nil {

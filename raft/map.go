@@ -34,6 +34,7 @@ type Link struct {
 	reorderable bool
 	lowLatency  bool
 	lockFree    bool
+	bestEffort  bool
 }
 
 // OutOfOrder reports whether the link permits out-of-order processing,
@@ -50,6 +51,10 @@ func (l *Link) LowLatency() bool { return l.lowLatency }
 // LockFree reports whether the link requested a lock-free SPSC queue.
 func (l *Link) LockFree() bool { return l.lockFree }
 
+// BestEffort reports whether the link runs the drop/latest-wins overflow
+// policy instead of producer backpressure.
+func (l *Link) BestEffort() bool { return l.bestEffort }
+
 // LinkOption customizes one Link call.
 type LinkOption func(*linkSpec)
 
@@ -61,6 +66,7 @@ type linkSpec struct {
 	reorderable bool
 	lowLatency  bool
 	lockFree    bool
+	bestEffort  bool
 	convert     bool
 }
 
@@ -100,6 +106,18 @@ func AsLowLatency() LinkOption { return func(s *linkSpec) { s.lowLatency = true 
 // next push (epoch swap), so hot single-stream links get the fast ring
 // without giving up §4.1's buffer-sizing rules.
 func AsLockFree() LinkOption { return func(s *linkSpec) { s.lockFree = true } }
+
+// AsBestEffort opts the stream out of producer backpressure: when the
+// queue is full, elements are discarded instead of blocking the producer.
+// The default mutex ring evicts the oldest buffered elements (latest-wins
+// — the consumer always sees the freshest suffix, the natural policy for
+// monitoring/sampling streams); a lock-free stream (AsLockFree /
+// WithLockFreeQueues) sheds the incoming elements instead, since its
+// consumer owns the head slot. Either way drops are counted in the link's
+// Dropped telemetry — surfaced in Report, live stats and Prometheus — and
+// signal-carrying elements (SigEOF etc.) are never dropped, so stream
+// teardown stays reliable. Latency is bounded; delivery is not.
+func AsBestEffort() LinkOption { return func(s *linkSpec) { s.bestEffort = true } }
 
 // AsReorderable marks the stream's data as processable out of order with
 // the original order restored downstream — the paper's third mode (§4.1:
@@ -170,6 +188,7 @@ func (m *Map) Link(src, dst Kernel, opts ...LinkOption) (*Link, error) {
 		capacity: spec.capacity, maxCap: spec.maxCap,
 		outOfOrder: spec.outOfOrder, reorderable: spec.reorderable,
 		lowLatency: spec.lowLatency, lockFree: spec.lockFree,
+		bestEffort: spec.bestEffort,
 	}
 	sp.link = l
 	dp.link = l

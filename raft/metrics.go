@@ -122,6 +122,7 @@ func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 		{"raft_link_shrinks_total", "Monitor-driven capacity shrinks.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Shrinks }},
 		{"raft_link_spin_yields_total", "Lock-free back-off spin-to-yield escalations.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.SpinYields }},
 		{"raft_link_spin_sleeps_total", "Lock-free back-off yield-to-sleep escalations.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.SpinSleeps }},
+		{"raft_link_dropped_total", "Elements discarded by the best-effort overflow policy.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Dropped }},
 	}
 	for _, c := range linkCounters {
 		counter(c.name, c.help)

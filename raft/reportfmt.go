@@ -41,20 +41,18 @@ func (r *Report) String() string {
 		b.WriteByte('\n')
 	}
 
-	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	fmt.Fprintf(&b, "  %-44s %-6s %-8s %-10s %-8s %-8s %-8s %-5s %-6s %-7s %-6s", "link", "ring", "cap", "mean occ", "occ p99", "full%", "starv%", "resz", "grows", "spins", "batch")
-	if rates {
-		fmt.Fprintf(&b, " %-12s %-12s %-6s", "λ̂/s", "µ̂/s", "ρ̂")
-	}
-	b.WriteByte('\n')
+	// drop column appears only when some link actually shed (it would be
+	// an all-zero column on backpressure-only graphs).
+	drops := false
 	for _, l := range r.Links {
-		fmt.Fprintf(&b, "  %-44s %-6s %-8d %-10.1f %-8d %-8.1f %-8.1f %-5d %-6d %-7d %-6d",
-			l.Name, l.Ring, l.FinalCap, l.MeanOccupancy, l.OccP99, 100*l.FullFrac, 100*l.StarvedFrac, l.Resizes, l.Grows, l.SpinYields+l.SpinSleeps, l.Batch)
-		if rates {
-			fmt.Fprintf(&b, " %-12.0f %-12.0f %-6.2f", l.LambdaHat, l.MuHat, l.RhoHat)
+		if l.Dropped > 0 {
+			drops = true
+			break
 		}
-		b.WriteByte('\n')
 	}
+
+	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
+	writeTable(&b, streamCols(rates, drops), len(r.Links), func(i int) *LinkReport { return &r.Links[i] })
 
 	if len(r.Groups) > 0 {
 		fmt.Fprintf(&b, "\nreplicated groups (%d):\n", len(r.Groups))
@@ -85,7 +83,85 @@ func (r *Report) String() string {
 				br.Stream, br.Reconnects, br.Replayed, br.Dropped, br.Downtime)
 		}
 	}
+	if r.Gateway != nil {
+		fmt.Fprintf(&b, "\ngateway (%s): %d tenants, %d sources\n",
+			r.Gateway.Addr, len(r.Gateway.Tenants), len(r.Gateway.Sources))
+		writeTable(&b, tenantCols(), len(r.Gateway.Tenants),
+			func(i int) *GatewayTenant { return &r.Gateway.Tenants[i] })
+		for _, s := range r.Gateway.Sources {
+			fmt.Fprintf(&b, "  source %-28s %d admitted, %d dropped\n",
+				s.Name, s.AdmittedElems, s.Dropped)
+		}
+	}
 	return b.String()
+}
+
+// col is one column of an aligned report table: header, width and cell
+// renderer live together, so a new column can never misalign the layout
+// (header and cells are always emitted from the same spec — the drift
+// that used to creep in when the two printf strings were edited apart).
+type col[T any] struct {
+	head  string
+	width int
+	cell  func(T) string
+}
+
+// writeTable renders the header row and n data rows from one column spec.
+func writeTable[T any](b *strings.Builder, cols []col[T], n int, row func(int) T) {
+	b.WriteByte(' ')
+	for _, c := range cols {
+		fmt.Fprintf(b, " %-*s", c.width, c.head)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		r := row(i)
+		b.WriteByte(' ')
+		for _, c := range cols {
+			fmt.Fprintf(b, " %-*s", c.width, c.cell(r))
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// streamCols is the streams-section layout. The drop column appears only
+// when some link shed elements; the estimator columns only when rate
+// control ran.
+func streamCols(rates, drops bool) []col[*LinkReport] {
+	cols := []col[*LinkReport]{
+		{"link", 44, func(l *LinkReport) string { return l.Name }},
+		{"ring", 6, func(l *LinkReport) string { return l.Ring }},
+		{"cap", 8, func(l *LinkReport) string { return fmt.Sprintf("%d", l.FinalCap) }},
+		{"mean occ", 10, func(l *LinkReport) string { return fmt.Sprintf("%.1f", l.MeanOccupancy) }},
+		{"occ p99", 8, func(l *LinkReport) string { return fmt.Sprintf("%d", l.OccP99) }},
+		{"full%", 8, func(l *LinkReport) string { return fmt.Sprintf("%.1f", 100*l.FullFrac) }},
+		{"starv%", 8, func(l *LinkReport) string { return fmt.Sprintf("%.1f", 100*l.StarvedFrac) }},
+		{"resz", 5, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Resizes) }},
+		{"grows", 6, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Grows) }},
+		{"spins", 7, func(l *LinkReport) string { return fmt.Sprintf("%d", l.SpinYields+l.SpinSleeps) }},
+		{"batch", 6, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Batch) }},
+	}
+	if drops {
+		cols = append(cols,
+			col[*LinkReport]{"drop", 8, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Dropped) }})
+	}
+	if rates {
+		cols = append(cols,
+			col[*LinkReport]{"λ̂/s", 12, func(l *LinkReport) string { return fmt.Sprintf("%.0f", l.LambdaHat) }},
+			col[*LinkReport]{"µ̂/s", 12, func(l *LinkReport) string { return fmt.Sprintf("%.0f", l.MuHat) }},
+			col[*LinkReport]{"ρ̂", 6, func(l *LinkReport) string { return fmt.Sprintf("%.2f", l.RhoHat) }})
+	}
+	return cols
+}
+
+// tenantCols is the gateway tenant-table layout.
+func tenantCols() []col[*GatewayTenant] {
+	return []col[*GatewayTenant]{
+		{"tenant", 20, func(t *GatewayTenant) string { return t.Name }},
+		{"batches", 10, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.AdmittedBatches) }},
+		{"elems", 12, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.AdmittedElems) }},
+		{"shed:quota", 11, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.ShedQuota) }},
+		{"shed:model", 11, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.ShedModel) }},
+	}
 }
 
 // fmtNanos renders a nanosecond quantity with an adaptive unit.
