@@ -10,7 +10,7 @@ CI_SEED ?= 0
 FUZZTIME ?= 60s
 FUZZTIME_SHORT ?= 15s
 
-.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-nightly-bars
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-nightly-bars
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench:
 # ci runs exactly what .github/workflows/ci.yml runs, as one local command.
 # The workflow jobs invoke the ci-* sub-targets below so the two can never
 # drift: editing a step here edits it for CI too.
-ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway
+ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view
 
 ci-vet:
 	$(GO) vet ./...
@@ -80,7 +80,8 @@ ci-race:
 # targets a shorter one. Each -fuzz run must name exactly one target.
 ci-fuzz:
 	$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz='^FuzzSPSCResize$$' -fuzztime=$(FUZZTIME)
-	@for t in FuzzSPSCModelResize FuzzRingAgainstModel FuzzRingBulkAgainstModel FuzzRingBulkConcurrentResize; do \
+	$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz='^FuzzViewResize$$' -fuzztime=$(FUZZTIME)
+	@for t in FuzzSPSCModelResize FuzzViewModelResize FuzzRingAgainstModel FuzzRingBulkAgainstModel FuzzRingBulkConcurrentResize; do \
 		echo "$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz=^$$t\$$ -fuzztime=$(FUZZTIME_SHORT)"; \
 		$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME_SHORT) || exit 1; \
 	done
@@ -102,12 +103,22 @@ ci-gateway:
 	$(GO) test -race -run 'Gateway' ./raft/
 	$(GO) run ./cmd/raft-bench -ablate gateway -seed $(CI_SEED)
 
+# View gate: the borrow/release protocol spans both ring kinds and the
+# epoch-swap resize, so the ringbuffer package gets three racing passes;
+# then the A15 ablation runs as a seeded smoke — chaos exactness and the
+# gateway copies-saved bars assert on every run, and the 1.5x speedup
+# bar enforces on multi-core hosts.
+ci-view:
+	$(GO) test -race -count=3 ./internal/ringbuffer/...
+	$(GO) test -race -run 'View|Batch|Pooled|Alloc' ./internal/oar/ ./internal/monitor/ ./kernels/ ./raft/
+	$(GO) run ./cmd/raft-bench -ablate view -seed $(CI_SEED)
+
 # The nightly perf gate: the A5 (monitoring overhead), A11 (batching
 # speedup), A12 (telemetry overhead), A13 (controller parity/latency/
-# overhead) and A14 (gateway admission/isolation) bars, *enforced* —
-# -enforce-bars refuses the small-runner downgrade, so a missed bar
-# fails the job. Runs only on the pinned multi-core runner (see the
-# perf-bars job in .github/workflows/ci.yml); PR-time bench-smoke stays
-# advisory.
+# overhead), A14 (gateway admission/isolation) and A15 (zero-copy view
+# speedup) bars, *enforced* — -enforce-bars refuses the small-runner
+# downgrade, so a missed bar fails the job. Runs only on the pinned
+# multi-core runner (see the perf-bars job in .github/workflows/ci.yml);
+# PR-time bench-smoke stays advisory.
 ci-nightly-bars:
-	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway -corpus 16 -seed $(CI_SEED) -enforce-bars
+	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view -corpus 16 -seed $(CI_SEED) -enforce-bars

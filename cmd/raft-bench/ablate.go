@@ -49,6 +49,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateRate()
 	case "gateway":
 		ablateGateway()
+	case "view":
+		ablateView()
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)

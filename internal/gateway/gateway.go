@@ -116,6 +116,14 @@ type Binding struct {
 	// CloseIntake ends the source's stream: buffered batches still drain,
 	// then EOF propagates downstream.
 	CloseIntake func()
+	// Recycle, when set, takes back a decoded batch that was NOT delivered
+	// (shed by quota or model, or refused by a closing source), so pooled
+	// decode buffers survive shedding. Optional.
+	Recycle func(batch any)
+	// CopiesSaved, when set, reports how many admitted batches avoided a
+	// per-request intermediate copy (pooled decode buffer committed
+	// straight into ring storage). Surfaced in /v1/stats. Optional.
+	CopiesSaved func() uint64
 }
 
 // Wiring is the engine-side view of a bound source, attached at Exe time.
@@ -157,6 +165,13 @@ type binding struct {
 	wired  bool
 
 	admittedElems atomic.Uint64
+}
+
+// recycle hands an undelivered batch back to the binding's pool hook.
+func (b *binding) recycle(batch any) {
+	if b.Recycle != nil {
+		b.Recycle(batch)
+	}
 }
 
 // Server is the ingestion gateway. Construct with New, register sources
@@ -396,6 +411,7 @@ func (s *Server) ingest(tenantName, sourceName string, payload []byte) ingestRes
 	t := s.tenant(tenantName)
 	if ok, wait := t.bucket.take(float64(n), time.Now()); !ok {
 		t.shedQuota.Add(1)
+		b.recycle(batch)
 		retry := s.clampRetry(wait)
 		s.emitShed(t.name, sourceName, retry)
 		return ingestResult{code: shedQuota, n: n, retry: retry, msg: "tenant quota exceeded"}
@@ -405,12 +421,14 @@ func (s *Server) ingest(tenantName, sourceName string, payload []byte) ingestRes
 		// use; give them back so a model shed never double-charges.
 		t.bucket.refund(float64(n))
 		t.shedModel.Add(1)
+		b.recycle(batch)
 		retry := s.clampRetry(wait)
 		s.emitShed(t.name, sourceName, retry)
 		return ingestResult{code: shedModel, n: n, retry: retry, msg: "pipeline saturated: " + why}
 	}
 	if err := b.Push(batch); err != nil {
 		t.bucket.refund(float64(n))
+		b.recycle(batch)
 		return ingestResult{code: closed, msg: err.Error()}
 	}
 	t.admittedBatches.Add(1)
@@ -529,6 +547,10 @@ type SourceStats struct {
 	// Dropped is the source link's cumulative best-effort drop count (zero
 	// on backpressure links).
 	Dropped uint64
+	// CopiesSaved counts admitted batches that avoided a per-request
+	// intermediate copy (pooled decode buffer committed straight into ring
+	// storage through a write view).
+	CopiesSaved uint64
 }
 
 // Stats is a point-in-time snapshot of the gateway's counters.
@@ -564,6 +586,9 @@ func (s *Server) Stats() Stats {
 		ss := SourceStats{Name: b.Name, AdmittedElems: b.admittedElems.Load()}
 		if b.wired && b.wiring.Dropped != nil {
 			ss.Dropped = b.wiring.Dropped()
+		}
+		if b.CopiesSaved != nil {
+			ss.CopiesSaved = b.CopiesSaved()
 		}
 		out.Sources = append(out.Sources, ss)
 	}

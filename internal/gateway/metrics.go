@@ -41,6 +41,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, src := range st.Sources {
 		fmt.Fprintf(&b, "raft_gateway_source_dropped_total{source=%q} %d\n", src.Name, src.Dropped)
 	}
+	counter("raft_gateway_source_copies_saved_total", "Admitted batches delivered without a per-request intermediate copy.")
+	for _, src := range st.Sources {
+		fmt.Fprintf(&b, "raft_gateway_source_copies_saved_total{source=%q} %d\n", src.Name, src.CopiesSaved)
+	}
 
 	_, _ = io.WriteString(w, b.String())
 }

@@ -291,6 +291,13 @@ type resizePending interface {
 	ResizePending() bool
 }
 
+// viewHolder is implemented by queues that lend zero-copy batch views
+// over their storage (both ring kinds do): it reports how long the
+// oldest outstanding borrow has been held, or 0 when none is out.
+type viewHolder interface {
+	ViewHeldFor() time.Duration
+}
+
 // workerLister is implemented by scalers that can report the trace actor
 // ids of their replica workers (raft's group scaler does); the rate-driven
 // width rule needs them to look up per-replica µ̂.
@@ -327,6 +334,14 @@ func (m *Monitor) Tick() {
 		// the capacity has not changed yet, so skip the link — re-applying
 		// the rules now would stack a second request on the same evidence.
 		if rp, ok := l.Queue.(resizePending); ok && rp.ResizePending() {
+			m.quiet[i] = 0
+			continue
+		}
+		// A borrowed batch view pins the current storage epoch: resizing
+		// under it would only defer (mutex ring) or churn a sealed segment
+		// (SPSC), so the evidence gathered this tick cannot take effect.
+		// Skip the link and re-decide once the view is released.
+		if vh, ok := l.Queue.(viewHolder); ok && vh.ViewHeldFor() > 0 {
 			m.quiet[i] = 0
 			continue
 		}

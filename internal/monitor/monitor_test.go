@@ -91,6 +91,35 @@ func TestGrowRespectsMaxCap(t *testing.T) {
 	r.Close()
 }
 
+func TestViewHoldSkipsResize(t *testing.T) {
+	li, r := mkLink(1, 0)
+	_ = r.Push(0, ringbuffer.SigNone)
+	go func() { _ = r.Push(1, ringbuffer.SigNone) }()
+	for r.WriterBlockedFor() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	// Borrow a view over the single stored element: the monitor must not
+	// resize while the borrow pins the storage epoch, even though the
+	// write-side grow rule has fired.
+	v, err := r.TryAcquireView(1)
+	if err != nil || v.Len() != 1 {
+		t.Fatalf("view = %v (len %d)", err, v.Len())
+	}
+	m := New(Config{Delta: time.Microsecond, Resize: true}, []*core.LinkInfo{li}, nil)
+	time.Sleep(time.Millisecond)
+	m.Tick()
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, monitor resized under an outstanding view", r.Cap())
+	}
+	// Release and re-tick: the same evidence must now take effect.
+	r.ReleaseView(1)
+	m.Tick()
+	if r.Cap() != 2 {
+		t.Fatalf("cap after release = %d, want 2", r.Cap())
+	}
+	r.Close()
+}
+
 func TestResizeDisabled(t *testing.T) {
 	li, r := mkLink(1, 0)
 	li.ResizeEnabled = false

@@ -1,13 +1,18 @@
 package oar
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"raftlib/internal/fault"
 	"raftlib/internal/trace"
@@ -59,21 +64,74 @@ func (b *bridgeTrace) emit(kind trace.Kind, stream string, arg int64) {
 // raises a global exception wrapping raft.ErrBridgeDown; Drop keeps the
 // local map running and discards traffic.
 //
-// Wire format: a header line ("stream <name>\n"), then gob-encoded frames
-// sender->receiver (heartbeat frames carry Seq 0 and no data) and
-// gob-encoded ackMsg records receiver->sender on the same connection. An
-// EOF frame closes the stream.
+// Wire format: a header line ("stream <name>\n"), then gob-encoded
+// wireFrame records sender->receiver (heartbeat frames carry Seq 0 and no
+// data) and gob-encoded ackMsg records receiver->sender on the same
+// connection. A data frame's Data field holds one element batch encoded by
+// a persistent inner gob stream: type descriptors cross the wire once per
+// stream (not once per frame, and not again after a reconnect), the sender
+// encodes batches directly out of borrowed queue storage (see Run), and
+// the receiver deduplicates replayed frames by sequence number BEFORE the
+// inner decode, so the persistent inner decoder consumes every unique
+// frame's bytes exactly once, in order. An EOF frame closes the stream.
+//
+// When T is pointer-free the sender skips the inner gob stream entirely and
+// marks each data frame Raw: the borrowed ring segment is blitted
+// byte-for-byte into the frame blob behind a small self-describing header
+// (element size, native-order sentinel, count), and the receiver blits it
+// back into a reused batch slice. Each raw frame decodes statelessly, so
+// replay and deduplication need no decoder-state coordination; the header's
+// size and sentinel checks turn an endianness or layout disagreement
+// between endpoints into an immediate, permanent bridge failure instead of
+// silent corruption.
 
-// frame is one wire batch.
-type frame[T any] struct {
+// wireFrame is one outer wire message. Replay safety lives here: the outer
+// encoder/decoder pair is recreated per connection, while Data blobs are
+// immutable once encoded and replayed verbatim.
+type wireFrame struct {
 	// Seq numbers data and EOF frames from 1; heartbeats carry 0.
 	Seq  uint64
-	Vals []T
-	Sigs []raft.Signal
+	Data []byte
 	EOF  bool
 	// HB marks a heartbeat: no payload, refreshes the receiver's liveness
 	// deadline, never acknowledged or replayed.
 	HB bool
+	// Raw marks Data as a raw-blitted batch (see the package comment on the
+	// wire format) rather than an inner-gob payload. Senders set it for
+	// every data frame or none, but the receiver dispatches per frame.
+	Raw bool
+}
+
+// rawSentinel is written in native byte order after the element size in
+// every raw frame header; a receiver that reads it back differently is
+// running on a machine with a different byte order than the sender, where
+// blitted element bytes would be garbage.
+const rawSentinel uint64 = 0x0102030405060708
+
+// payload is the inner message: one element batch with its synchronized
+// signals (omitted entirely when every element carries SigNone, the common
+// case).
+type payload[T any] struct {
+	Vals []T
+	Sigs []raft.Signal
+}
+
+// blob is a pooled encode buffer; replay entries own one until the frame
+// is acknowledged, then it returns to the sender's pool.
+type blob struct{ b []byte }
+
+// sentFrame is one replay-buffer entry: the frame's encoded payload and
+// its element count (for drop accounting under the Drop policy).
+type sentFrame[T any] struct {
+	seq  uint64
+	data *blob
+	n    int
+	eof  bool
+	// vals/sigs are populated only under WithCopyEncode: the pre-view
+	// sender retained a value copy of every batch for replay, and the
+	// A15 copy arm must pay that allocation to be a faithful baseline.
+	vals []T
+	sigs []raft.Signal
 }
 
 // ackMsg acknowledges delivery of every frame up to and including Seq.
@@ -119,6 +177,7 @@ type bridgeOpts struct {
 	policy       Policy
 	firstConnect time.Duration
 	inj          *fault.Injector
+	copyEncode   bool
 }
 
 func defaultBridgeOpts() bridgeOpts {
@@ -198,6 +257,15 @@ func WithBridgeFault(inj *fault.Injector) BridgeOption {
 	return func(o *bridgeOpts) { o.inj = inj }
 }
 
+// WithCopyEncode disables the sender's zero-copy view path: every batch is
+// staged through kernel-owned scratch before encoding, and the replay
+// buffer retains a freshly allocated value copy per frame — the pre-view
+// sender design, kept as the copy arm of the A15 ablation. Views are the
+// default whenever the input queue supports them.
+func WithCopyEncode() BridgeOption {
+	return func(o *bridgeOpts) { o.copyEncode = true }
+}
+
 // Sender is the producing end of a bridge: a sink kernel with input port
 // "in" whose elements are framed, sequenced and encoded onto the TCP
 // connection, with unacknowledged frames buffered for replay.
@@ -211,19 +279,36 @@ type Sender[T any] struct {
 	// bridges swap in a flate layer); nil selects plain gob.
 	mkEnc func(conn net.Conn) (enc *gob.Encoder, flush func() error, closeEnc func(), err error)
 
-	mu       sync.Mutex // guards conn, enc, flush, closeEnc
+	mu       sync.Mutex // guards conn, enc, flush, closeEnc, wf
 	conn     net.Conn
 	enc      *gob.Encoder
 	flush    func() error
 	closeEnc func()
+	wf       wireFrame // persistent outer frame: Encode(&wf) avoids boxing
+
+	// The persistent inner payload stream: one encoder for the life of the
+	// sender, writing into the reusable encBuf, with the finished bytes
+	// copied once into a pooled blob owned by the replay entry. Views make
+	// that single copy the only one on the send path — elements go ring
+	// storage -> encoder with no staging slice in between.
+	payloadEnc *gob.Encoder
+	encBuf     bytes.Buffer
+	pl         payload[T]
+	blobPool   sync.Pool
+
+	// raw selects the blit encoding for data frames: T embeds no pointers
+	// (its bytes ARE its value) and the copy-encode ablation arm is off.
+	// Decided once at construction; every data frame of a sender uses the
+	// same encoding.
+	raw bool
 
 	nextSeq uint64
-	buffer  []frame[T] // unacknowledged frames, ascending Seq
+	buffer  []sentFrame[T] // unacknowledged frames, ascending seq
 	acked   atomic.Uint64
 
-	// popVals/popSigs are the bulk-pop scratch buffers: one PopN gathers a
-	// whole frame from the input stream instead of senderBatch TryPops.
-	// Frames copy out of them (the replay buffer must own its memory).
+	// popVals/popSigs stage batches only on the fallback path: a custom
+	// ProvideQueue queue without view support, or the WithCopyEncode
+	// ablation arm. Allocated lazily.
 	popVals []T
 	popSigs []raft.Signal
 
@@ -247,6 +332,7 @@ func NewSender[T any](addr, stream string, opts ...BridgeOption) *Sender[T] {
 	for _, o := range opts {
 		o(&k.opt)
 	}
+	k.raw = !k.opt.copyEncode && pointerFree(reflect.TypeFor[T]())
 	k.SetName("tcp-send[" + stream + "]")
 	raft.AddInput[T](k, "in")
 	return k
@@ -316,6 +402,7 @@ func (s *Sender[T]) ackLoop(conn net.Conn) {
 func (s *Sender[T]) heartbeatLoop() {
 	t := time.NewTicker(s.opt.heartbeat)
 	defer t.Stop()
+	hb := wireFrame{HB: true}
 	for {
 		select {
 		case <-s.stop:
@@ -323,7 +410,7 @@ func (s *Sender[T]) heartbeatLoop() {
 		case <-t.C:
 			s.mu.Lock()
 			if s.enc != nil {
-				err := s.enc.Encode(frame[T]{HB: true})
+				err := s.enc.Encode(&hb)
 				if err == nil && s.flush != nil {
 					err = s.flush()
 				}
@@ -349,47 +436,189 @@ func (s *Sender[T]) dropConn() {
 	s.mu.Unlock()
 }
 
-// Run implements raft.Kernel: gather a batch, sequence it, transmit with
-// replay protection.
+// Run implements raft.Kernel: borrow a batch from the input queue, encode
+// it straight out of ring storage (one frame per contiguous segment, at
+// most two per borrow), and transmit with replay protection. The queue's
+// elements are never staged through a kernel-owned slice: the view pins
+// them in place for the inner encoder, and the replay buffer keeps only
+// the encoded bytes. The borrow is released before the connection write —
+// once a frame is staged, its blob owns the bytes, so the producer can
+// refill the queue while the transmit blocks on the socket.
 func (s *Sender[T]) Run() raft.Status {
 	in := s.In("in")
-	if s.popVals == nil {
-		s.popVals = make([]T, senderBatch)
-		s.popSigs = make([]raft.Signal, senderBatch)
-	}
 	limit := in.BatchHint(senderBatch)
 	if limit > senderBatch {
 		limit = senderBatch
 	} else if limit < 1 {
 		limit = 1
 	}
+	if !s.opt.copyEncode && raft.HasViews[T](in) {
+		v, err := raft.PopView[T](in, limit)
+		if v.Len() == 0 {
+			_ = err // blocking PopView yields elements or ErrClosed
+			return s.finish()
+		}
+		if s.gaveUp {
+			s.dropped.Add(uint64(v.Len()))
+			raft.ReleaseView[T](in, v.Len())
+			return raft.Proceed
+		}
+		first, st := s.stage(v.Vals, v.Sigs)
+		var second uint64
+		if st == raft.Proceed && len(v.Vals2) > 0 {
+			second, st = s.stage(v.Vals2, v.Sigs2)
+		}
+		raft.ReleaseView[T](in, v.Len())
+		if st != raft.Proceed {
+			return st
+		}
+		if err := s.transmit(first); err != nil {
+			return s.giveUp(err)
+		}
+		if second != 0 {
+			if err := s.transmit(second); err != nil {
+				return s.giveUp(err)
+			}
+		}
+		return raft.Proceed
+	}
+	if s.popVals == nil {
+		s.popVals = make([]T, senderBatch)
+		s.popSigs = make([]raft.Signal, senderBatch)
+	}
 	n, err := raft.PopNSig[T](in, s.popVals[:limit], s.popSigs[:limit])
 	if n == 0 || err != nil {
 		return s.finish()
 	}
-	f := frame[T]{
-		Vals: append([]T(nil), s.popVals[:n]...),
-		Sigs: append([]raft.Signal(nil), s.popSigs[:n]...),
-	}
 	if s.gaveUp {
-		s.dropped.Add(uint64(len(f.Vals)))
+		s.dropped.Add(uint64(n))
 		return raft.Proceed
 	}
+	return s.sendBatch(s.popVals[:n], s.popSigs[:n])
+}
+
+// allSigNone reports whether the signal slice (possibly nil) carries no
+// synchronized signals, letting the payload omit it.
+func allSigNone(sigs []raft.Signal) bool {
+	for _, s := range sigs {
+		if s != raft.SigNone {
+			return false
+		}
+	}
+	return true
+}
+
+// stage sequences one element batch and encodes it into a replay-buffer
+// entry, without touching the network: a raw blit when the element type
+// permits, the persistent inner gob stream otherwise. vals/sigs may alias
+// queue storage; they are not retained past the call. A non-Proceed status
+// means the degradation policy already fired.
+func (s *Sender[T]) stage(vals []T, sigs []raft.Signal) (uint64, raft.Status) {
+	if s.raw {
+		return s.stageRaw(vals, sigs), raft.Proceed
+	}
+	if allSigNone(sigs) {
+		sigs = nil
+	}
+	if s.payloadEnc == nil {
+		s.payloadEnc = gob.NewEncoder(&s.encBuf)
+	}
+	s.encBuf.Reset()
+	s.pl.Vals, s.pl.Sigs = vals, sigs
+	err := s.payloadEnc.Encode(&s.pl)
+	s.pl.Vals, s.pl.Sigs = nil, nil // do not retain borrowed storage
+	if err != nil {
+		// The inner stream is poisoned (unencodable element type) — a
+		// programming error, permanent by classification.
+		return 0, s.giveUp(fmt.Errorf("oar: stream %q: payload encode: %w (%v)",
+			s.stream, raft.ErrBridgeDown, err))
+	}
+	bl := s.getBlob(s.encBuf.Len())
+	copy(bl.b, s.encBuf.Bytes())
 	s.nextSeq++
-	f.Seq = s.nextSeq
-	s.buffer = append(s.buffer, f)
+	sf := sentFrame[T]{seq: s.nextSeq, data: bl, n: len(vals)}
+	if s.opt.copyEncode {
+		// Faithful pre-view baseline: the legacy sender kept a value copy
+		// of every unacknowledged batch, so the A15 copy arm pays the
+		// same per-frame allocation and retention it did.
+		sf.vals = append([]T(nil), vals...)
+		sf.sigs = append([]raft.Signal(nil), sigs...)
+	}
+	s.buffer = append(s.buffer, sf)
 	s.prune()
-	if err := s.transmit(f.Seq); err != nil {
+	return s.nextSeq, raft.Proceed
+}
+
+// stageRaw sequences one batch as a raw frame: the element bytes are
+// blitted straight from the (possibly borrowed) slice into a pooled blob,
+// with no per-element encoding. Layout: uvarint element size, 8-byte
+// native-order sentinel, uvarint count, count*size element bytes, one
+// signals-present flag byte, then count signal bytes when any signal is
+// set. It cannot fail: the blit has no encodable-type error mode.
+func (s *Sender[T]) stageRaw(vals []T, sigs []raft.Signal) uint64 {
+	if allSigNone(sigs) {
+		sigs = nil
+	}
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	var hdr [2*binary.MaxVarintLen64 + 8]byte
+	h := binary.PutUvarint(hdr[:], uint64(size))
+	binary.NativeEndian.PutUint64(hdr[h:], rawSentinel)
+	h += 8
+	h += binary.PutUvarint(hdr[h:], uint64(len(vals)))
+	bl := s.getBlob(h + len(vals)*size + 1 + len(sigs))
+	off := copy(bl.b, hdr[:h])
+	if size > 0 && len(vals) > 0 {
+		off += copy(bl.b[off:], unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*size))
+	}
+	if sigs == nil {
+		bl.b[off] = 0
+	} else {
+		bl.b[off] = 1
+		copy(bl.b[off+1:], unsafe.Slice((*byte)(unsafe.Pointer(&sigs[0])), len(sigs)))
+	}
+	s.nextSeq++
+	s.buffer = append(s.buffer, sentFrame[T]{seq: s.nextSeq, data: bl, n: len(vals)})
+	s.prune()
+	return s.nextSeq
+}
+
+// sendBatch stages one batch and transmits it (the staged-copy path; the
+// view path interleaves stage and transmit around the borrow's release).
+func (s *Sender[T]) sendBatch(vals []T, sigs []raft.Signal) raft.Status {
+	seq, st := s.stage(vals, sigs)
+	if st != raft.Proceed {
+		return st
+	}
+	if err := s.transmit(seq); err != nil {
 		return s.giveUp(err)
 	}
 	return raft.Proceed
 }
 
-// prune discards buffered frames the receiver has acknowledged.
+// getBlob leases a pooled encode buffer of length n.
+func (s *Sender[T]) getBlob(n int) *blob {
+	bl, _ := s.blobPool.Get().(*blob)
+	if bl == nil {
+		bl = &blob{}
+	}
+	if cap(bl.b) < n {
+		bl.b = make([]byte, n)
+	}
+	bl.b = bl.b[:n]
+	return bl
+}
+
+// prune discards buffered frames the receiver has acknowledged, returning
+// their blobs to the pool.
 func (s *Sender[T]) prune() {
 	acked := s.acked.Load()
 	i := 0
-	for i < len(s.buffer) && s.buffer[i].Seq <= acked {
+	for i < len(s.buffer) && s.buffer[i].seq <= acked {
+		if s.buffer[i].data != nil {
+			s.blobPool.Put(s.buffer[i].data)
+			s.buffer[i].data = nil
+		}
 		i++
 	}
 	if i > 0 {
@@ -440,8 +669,8 @@ func (s *Sender[T]) encodeSeq(seq uint64) error {
 		return fmt.Errorf("oar: stream %q: %w", s.stream, ErrPeerGone)
 	}
 	for i := range s.buffer {
-		if s.buffer[i].Seq == seq {
-			if err := s.enc.Encode(s.buffer[i]); err != nil {
+		if s.buffer[i].seq == seq {
+			if err := s.encodeFrameLocked(&s.buffer[i]); err != nil {
 				return err
 			}
 			if s.flush != nil {
@@ -451,6 +680,19 @@ func (s *Sender[T]) encodeSeq(seq uint64) error {
 		}
 	}
 	return nil
+}
+
+// encodeFrameLocked writes one replay-buffer entry as an outer wire frame
+// (caller holds s.mu and flushes).
+func (s *Sender[T]) encodeFrameLocked(sf *sentFrame[T]) error {
+	s.wf.Seq, s.wf.EOF, s.wf.HB, s.wf.Data = sf.seq, sf.eof, false, nil
+	s.wf.Raw = s.raw && !sf.eof
+	if sf.data != nil {
+		s.wf.Data = sf.data.b
+	}
+	err := s.enc.Encode(&s.wf)
+	s.wf.Data = nil
+	return err
 }
 
 // AttachTrace implements raft.TraceAttacher.
@@ -494,7 +736,9 @@ func (s *Sender[T]) reconnect() error {
 }
 
 // replay retransmits every buffered frame past the acknowledged watermark
-// on the fresh connection; the receiver deduplicates by sequence.
+// on the fresh connection; the receiver deduplicates by sequence. Replayed
+// frames are the original encoded bytes, so the receiver's persistent
+// inner decoder never sees a re-encoding.
 func (s *Sender[T]) replay() error {
 	s.prune()
 	acked := s.acked.Load()
@@ -504,10 +748,10 @@ func (s *Sender[T]) replay() error {
 		return fmt.Errorf("oar: stream %q: %w", s.stream, ErrPeerGone)
 	}
 	for i := range s.buffer {
-		if s.buffer[i].Seq <= acked {
+		if s.buffer[i].seq <= acked {
 			continue
 		}
-		if err := s.enc.Encode(s.buffer[i]); err != nil {
+		if err := s.encodeFrameLocked(&s.buffer[i]); err != nil {
 			return err
 		}
 		s.replayed.Add(1)
@@ -522,8 +766,11 @@ func (s *Sender[T]) replay() error {
 func (s *Sender[T]) giveUp(err error) raft.Status {
 	if s.opt.policy == Drop {
 		s.gaveUp = true
-		for _, f := range s.buffer {
-			s.dropped.Add(uint64(len(f.Vals)))
+		for i := range s.buffer {
+			s.dropped.Add(uint64(s.buffer[i].n))
+			if s.buffer[i].data != nil {
+				s.blobPool.Put(s.buffer[i].data)
+			}
 		}
 		s.buffer = nil
 		return raft.Proceed
@@ -540,7 +787,7 @@ func (s *Sender[T]) finish() raft.Status {
 		return raft.Stop
 	}
 	s.nextSeq++
-	s.buffer = append(s.buffer, frame[T]{Seq: s.nextSeq, EOF: true})
+	s.buffer = append(s.buffer, sentFrame[T]{seq: s.nextSeq, eof: true})
 	if err := s.transmit(s.nextSeq); err != nil {
 		return s.giveUp(err)
 	}
@@ -569,6 +816,60 @@ func (s *Sender[T]) BridgeStats() (raft.BridgeReport, bool) {
 	}, s.started
 }
 
+// pointerFree reports whether values of type t embed no pointers, so a
+// decoded batch slice may be reused in place across frames. Strings are
+// classed as pointer-bearing out of caution; the cost of a false negative
+// is only the per-frame slice allocation.
+func pointerFree(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32,
+		reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return pointerFree(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pointerFree(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// blobReader feeds the persistent inner decoder one outer frame's Data at
+// a time. It implements io.ByteReader so gob reads it directly (no bufio
+// wrapper that could read ahead across blob boundaries).
+type blobReader struct {
+	data []byte
+	off  int
+}
+
+func (b *blobReader) load(data []byte) { b.data, b.off = data, 0 }
+
+func (b *blobReader) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *blobReader) ReadByte() (byte, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	c := b.data[b.off]
+	b.off++
+	return c, nil
+}
+
 // Receiver is the consuming end of a bridge: a source kernel with output
 // port "out" fed by the TCP stream registered on its node, deduplicating
 // replayed frames and acknowledging delivery.
@@ -587,6 +888,20 @@ type Receiver[T any] struct {
 	dec    *gob.Decoder
 	ackEnc *gob.Encoder
 
+	// The persistent inner payload stream, mirroring the sender's: one
+	// decoder for the life of the receiver, fed each frame's Data blob in
+	// sequence order (duplicates are filtered by seq before the decode so
+	// the descriptor state never desynchronizes). pl's slices are reused
+	// across frames only when T is pointer-free (see reuseVals): the bulk
+	// push below copies element values, not what they point at, and gob
+	// decodes into whatever backing storage the destination still holds —
+	// reusing a pointer-bearing batch would rewrite bytes that delivered
+	// elements in the ring still reference.
+	payloadDec *gob.Decoder
+	blobSrc    blobReader
+	pl         payload[T]
+	reuseVals  bool
+
 	delivered uint64
 	started   bool
 
@@ -603,7 +918,10 @@ func NewReceiver[T any](node *Node, stream string, opts ...BridgeOption) (*Recei
 	if err != nil {
 		return nil, err
 	}
-	k := &Receiver[T]{node: node, stream: stream, accept: ch, opt: defaultBridgeOpts()}
+	k := &Receiver[T]{
+		node: node, stream: stream, accept: ch, opt: defaultBridgeOpts(),
+		reuseVals: pointerFree(reflect.TypeFor[T]()),
+	}
 	for _, o := range opts {
 		o(&k.opt)
 	}
@@ -644,8 +962,9 @@ func (r *Receiver[T]) dropConn() {
 	r.conn, r.dec, r.ackEnc = nil, nil, nil
 }
 
-// Run implements raft.Kernel: decode one frame, deduplicate, deliver, ack.
-// Connection failures (timeout, EOF mid-stream, corrupt frames) are
+// Run implements raft.Kernel: decode one outer frame, deduplicate by
+// sequence, decode the payload on the persistent inner stream, deliver,
+// ack. Connection failures (timeout, EOF mid-stream, corrupt frames) are
 // healed by waiting for the sender's reconnect; an outage outlasting
 // MaxDowntime degrades per the policy.
 func (r *Receiver[T]) Run() raft.Status {
@@ -656,48 +975,132 @@ func (r *Receiver[T]) Run() raft.Status {
 			}
 		}
 		_ = r.conn.SetReadDeadline(time.Now().Add(r.opt.peerTimeout))
-		var f frame[T]
-		if err := r.dec.Decode(&f); err != nil {
+		var wf wireFrame
+		if err := r.dec.Decode(&wf); err != nil {
 			// Transient by classification: the healing protocol owns it.
 			r.dropConn()
 			continue
 		}
-		if f.HB {
+		if wf.HB {
 			continue
 		}
-		if f.Seq != 0 && f.Seq <= r.delivered {
-			// Replayed duplicate: re-acknowledge so the sender prunes it.
-			r.ack(f.Seq)
+		if wf.Seq != 0 && wf.Seq <= r.delivered {
+			// Replayed duplicate: its bytes already went through the inner
+			// decoder once, so it must be filtered here, before the decode.
+			// Re-acknowledge so the sender prunes it.
+			r.ack(wf.Seq)
 			continue
 		}
-		if f.EOF {
-			r.ack(f.Seq)
+		if wf.EOF {
+			r.ack(wf.Seq)
 			return raft.Stop
 		}
-		out := r.Out("out")
-		if len(f.Sigs) == len(f.Vals) {
-			// Whole frame in one bulk push: a single lock acquisition
-			// delivers the batch with its signals aligned.
-			if err := raft.PushNSig(out, f.Vals, f.Sigs); err != nil {
+		if wf.Raw {
+			// A malformed raw frame is permanent by classification: the
+			// outer decode already validated transport integrity, so the
+			// endpoints disagree on element layout or byte order.
+			if err := r.decodeRaw(wf.Data); err != nil {
+				if r.opt.policy == Fail {
+					r.Raise(fmt.Errorf("oar: stream %q: raw frame: %w (%v)",
+						r.stream, raft.ErrBridgeDown, err))
+				}
 				return raft.Stop
 			}
 		} else {
-			for i, v := range f.Vals {
-				sig := raft.SigNone
-				if i < len(f.Sigs) {
-					sig = f.Sigs[i]
+			r.blobSrc.load(wf.Data)
+			if r.payloadDec == nil {
+				r.payloadDec = gob.NewDecoder(&r.blobSrc)
+			}
+			if r.reuseVals {
+				r.pl.Vals = r.pl.Vals[:0]
+			} else {
+				r.pl.Vals = nil // force fresh element storage (see field doc)
+			}
+			r.pl.Sigs = r.pl.Sigs[:0]
+			if err := r.payloadDec.Decode(&r.pl); err != nil {
+				// The inner stream is poisoned: a fresh decoder could not
+				// pick up mid-stream (descriptors were sent once), so this
+				// outage is permanent by construction.
+				if r.opt.policy == Fail {
+					r.Raise(fmt.Errorf("oar: stream %q: payload decode: %w (%v)",
+						r.stream, raft.ErrBridgeDown, err))
 				}
-				if err := raft.PushSig(out, v, sig); err != nil {
-					return raft.Stop
-				}
+				return raft.Stop
 			}
 		}
-		if f.Seq != 0 {
-			r.delivered = f.Seq
-			r.ack(f.Seq)
+		out := r.Out("out")
+		if len(r.pl.Sigs) == len(r.pl.Vals) {
+			// Whole frame in one bulk push: a single lock acquisition
+			// delivers the batch with its signals aligned.
+			if err := raft.PushNSig(out, r.pl.Vals, r.pl.Sigs); err != nil {
+				return raft.Stop
+			}
+		} else if err := raft.PushN(out, r.pl.Vals); err != nil {
+			return raft.Stop
+		}
+		if wf.Seq != 0 {
+			r.delivered = wf.Seq
+			r.ack(wf.Seq)
 		}
 		return raft.Proceed
 	}
+}
+
+// decodeRaw unpacks one raw frame (see stageRaw for the layout) into
+// r.pl, blitting element bytes into the reused batch slice. Raw frames
+// exist only for pointer-free T, so in-place reuse is always safe here;
+// the element-size and sentinel checks make a layout or byte-order
+// disagreement between endpoints fail loudly instead of delivering
+// garbage elements.
+func (r *Receiver[T]) decodeRaw(data []byte) error {
+	var zero T
+	size, h := binary.Uvarint(data)
+	if h <= 0 || len(data) < h+8 {
+		return fmt.Errorf("truncated raw header")
+	}
+	if !r.reuseVals {
+		return fmt.Errorf("raw frame for pointer-bearing element type %T", zero)
+	}
+	if size != uint64(unsafe.Sizeof(zero)) {
+		return fmt.Errorf("element size mismatch: sender %d bytes, receiver %d (%T)",
+			size, unsafe.Sizeof(zero), zero)
+	}
+	if got := binary.NativeEndian.Uint64(data[h:]); got != rawSentinel {
+		return fmt.Errorf("byte-order sentinel mismatch (%#x): endpoints disagree on endianness", got)
+	}
+	data = data[h+8:]
+	cnt64, h := binary.Uvarint(data)
+	if h <= 0 {
+		return fmt.Errorf("truncated raw count")
+	}
+	cnt := int(cnt64)
+	data = data[h:]
+	need := cnt * int(size)
+	if cnt < 0 || len(data) < need+1 {
+		return fmt.Errorf("raw frame holds %d bytes, want %d elements of %d", len(data), cnt, size)
+	}
+	if cap(r.pl.Vals) < cnt {
+		r.pl.Vals = make([]T, cnt)
+	}
+	r.pl.Vals = r.pl.Vals[:cnt]
+	if need > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&r.pl.Vals[0])), need), data)
+	}
+	data = data[need:]
+	r.pl.Sigs = r.pl.Sigs[:0]
+	if data[0] != 0 {
+		if len(data) < 1+cnt {
+			return fmt.Errorf("raw frame truncated in signals")
+		}
+		if cap(r.pl.Sigs) < cnt {
+			r.pl.Sigs = make([]raft.Signal, cnt)
+		}
+		r.pl.Sigs = r.pl.Sigs[:cnt]
+		if cnt > 0 {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&r.pl.Sigs[0])), cnt), data[1:])
+		}
+	}
+	return nil
 }
 
 // ack reports delivery through Seq; failures are ignored (a dying

@@ -1,0 +1,112 @@
+package oar
+
+import (
+	"encoding/gob"
+	"io"
+	"testing"
+	"time"
+
+	"raftlib/internal/fault"
+	"raftlib/raft"
+)
+
+// newBenchSender wires a sender's wire path to a sink writer without a real
+// connection, so the framing/encode path can be measured in isolation.
+func newBenchSender(w io.Writer) *Sender[int64] {
+	s := NewSender[int64]("unused", "allocs")
+	s.enc = gob.NewEncoder(w)
+	return s
+}
+
+// TestSenderSteadyStateAllocs pins the zero-allocation property of the
+// sender's frame path: after warm-up (type descriptors sent, pool and
+// scratch grown), sequencing + blob lease + outer transmit of a frame
+// allocates nothing of its own. The replay blob comes from the pool, the
+// payload encoder and its buffer persist, and the outer frame is encoded
+// through a persistent struct. The one tolerated allocation per frame is
+// gob-internal: the encoder's element-slice fast path boxes the slice
+// header through reflect (reflect.packEface in encInt64Slice), a cost of
+// the codec itself, not of the framing path — regression past it means
+// per-frame garbage crept back into our code.
+func TestSenderSteadyStateAllocs(t *testing.T) {
+	s := newBenchSender(io.Discard)
+	vals := make([]int64, senderBatch)
+	sigs := make([]raft.Signal, senderBatch) // all SigNone: payload omits them
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	send := func() {
+		if st := s.sendBatch(vals, sigs); st != raft.Proceed {
+			t.Fatal("sendBatch did not proceed")
+		}
+		// Ack immediately so the next call's prune recycles the blob.
+		s.acked.Store(s.nextSeq)
+	}
+	for i := 0; i < 16; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg > 1 {
+		t.Fatalf("bridge sender allocates %.2f allocs/frame in steady state, want <=1 (gob-internal only)", avg)
+	}
+}
+
+// TestSenderAllocsWithSignals covers the signal-carrying arm (payload.Sigs
+// encoded): still allocation-free in steady state.
+func TestSenderAllocsWithSignals(t *testing.T) {
+	s := newBenchSender(io.Discard)
+	vals := make([]int64, 64)
+	sigs := make([]raft.Signal, 64)
+	sigs[63] = raft.SigEOF
+	send := func() {
+		if st := s.sendBatch(vals, sigs); st != raft.Proceed {
+			t.Fatal("sendBatch did not proceed")
+		}
+		s.acked.Store(s.nextSeq)
+	}
+	for i := 0; i < 16; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg > 1 {
+		t.Fatalf("bridge sender allocates %.2f allocs/frame with signals, want <=1 (gob-internal only)", avg)
+	}
+}
+
+// TestBridgeRoundTripPayloads verifies the two-layer wire format end to
+// end over a real connection, on both the view and copy-encode arms, with
+// replay-inducing faults on the view arm (exactly-once across the
+// persistent inner decoder).
+func TestBridgeRoundTripPayloads(t *testing.T) {
+	node := newTestNode(t, "roundtrip")
+	const n = 5000
+	inj := fault.New()
+	inj.SeverBridge("rt-view", 7)
+	inj.CorruptBridge("rt-view", 13)
+	got, errS, errR := runBridge(t, node, "rt-view", n, WithBridgeFault(inj),
+		WithReconnectBackoff(time.Millisecond, 50*time.Millisecond))
+	if errS != nil || errR != nil {
+		t.Fatalf("view arm: exe errors: %v / %v", errS, errR)
+	}
+	requireExactSequence(t, got, n)
+
+	got, errS, errR = runBridge(t, node, "rt-copy", n, WithCopyEncode())
+	if errS != nil || errR != nil {
+		t.Fatalf("copy arm: exe errors: %v / %v", errS, errR)
+	}
+	requireExactSequence(t, got, n)
+}
+
+// BenchmarkSenderFrame reports the steady-state cost of one frame on the
+// sender wire path (256 int64 elements, no live connection).
+func BenchmarkSenderFrame(b *testing.B) {
+	s := newBenchSender(io.Discard)
+	vals := make([]int64, senderBatch)
+	sigs := make([]raft.Signal, senderBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := s.sendBatch(vals, sigs); st != raft.Proceed {
+			b.Fatal("sendBatch did not proceed")
+		}
+		s.acked.Store(s.nextSeq)
+	}
+}

@@ -27,6 +27,15 @@ import (
 // stageHdr is the connection header kind for stage spawns.
 const stageHdr = "spawn"
 
+// frame is one stage wire batch. Stage connections are not self-healing
+// (the bridge's sequenced wireFrame protocol is), so a plain batch struct
+// suffices.
+type frame[T any] struct {
+	Vals []T
+	Sigs []raft.Signal
+	EOF  bool
+}
+
 // RegisterStage exposes a kernel factory under name on node n. T and U are
 // the stage's input and output element types; the factory must return a
 // kernel with exactly one input port of T and one output port of U.

@@ -124,6 +124,14 @@ type Telemetry struct {
 	// Dropped elements are counted in neither Pushes nor Pops, so flow-based
 	// rate estimates stay uncontaminated by the shed traffic.
 	Dropped counter64
+	// Views counts completed borrow/release cycles (read and write batch
+	// views, see view.go); ViewHoldNs is the cumulative wall time views were
+	// held. A link whose mean hold time approaches the monitor's δ is
+	// pinning its ring storage long enough to distort occupancy-based
+	// decisions — the monitor skips resize decisions while a view is out,
+	// and these counters make that pressure observable.
+	Views      counter64
+	ViewHoldNs counter64
 	// occ is the paper's §4.1 "queue occupancy histogram" recorded on the
 	// write side itself rather than by monitor sampling: bucket i counts
 	// push operations that left the queue at a log2-bucketed occupancy
@@ -206,6 +214,8 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		SpinYields:   t.SpinYields.Load(),
 		SpinSleeps:   t.SpinSleeps.Load(),
 		Dropped:      t.Dropped.Load(),
+		Views:        t.Views.Load(),
+		ViewHoldNs:   t.ViewHoldNs.Load(),
 	}
 	for i := range s.Occupancy {
 		s.Occupancy[i] = t.occ[i].Load()
@@ -226,6 +236,10 @@ type TelemetrySnapshot struct {
 	SpinSleeps   uint64
 	// Dropped counts elements discarded by the best-effort overflow policy.
 	Dropped uint64
+	// Views counts completed borrow/release view cycles; ViewHoldNs is the
+	// cumulative time views were held (see view.go).
+	Views      uint64
+	ViewHoldNs uint64
 	// Occupancy is the per-push log2 occupancy histogram (see Telemetry.occ
 	// for bucket semantics). Quantiles come from stats.LogQuantile.
 	Occupancy [OccBuckets]uint64

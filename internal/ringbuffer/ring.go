@@ -44,6 +44,20 @@ type Ring[T any] struct {
 	// capacity since the last Resize, for monitor visibility.
 	pendingDemand atomic.Int64
 
+	// Batch-view state (see view.go). While a read view is out the head
+	// region is pinned: eviction stops and the storage may not be repacked.
+	// While a write view is out the physical write index (head+n mod cap)
+	// must stay fixed, so the empty-ring head reset is suppressed. Resizes
+	// requested while either view is out are recorded in deferredCap and
+	// applied at release.
+	viewOut     bool
+	viewN       int
+	viewSince   int64
+	wviewOut    bool
+	wviewN      int
+	wviewSince  int64
+	deferredCap int
+
 	tel Telemetry
 }
 
@@ -105,11 +119,25 @@ func (r *Ring[T]) SetBestEffort(on bool) {
 	r.mu.Unlock()
 }
 
+// BestEffort reports whether the ring runs the latest-wins overflow policy.
+func (r *Ring[T]) BestEffort() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bestEffort
+}
+
 // evictLocked discards up to want of the oldest signal-free elements to
 // make room for a best-effort push, stopping early at a signal-carrying
 // head. Evictions count as Dropped, not Pops: the elements were never
 // consumed, and the flow counters feeding λ̂/µ̂ must not see them.
 func (r *Ring[T]) evictLocked(want int) {
+	if r.viewOut {
+		// The head region is borrowed by an outstanding read view: nothing
+		// may be evicted from under it. Best-effort pushes shed the incoming
+		// signal-free elements instead (the same fallback as a signal-pinned
+		// head), so the producer still never blocks on payload.
+		return
+	}
 	var zero T
 	dropped := 0
 	for dropped < want && r.n > 0 && r.sigAt(r.head) == SigNone {
@@ -121,7 +149,7 @@ func (r *Ring[T]) evictLocked(want int) {
 	if dropped > 0 {
 		r.tel.Dropped.Add(uint64(dropped))
 	}
-	if r.n == 0 {
+	if r.n == 0 && !r.wviewOut {
 		r.head = 0 // keep the buffer in the fast non-wrapped position
 	}
 }
@@ -547,8 +575,11 @@ func (r *Ring[T]) dropLocked(k int) {
 	}
 	r.head = r.index0(r.head + k)
 	r.n -= k
-	if r.n == 0 {
-		r.head = 0 // keep the buffer in the fast non-wrapped position
+	if r.n == 0 && !r.wviewOut {
+		// Keep the buffer in the fast non-wrapped position — unless a write
+		// view is out, whose reserved slots sit at the physical index
+		// (head+n) mod cap and must not move.
+		r.head = 0
 	}
 	r.tel.Pops.Add(uint64(k))
 	r.notFull.Broadcast()
@@ -581,6 +612,13 @@ func (r *Ring[T]) resizeLocked(newCap int) error {
 		return ErrTooSmall
 	}
 	if newCap == len(r.vals) {
+		return nil
+	}
+	if r.viewOut || r.wviewOut {
+		// An outstanding view aliases the backing array; repacking now would
+		// pull the storage out from under the borrower. Record the target and
+		// apply it when the last view is released (view.go).
+		r.deferredCap = newCap
 		return nil
 	}
 	grew := newCap > len(r.vals)

@@ -26,9 +26,22 @@ type SPSC[T any] struct {
 	_pad0 [64]byte
 	tail  atomic.Uint64 // next write sequence (producer-owned)
 	prod  *spscSeg[T]   // epoch being written (producer-owned)
+	// Write-view state (producer-owned, plain: see view.go). wviewT is the
+	// tail sequence the outstanding write view was acquired at.
+	wviewOut bool
+	wviewN   int
+	wviewT   uint64
+
 	_pad1 [64]byte
 	head  atomic.Uint64 // next read sequence (consumer-owned)
 	cons  *spscSeg[T]   // epoch being read (consumer-owned)
+
+	// Read-view state (consumer-owned, plain). viewH is the head sequence
+	// the outstanding read view was acquired at.
+	viewOut bool
+	viewN   int
+	viewH   uint64
+
 	_pad2 [64]byte
 
 	// active is the newest epoch, for third-party observers (Cap);
@@ -51,6 +64,12 @@ type SPSC[T any] struct {
 
 	writerBlockSince atomic.Int64
 	readerBlockSince atomic.Int64
+
+	// viewSince / wviewSince hold the UnixNano a read/write view was
+	// acquired at (0 when none is out), read lock-free by the monitor's
+	// ViewHeldFor probe.
+	viewSince  atomic.Int64
+	wviewSince atomic.Int64
 }
 
 // NewSPSC returns a lock-free ring whose capacity is capacity rounded up to
@@ -71,11 +90,25 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 // uint64 difference is a huge bogus length. With head read first the
 // relation head_before <= head_now <= tail_now keeps the difference
 // non-negative; the clamp guards the theoretical torn-interleaving remnant.
-// During an epoch swap Len may transiently exceed Cap: the old epoch's
-// backlog does not occupy the new ring.
+// A drain-and-refill sandwiched between the two loads is the mirror hazard:
+// tail_now - head_before can exceed the ring size. Re-reading head after
+// tail detects it seqlock-style — an unchanged head proves the difference
+// was a real instantaneous occupancy (every push that set tail saw a head
+// no newer than the one observed, so the producer's own full-check bounds
+// it). A few retries always suffice in practice; the bounded fallback
+// returns the non-negative estimate rather than spinning against a
+// pathological consumer. (During an epoch-swap shrink the true occupancy
+// legitimately exceeds Cap — the old epoch's backlog does not fit the new
+// ring — which is why the detector re-reads instead of clamping.)
 func (q *SPSC[T]) Len() int {
-	h := q.head.Load()
-	t := q.tail.Load()
+	var h, t uint64
+	for i := 0; i < 16; i++ {
+		h = q.head.Load()
+		t = q.tail.Load()
+		if q.head.Load() == h {
+			break
+		}
+	}
 	if t < h {
 		return 0
 	}
@@ -95,6 +128,10 @@ func (q *SPSC[T]) Kind() string { return "spsc" }
 // bestEffort field for why this side is drop-newest while the mutex ring
 // is latest-wins.
 func (q *SPSC[T]) SetBestEffort(on bool) { q.bestEffort.Store(on) }
+
+// BestEffort reports whether the queue runs the drop-newest overflow
+// policy.
+func (q *SPSC[T]) BestEffort() bool { return q.bestEffort.Load() }
 
 // Close marks the producer finished. Idempotent.
 func (q *SPSC[T]) Close() { q.closed.Store(true) }

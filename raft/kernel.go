@@ -212,9 +212,23 @@ func newPort[T any](name string, dir Direction) *Port {
 			if scratch < 1 {
 				scratch = 1
 			}
-			vals := make([]T, scratch)
-			sigs := make([]Signal, scratch)
+			// Scratch is allocated lazily: both built-in queue kinds take
+			// the zero-copy view path (moveView), which never stages
+			// elements, so the buffers exist only for custom ProvideQueue
+			// queues without view support.
+			var vals []T
+			var sigs []Signal
 			return func(src, dst any, max int, block bool) (int, error) {
+				if max > scratch {
+					max = scratch // keep the framing ceiling of the scratch path
+				}
+				if n, err, ok := moveView[T](src, dst, max, block); ok {
+					return n, err
+				}
+				if vals == nil {
+					vals = make([]T, scratch)
+					sigs = make([]Signal, scratch)
+				}
 				return moveBatched[T](src, dst, max, block, vals, sigs)
 			}
 		},

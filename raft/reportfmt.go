@@ -89,8 +89,8 @@ func (r *Report) String() string {
 		writeTable(&b, tenantCols(), len(r.Gateway.Tenants),
 			func(i int) *GatewayTenant { return &r.Gateway.Tenants[i] })
 		for _, s := range r.Gateway.Sources {
-			fmt.Fprintf(&b, "  source %-28s %d admitted, %d dropped\n",
-				s.Name, s.AdmittedElems, s.Dropped)
+			fmt.Fprintf(&b, "  source %-28s %d admitted, %d dropped, %d copies saved\n",
+				s.Name, s.AdmittedElems, s.Dropped, s.CopiesSaved)
 		}
 	}
 	return b.String()
