@@ -10,7 +10,7 @@ CI_SEED ?= 0
 FUZZTIME ?= 60s
 FUZZTIME_SHORT ?= 15s
 
-.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-nightly-bars
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-nightly-bars
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench:
 # ci runs exactly what .github/workflows/ci.yml runs, as one local command.
 # The workflow jobs invoke the ci-* sub-targets below so the two can never
 # drift: editing a step here edits it for CI too.
-ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view
+ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs
 
 ci-vet:
 	$(GO) vet ./...
@@ -113,12 +113,26 @@ ci-view:
 	$(GO) test -race -run 'View|Batch|Pooled|Alloc' ./internal/oar/ ./internal/monitor/ ./kernels/ ./raft/
 	$(GO) run ./cmd/raft-bench -ablate view -seed $(CI_SEED)
 
+# Observability gate: race-test the latency-marker path end to end —
+# the marker lane/domain and timeline in internal/trace, the raft-level
+# marker/healthz integration tests, and the bridge sidecar — with three
+# passes, since marker handoff between ports, lanes and carriers is
+# interleaving-dependent; then run the A16 ablation as a seeded smoke.
+# Marker exactness, attribution, the flight dump and the bridge-sidecar
+# checks assert on every run; the 3% overhead bar warns on small runners
+# and is enforced by the nightly perf-bars job.
+ci-obs:
+	$(GO) test -race -count=3 ./internal/trace/...
+	$(GO) test -race -count=3 -run 'Marker|Latency|Flight|Healthz|Timeline' ./raft/ ./internal/oar/
+	$(GO) run ./cmd/raft-bench -ablate latency -items 500000 -seed $(CI_SEED)
+
 # The nightly perf gate: the A5 (monitoring overhead), A11 (batching
 # speedup), A12 (telemetry overhead), A13 (controller parity/latency/
-# overhead), A14 (gateway admission/isolation) and A15 (zero-copy view
-# speedup) bars, *enforced* — -enforce-bars refuses the small-runner
-# downgrade, so a missed bar fails the job. Runs only on the pinned
-# multi-core runner (see the perf-bars job in .github/workflows/ci.yml);
-# PR-time bench-smoke stays advisory.
+# overhead), A14 (gateway admission/isolation), A15 (zero-copy view
+# speedup) and A16 (latency-marker overhead) bars, *enforced* —
+# -enforce-bars refuses the small-runner downgrade, so a missed bar
+# fails the job. Runs only on the pinned multi-core runner (see the
+# perf-bars job in .github/workflows/ci.yml); PR-time bench-smoke stays
+# advisory.
 ci-nightly-bars:
-	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view -corpus 16 -seed $(CI_SEED) -enforce-bars
+	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view,latency -corpus 16 -seed $(CI_SEED) -enforce-bars

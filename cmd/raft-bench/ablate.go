@@ -51,6 +51,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateGateway()
 	case "view":
 		ablateView()
+	case "latency":
+		ablateLatency()
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)

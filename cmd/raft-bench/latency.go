@@ -1,0 +1,362 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"raftlib/internal/oar"
+	"raftlib/kernels"
+	"raftlib/raft"
+)
+
+// ablateLatency evaluates the latency-provenance layer (A16): sampled
+// markers stamped at ingest, carried through queues, adapters and bridges,
+// retired at sinks into per-flow e2e histograms with per-stage residence.
+//
+//  1. marker overhead — the worst-case element-wise pipeline at the
+//     default stride must run within 3% of a markers-off run (same
+//     rep-major best-of-N discipline as A12).
+//  2. attribution — a pipeline with one deliberately slow stage; the
+//     per-stage residence table must name that stage as the top
+//     kernel-residence consumer, and the injected stall must breach the
+//     SLO and produce a flight dump whose trace.json parses as a Chrome
+//     trace with cross-kernel latency flow events.
+//  3. per-tenant e2e — two tenants share a gateway-fed pipeline; the
+//     final report (and the /v1/stats JSON) must expose a per-tenant
+//     e2e p99 for each.
+//  4. bridge transit — markers must cross a loopback TCP bridge inside
+//     the frame sidecar without perturbing the payload: the distributed
+//     sum stays exact and the consumer-side report attributes a
+//     "bridge:" transit stage.
+func ablateLatency() {
+	header("A16: Latency provenance — marker overhead, attribution, flight recorder")
+
+	// --- Part 1: marker overhead on the element-wise pipeline. ---
+	items := int64(benchItems)
+	want := items * (items - 1) / 2
+	type cfg struct {
+		name string
+		opts []raft.Option
+	}
+	cases := []cfg{
+		{"markers-off", []raft.Option{raft.WithoutLatencyMarkers()}},
+		{fmt.Sprintf("stride=%d (default)", raft.DefaultMarkerStride), nil},
+		{"stride=64", []raft.Option{raft.WithLatencyMarkers(64)}},
+	}
+	var retired uint64
+	runSum := func(opts []raft.Option) float64 {
+		var sum int64
+		m := raft.NewMap()
+		m.MustLink(kernels.NewGenerate(items, func(i int64) int64 { return i }),
+			kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &sum))
+		start := time.Now()
+		rep, err := m.Exe(opts...)
+		if err != nil {
+			fmt.Println("error:", err)
+			return 0
+		}
+		elapsed := time.Since(start)
+		if sum != want {
+			fmt.Printf("!! sum = %d, want %d (markers changed the stream)\n", sum, want)
+		}
+		if rep.Latency != nil && rep.Latency.Retired > retired {
+			retired = rep.Latency.Retired
+		}
+		return float64(items) / elapsed.Seconds()
+	}
+	const reps = 7
+	best := make([]float64, len(cases))
+	for rep := 0; rep < reps; rep++ { // rep-major: host drift hits every config equally
+		for ci, c := range cases {
+			if r := runSum(c.opts); r > best[ci] {
+				best[ci] = r
+			}
+		}
+	}
+	fmt.Printf("small-element synthetic: generate -> reduce, %d int64 elements, element-wise, best of %d\n\n", items, reps)
+	fmt.Printf("%-22s %-12s %-10s\n", "config", "Mitems/s", "overhead")
+	for ci, c := range cases {
+		if ci == 0 {
+			fmt.Printf("%-22s %-12.2f %-10s\n", c.name, best[0]/1e6, "-")
+		} else {
+			fmt.Printf("%-22s %-12.2f %-+.1f%%\n", c.name, best[ci]/1e6, 100*(best[0]/best[ci]-1))
+		}
+	}
+	fmt.Printf("\nmarkers retired at default stride: %d\n", retired)
+	if over := 100 * (best[0]/best[1] - 1); over > 3 {
+		failf("A16: default-stride marker overhead %.1f%% > 3%% on the element-wise pipeline", over)
+	}
+	if retired == 0 {
+		failf("A16: no markers retired at the default stride")
+	}
+
+	// --- Part 2: attribution + SLO breach -> flight dump. ---
+	fmt.Printf("\nattribution: generate -> slow (every 512th item stalls 2ms) -> sink, stride 128\n")
+	flightBase := filepath.Join(os.TempDir(), fmt.Sprintf("raft-a16-%d", os.Getpid()))
+	defer os.RemoveAll(flightBase + ".flightdump")
+	const stallItems = 20_000
+	slow := raft.NewLambdaIO[int64, int64](1, 1, func(k *raft.LambdaKernel) raft.Status {
+		v, err := raft.Pop[int64](k.In("0"))
+		if err != nil {
+			return raft.Stop
+		}
+		// The injected stall, phase-aligned with the stride-128 marker
+		// elements (push k carries value k-1) so every 4th marker measures
+		// its own stall as kernel residence, not just queue time behind it.
+		if v%512 == 127 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := raft.Push(k.Out("0"), v); err != nil {
+			return raft.Stop
+		}
+		return raft.Proceed
+	})
+	slow.SetName("slow")
+	var got int64
+	m := raft.NewMap()
+	m.MustLink(kernels.NewGenerate(stallItems, func(i int64) int64 { return i }), slow)
+	m.MustLink(slow, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &got))
+	rep, err := m.Exe(
+		raft.WithLatencyMarkers(128),
+		raft.WithLatencySLO(500*time.Microsecond),
+		raft.WithFlightRecorder(flightBase),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if rep.Latency == nil || rep.Latency.Retired == 0 {
+		failf("A16: stall pipeline retired no markers")
+		return
+	}
+	fmt.Printf("  retired %d markers across %d stage(s)\n", rep.Latency.Retired, len(rep.Latency.Stages))
+	// Residence (queue + kernel) must concentrate on the hop into the slow
+	// kernel: markers either measure the stall directly or queue behind it.
+	top := ""
+	var topMean int64
+	for _, s := range rep.Latency.Stages {
+		if s.Count == 0 {
+			continue
+		}
+		if mean := (s.QueueNs + s.KernelNs) / int64(s.Count); mean > topMean {
+			topMean, top = mean, s.Stage
+		}
+	}
+	fmt.Printf("  top residence: %-34s mean %v\n", top, time.Duration(topMean).Round(time.Microsecond))
+	if !strings.Contains(top, "->slow") {
+		failf("A16: per-stage attribution blamed %q, want the hop into the slow kernel", top)
+	}
+	if rep.Latency.FlightDumps == 0 {
+		failf("A16: SLO breaches (bar 500µs under a 2ms stall) produced no flight dump")
+	} else {
+		tracePath := filepath.Join(rep.Latency.FlightDir, "trace.json")
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			failf("A16: flight dump missing trace.json: %v", err)
+		} else {
+			var doc struct {
+				TraceEvents []struct {
+					Ph  string `json:"ph"`
+					Cat string `json:"cat"`
+				} `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				failf("A16: flight trace.json is not valid Chrome-trace JSON: %v", err)
+			} else {
+				var starts, ends int
+				for _, e := range doc.TraceEvents {
+					if e.Cat == "latency" {
+						switch e.Ph {
+						case "s":
+							starts++
+						case "f":
+							ends++
+						}
+					}
+				}
+				fmt.Printf("  flight dump: %d dump(s) in %s (%d events, %d/%d flow start/end)\n",
+					rep.Latency.FlightDumps, rep.Latency.FlightDir, len(doc.TraceEvents), starts, ends)
+				if starts == 0 || ends == 0 {
+					failf("A16: flight trace.json carries no cross-kernel latency flow events")
+				}
+				if _, err := os.Stat(filepath.Join(rep.Latency.FlightDir, "postmortem.txt")); err != nil {
+					failf("A16: flight dump missing postmortem.txt: %v", err)
+				}
+			}
+		}
+	}
+
+	// --- Part 3: per-tenant e2e p99 through the gateway. ---
+	fmt.Printf("\nper-tenant e2e: two tenants -> gateway -> worker -> sink, stride 8\n")
+	gw, err := raft.NewGateway(raft.GatewayConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	src := raft.NewSource[[]byte]("logs")
+	if err := BindLines(gw, src); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	worker := raft.NewLambdaIO[[]byte, int](1, 1, func(k *raft.LambdaKernel) raft.Status {
+		if _, err := raft.Pop[[]byte](k.In("0")); err != nil {
+			return raft.Stop
+		}
+		time.Sleep(50 * time.Microsecond)
+		if err := raft.Push(k.Out("0"), 1); err != nil {
+			return raft.Stop
+		}
+		return raft.Proceed
+	})
+	worker.SetName("worker")
+	sink := raft.NewLambdaIO[int, int](1, 0, func(k *raft.LambdaKernel) raft.Status {
+		if _, err := raft.Pop[int](k.In("0")); err != nil {
+			return raft.Stop
+		}
+		return raft.Proceed
+	})
+	sink.SetName("drain")
+	gm := raft.NewMap()
+	gm.MustLink(src, worker)
+	gm.MustLink(worker, sink)
+	done := make(chan error, 1)
+	var gwRep *raft.Report
+	go func() {
+		var err error
+		gwRep, err = gm.Exe(raft.WithGateway(gw), raft.WithLatencyMarkers(8))
+		done <- err
+	}()
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	post := func(tenant string, elems int) int {
+		payload := strings.TrimSuffix(strings.Repeat("needle\n", elems), "\n")
+		req, err := http.NewRequest("POST", "http://"+gw.Addr()+"/v1/ingest/logs", strings.NewReader(payload))
+		if err != nil {
+			return 0
+		}
+		req.Header.Set("X-Raft-Tenant", tenant)
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for post("warmup", 1) != http.StatusAccepted {
+		if time.Now().After(deadline) {
+			src.CloseIntake()
+			<-done
+			fmt.Println("error: source never wired")
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(t string) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				post(t, 4)
+				time.Sleep(time.Millisecond)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	var statsBody string
+	if resp, err := httpc.Get("http://" + gw.Addr() + "/v1/stats"); err == nil {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		statsBody = string(b)
+	}
+	src.CloseIntake()
+	if err := <-done; err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("  %-10s %-12s %-12s\n", "tenant", "admitted", "e2e p99")
+	missing := []string{}
+	if gwRep.Gateway != nil {
+		for _, t := range gwRep.Gateway.Tenants {
+			if t.Name == "warmup" {
+				continue
+			}
+			fmt.Printf("  %-10s %-12d %-12v\n", t.Name, t.AdmittedElems, t.E2EP99.Round(10*time.Microsecond))
+			if t.E2EP99 == 0 {
+				missing = append(missing, t.Name)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		failf("A16: no per-tenant e2e p99 for %v in the gateway report", missing)
+	}
+	if !strings.Contains(statsBody, "E2EP99Ns") {
+		failf("A16: /v1/stats JSON does not expose E2EP99Ns")
+	} else {
+		fmt.Printf("  /v1/stats exposes per-tenant E2EP99Ns\n")
+	}
+
+	// --- Part 4: markers across a loopback TCP bridge. ---
+	fmt.Printf("\nbridge transit: generate -> tcp-send ~~> tcp-recv -> reduce, 200k items, stride 256\n")
+	const bitems = 200_000
+	node, err := oar.NewNode("a16", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer node.Close()
+	send, recv, err := oar.Bridge[int64](node, "a16-sum")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	producer := raft.NewMap()
+	producer.MustLink(kernels.NewGenerate(bitems, func(i int64) int64 { return i }), send)
+	var total int64
+	consumer := raft.NewMap()
+	consumer.MustLink(recv, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total))
+	var errA, errB error
+	var crep *raft.Report
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errA = producer.Exe(raft.WithLatencyMarkers(256)) }()
+	go func() { defer wg.Done(); crep, errB = consumer.Exe(raft.WithLatencyMarkers(256)) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		fmt.Println("error:", errA, errB)
+		return
+	}
+	if wantB := int64(bitems) * (bitems - 1) / 2; total != wantB {
+		failf("A16: bridged sum = %d, want %d (marker sidecar perturbed the payload)", total, wantB)
+	}
+	bridgeStage, bridgeRetired := "", uint64(0)
+	if crep.Latency != nil {
+		bridgeRetired = crep.Latency.Retired
+		for _, s := range crep.Latency.Stages {
+			if strings.HasPrefix(s.Stage, "bridge:") {
+				bridgeStage = s.Stage
+			}
+		}
+	}
+	fmt.Printf("  sum exact; consumer retired %d markers, transit stage %q\n", bridgeRetired, bridgeStage)
+	if bridgeRetired == 0 {
+		failf("A16: no markers survived the bridge crossing")
+	}
+	if bridgeStage == "" {
+		failf("A16: consumer report lacks a bridge: transit stage")
+	}
+
+	fmt.Println("\nexpected: the sampled marker path costs one stride countdown per")
+	fmt.Println("push — within the 3% bar element-wise; residence attribution names")
+	fmt.Println("the stalled kernel; a 2ms stall against a 500µs SLO arms the flight")
+	fmt.Println("recorder whose trace.json carries Perfetto flow arrows; tenants get")
+	fmt.Println("separate e2e distributions; and the bridge sidecar moves markers")
+	fmt.Println("without touching payload bytes, so distributed sums stay exact.")
+}

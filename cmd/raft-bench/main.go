@@ -8,7 +8,7 @@
 //	raft-bench -ablate <names>    comma-separated list drawn from:
 //	                              split | resize | clone | sched | monitor |
 //	                              map | tcp | model | swap | fault | batch |
-//	                              obs | rate | gateway | view
+//	                              obs | rate | gateway | view | latency
 //	raft-bench -all               everything above
 //
 // Absolute numbers depend on the host; EXPERIMENTS.md records the shape
@@ -16,7 +16,8 @@
 //
 // Acceptance assertions (A5 monitoring overhead, A11 batching speedup,
 // A12 telemetry overhead, A13 controller parity and overhead, A14
-// gateway admission bars) set a
+// gateway admission bars, A16 latency-marker overhead and flight
+// recorder) set a
 // non-zero exit status on failure, so CI can gate on the bench smoke. On
 // small runners (GOMAXPROCS < 2, or -small-runner) the assertions
 // downgrade to warnings: single-core hosts cannot overlap producer and
@@ -42,7 +43,7 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the hardware summary (Table 1)")
 		fig4     = flag.Bool("fig4", false, "run the queue-size sweep (Figure 4)")
 		fig10    = flag.Bool("fig10", false, "run the text-search scaling study (Figure 10)")
-		ablate   = flag.String("ablate", "", "comma-separated ablations: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs|rate|gateway|view")
+		ablate   = flag.String("ablate", "", "comma-separated ablations: split|resize|clone|sched|monitor|map|tcp|model|swap|fault|batch|obs|rate|gateway|view|latency")
 		all      = flag.Bool("all", false, "run every experiment")
 		corpusMB = flag.Int("corpus", 64, "text-search corpus size in MiB (Figure 10)")
 		items    = flag.Int("items", 2_000_000, "synthetic pipeline length in elements (batch ablation)")
@@ -94,7 +95,7 @@ func main() {
 		}
 		ran = true
 	} else if *all {
-		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch", "obs", "rate", "gateway", "view"} {
+		for _, name := range []string{"split", "resize", "clone", "sched", "monitor", "map", "tcp", "model", "swap", "fault", "batch", "obs", "rate", "gateway", "view", "latency"} {
 			runAblation(name, *corpusMB, cores)
 		}
 	}

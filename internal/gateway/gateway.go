@@ -113,6 +113,10 @@ type Binding struct {
 	// Push delivers a decoded batch to the source port, blocking until the
 	// batch is in the stream's FIFO (or the intake is closed).
 	Push func(batch any) error
+	// PushTenant, when set, is preferred over Push and additionally
+	// receives the admitting tenant's name, so the source can attribute
+	// latency provenance (sampled markers) to the tenant. Optional.
+	PushTenant func(tenant string, batch any) error
 	// CloseIntake ends the source's stream: buffered batches still drain,
 	// then EOF propagates downstream.
 	CloseIntake func()
@@ -191,6 +195,9 @@ type Server struct {
 
 	rec        *trace.Recorder
 	traceActor int32
+	// latency, when set, reports a tenant's observed end-to-end p99
+	// latency from retired provenance markers (wired by the raft layer).
+	latency func(tenant string) (time.Duration, bool)
 
 	wg sync.WaitGroup
 }
@@ -279,6 +286,14 @@ func (s *Server) Wire(name string, w Wiring) error {
 	b.wiring = w
 	b.wired = true
 	return nil
+}
+
+// SetLatency installs the per-tenant end-to-end latency hook surfaced in
+// /v1/stats (p99 over the tenant's flows, from retired latency markers).
+func (s *Server) SetLatency(f func(tenant string) (time.Duration, bool)) {
+	s.mu.Lock()
+	s.latency = f
+	s.mu.Unlock()
 }
 
 // SetTrace routes admit/shed decisions onto the run's telemetry bus.
@@ -426,7 +441,12 @@ func (s *Server) ingest(tenantName, sourceName string, payload []byte) ingestRes
 		s.emitShed(t.name, sourceName, retry)
 		return ingestResult{code: shedModel, n: n, retry: retry, msg: "pipeline saturated: " + why}
 	}
-	if err := b.Push(batch); err != nil {
+	push := b.Push
+	if b.PushTenant != nil {
+		tn := t.name
+		push = func(batch any) error { return b.PushTenant(tn, batch) }
+	}
+	if err := push(batch); err != nil {
 		t.bucket.refund(float64(n))
 		b.recycle(batch)
 		return ingestResult{code: closed, msg: err.Error()}
@@ -538,6 +558,10 @@ type TenantStats struct {
 	AdmittedElems   uint64
 	ShedQuota       uint64
 	ShedModel       uint64
+	// E2EP99Ns is the tenant's observed end-to-end p99 latency in
+	// nanoseconds, from retired provenance markers (0 until the first
+	// marker of the tenant retires, or when markers are disabled).
+	E2EP99Ns int64
 }
 
 // SourceStats is one source's ingestion counters.
@@ -570,17 +594,24 @@ func (s *Server) Stats() Stats {
 	for _, b := range s.bindings {
 		bindings = append(bindings, b)
 	}
+	latency := s.latency
 	s.mu.Unlock()
 
 	var out Stats
 	for _, t := range tenants {
-		out.Tenants = append(out.Tenants, TenantStats{
+		ts := TenantStats{
 			Name:            t.name,
 			AdmittedBatches: t.admittedBatches.Load(),
 			AdmittedElems:   t.admittedElems.Load(),
 			ShedQuota:       t.shedQuota.Load(),
 			ShedModel:       t.shedModel.Load(),
-		})
+		}
+		if latency != nil {
+			if p99, ok := latency(t.name); ok {
+				ts.E2EP99Ns = int64(p99)
+			}
+		}
+		out.Tenants = append(out.Tenants, ts)
 	}
 	for _, b := range bindings {
 		ss := SourceStats{Name: b.Name, AdmittedElems: b.admittedElems.Load()}

@@ -100,6 +100,13 @@ type wireFrame struct {
 	// wire format) rather than an inner-gob payload. Senders set it for
 	// every data frame or none, but the receiver dispatches per frame.
 	Raw bool
+	// Marks is the optional latency-marker sidecar (trace.EncodeMarkers):
+	// provenance for a sample of the elements in Data, carried out-of-band
+	// so the payload bytes are identical with markers on or off. It rides
+	// the replay buffer with its frame — a replayed frame resends the same
+	// sidecar bytes and the receiver's seq dedup filters both together. Gob
+	// omits a nil slice, so marker-free senders emit pre-sidecar frames.
+	Marks []byte
 }
 
 // rawSentinel is written in native byte order after the element size in
@@ -132,6 +139,9 @@ type sentFrame[T any] struct {
 	// A15 copy arm must pay that allocation to be a faithful baseline.
 	vals []T
 	sigs []raft.Signal
+	// marks is the frame's latency-marker sidecar, retained alongside the
+	// payload so replay resends byte-identical provenance.
+	marks []byte
 }
 
 // ackMsg acknowledges delivery of every frame up to and including Seq.
@@ -312,6 +322,10 @@ type Sender[T any] struct {
 	popVals []T
 	popSigs []raft.Signal
 
+	// stageMarks holds the encoded marker sidecar for the borrow currently
+	// being staged; the first frame staged after a pop consumes it.
+	stageMarks []byte
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	started  bool
@@ -334,6 +348,7 @@ func NewSender[T any](addr, stream string, opts ...BridgeOption) *Sender[T] {
 	}
 	k.raw = !k.opt.copyEncode && pointerFree(reflect.TypeFor[T]())
 	k.SetName("tcp-send[" + stream + "]")
+	k.SetMarkerForwarder()
 	raft.AddInput[T](k, "in")
 	return k
 }
@@ -463,6 +478,7 @@ func (s *Sender[T]) Run() raft.Status {
 			raft.ReleaseView[T](in, v.Len())
 			return raft.Proceed
 		}
+		s.stageMarks = s.takeMarkSidecar()
 		first, st := s.stage(v.Vals, v.Sigs)
 		var second uint64
 		if st == raft.Proceed && len(v.Vals2) > 0 {
@@ -494,7 +510,24 @@ func (s *Sender[T]) Run() raft.Status {
 		s.dropped.Add(uint64(n))
 		return raft.Proceed
 	}
+	s.stageMarks = s.takeMarkSidecar()
 	return s.sendBatch(s.popVals[:n], s.popSigs[:n])
+}
+
+// takeMarkSidecar drains the latency markers picked up by the pop that
+// produced the current borrow and encodes them for the wire, closing each
+// marker's open queue hop at the moment of departure. Returns nil when
+// markers are disabled or none rode the batch.
+func (s *Sender[T]) takeMarkSidecar() []byte {
+	ms := s.TakeMarkers()
+	if len(ms) == 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	for _, m := range ms {
+		m.BeginTransit(now)
+	}
+	return trace.EncodeMarkers(ms)
 }
 
 // allSigNone reports whether the signal slice (possibly nil) carries no
@@ -537,6 +570,7 @@ func (s *Sender[T]) stage(vals []T, sigs []raft.Signal) (uint64, raft.Status) {
 	copy(bl.b, s.encBuf.Bytes())
 	s.nextSeq++
 	sf := sentFrame[T]{seq: s.nextSeq, data: bl, n: len(vals)}
+	sf.marks, s.stageMarks = s.stageMarks, nil
 	if s.opt.copyEncode {
 		// Faithful pre-view baseline: the legacy sender kept a value copy
 		// of every unacknowledged batch, so the A15 copy arm pays the
@@ -578,7 +612,9 @@ func (s *Sender[T]) stageRaw(vals []T, sigs []raft.Signal) uint64 {
 		copy(bl.b[off+1:], unsafe.Slice((*byte)(unsafe.Pointer(&sigs[0])), len(sigs)))
 	}
 	s.nextSeq++
-	s.buffer = append(s.buffer, sentFrame[T]{seq: s.nextSeq, data: bl, n: len(vals)})
+	sf := sentFrame[T]{seq: s.nextSeq, data: bl, n: len(vals)}
+	sf.marks, s.stageMarks = s.stageMarks, nil
+	s.buffer = append(s.buffer, sf)
 	s.prune()
 	return s.nextSeq
 }
@@ -687,11 +723,12 @@ func (s *Sender[T]) encodeSeq(seq uint64) error {
 func (s *Sender[T]) encodeFrameLocked(sf *sentFrame[T]) error {
 	s.wf.Seq, s.wf.EOF, s.wf.HB, s.wf.Data = sf.seq, sf.eof, false, nil
 	s.wf.Raw = s.raw && !sf.eof
+	s.wf.Marks = sf.marks
 	if sf.data != nil {
 		s.wf.Data = sf.data.b
 	}
 	err := s.enc.Encode(&s.wf)
-	s.wf.Data = nil
+	s.wf.Data, s.wf.Marks = nil, nil
 	return err
 }
 
@@ -926,6 +963,7 @@ func NewReceiver[T any](node *Node, stream string, opts ...BridgeOption) (*Recei
 		o(&k.opt)
 	}
 	k.SetName("tcp-recv[" + stream + "]")
+	k.SetMarkerForwarder()
 	raft.AddOutput[T](k, "out")
 	return k, nil
 }
@@ -1026,6 +1064,20 @@ func (r *Receiver[T]) Run() raft.Status {
 						r.stream, raft.ErrBridgeDown, err))
 				}
 				return raft.Stop
+			}
+		}
+		if len(wf.Marks) > 0 {
+			// Re-inject the sidecar's markers before the push so they ride
+			// onto the out lane with this frame's elements. The seq dedup
+			// above already filtered replayed duplicates, so each marker
+			// crosses exactly once; a malformed sidecar is dropped rather
+			// than poisoning an otherwise healthy data frame.
+			if ms, err := trace.DecodeMarkers(wf.Marks); err == nil {
+				now := time.Now().UnixNano()
+				for _, m := range ms {
+					m.EndTransit("bridge:"+r.stream, now)
+				}
+				r.DepositMarkers(ms)
 			}
 		}
 		out := r.Out("out")

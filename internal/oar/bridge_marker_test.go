@@ -1,0 +1,74 @@
+package oar
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"raftlib/kernels"
+	"raftlib/raft"
+)
+
+// TestBridgeMarkerSidecar runs the distributed sum with latency markers
+// enabled on both halves: the sender must fold in-flight markers into the
+// wire sidecar, the receiver must decode them and re-inject them ahead of
+// the frame's elements, and the consumer's sink must retire them with a
+// "bridge:<stream>" transit hop in the stage attribution. The payload sum
+// must stay exact — the sidecar rides beside the data, never inside it.
+func TestBridgeMarkerSidecar(t *testing.T) {
+	node := newTestNode(t, "marked")
+	const n = 20_000
+
+	send, recv, err := Bridge[int64](node, "marked-sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	producer := raft.NewMap()
+	if _, err := producer.Link(kernels.NewGenerate(n, func(i int64) int64 { return i }), send); err != nil {
+		t.Fatal(err)
+	}
+
+	var total int64
+	consumer := raft.NewMap()
+	red := kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total)
+	if _, err := consumer.Link(recv, red); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	reps := make([]*raft.Report, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); reps[0], errs[0] = producer.Exe(raft.WithLatencyMarkers(64)) }()
+	go func() { defer wg.Done(); reps[1], errs[1] = consumer.Exe(raft.WithLatencyMarkers(64)) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+
+	if want := int64(n) * (n - 1) / 2; total != want {
+		t.Fatalf("distributed sum with markers = %d, want %d", total, want)
+	}
+	lat := reps[1].Latency
+	if lat == nil {
+		t.Fatal("consumer report has no latency section")
+	}
+	if lat.Retired == 0 {
+		t.Fatal("no markers retired on the consumer side")
+	}
+	var sawBridge bool
+	for _, st := range lat.Stages {
+		if strings.HasPrefix(st.Stage, "bridge:") {
+			sawBridge = true
+			if st.Count == 0 {
+				t.Fatalf("bridge stage %q has zero marker crossings", st.Stage)
+			}
+		}
+	}
+	if !sawBridge {
+		t.Fatalf("no bridge transit stage in attribution: %+v", lat.Stages)
+	}
+}

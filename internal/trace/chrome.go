@@ -51,6 +51,18 @@ func WriteChrome(w io.Writer, events []Event, names []string) error {
 		meta(runtimeTid, "runtime")
 	}
 
+	// Flow-event bookkeeping: marker lifecycle events (stamp, hop, retire)
+	// become Chrome flow phases ("s" start / "t" step / "f" end) keyed by
+	// marker ID, so Perfetto draws arrows linking one marker's hops across
+	// kernel (and, in merged multi-node traces, cross-process) tracks.
+	flowTotal := map[uint64]int{}
+	for _, e := range events {
+		if id, ok := flowID(e); ok {
+			flowTotal[id]++
+		}
+	}
+	flowSeen := map[uint64]int{}
+
 	// Spans: pair RunStart/RunEnd per actor in stream order.
 	open := map[int32]int64{}
 	for _, e := range events {
@@ -71,6 +83,23 @@ func WriteChrome(w io.Writer, events []Event, names []string) error {
 			if e.Actor >= 0 {
 				tid = int(e.Actor)
 			}
+			if id, ok := flowID(e); ok {
+				seen := flowSeen[id]
+				flowSeen[id] = seen + 1
+				ph, bp := "s", ""
+				if seen > 0 {
+					if seen == flowTotal[id]-1 {
+						ph, bp = "f", `,"bp":"e"`
+					} else {
+						ph = "t"
+					}
+				}
+				bw.sep(&first)
+				bw.putf(`{"ph":%s,"pid":0,"tid":%d,"cat":"latency","name":"marker","id":%d%s,"ts":%s,"args":{"kind":%s,"from":%d,"to":%d,"target":%s}}`,
+					quote(ph), tid, id, bp, usec(e.At),
+					quote(e.Kind.String()), e.Prev, e.Arg, quote(e.Label))
+				continue
+			}
 			bw.sep(&first)
 			bw.putf(`{"ph":"i","s":"t","pid":0,"tid":%d,"name":%s,"ts":%s,"args":{"from":%d,"to":%d,"target":%s}}`,
 				tid, quote(e.Kind.String()), usec(e.At), e.Prev, e.Arg, quote(e.Label))
@@ -78,6 +107,18 @@ func WriteChrome(w io.Writer, events []Event, names []string) error {
 	}
 	bw.puts("]}\n")
 	return bw.err
+}
+
+// flowID extracts the marker ID from a marker lifecycle event (stamp and
+// hop carry it in Arg, retire in Prev — Arg there is the e2e latency).
+func flowID(e Event) (uint64, bool) {
+	switch e.Kind {
+	case MarkStamp, MarkHop:
+		return uint64(e.Arg), true
+	case MarkRetire:
+		return uint64(e.Prev), true
+	}
+	return 0, false
 }
 
 // usec renders nanoseconds as fractional microseconds (Chrome's ts unit)

@@ -74,6 +74,18 @@ const (
 	// Drop records best-effort overflow discards on a link (Prev/Arg =
 	// old/new cumulative drop count, Label = link name).
 	Drop
+	// MarkStamp is one latency marker minted at an ingest point (Arg =
+	// marker ID, Label = "tenant/source").
+	MarkStamp
+	// MarkHop is one marker picked up by a stage (Arg = marker ID, Prev =
+	// queue residence in ns for the hop, Label = the stage crossed).
+	MarkHop
+	// MarkRetire is one marker retired at a sink (Prev = marker ID, Arg =
+	// end-to-end latency in ns, Label = "tenant/source").
+	MarkRetire
+	// SLOBreach is one retired marker exceeding the configured end-to-end
+	// objective (Prev = marker ID, Arg = e2e ns, Label = "tenant/source").
+	SLOBreach
 )
 
 var kindNames = [...]string{
@@ -96,6 +108,10 @@ var kindNames = [...]string{
 	Admit:             "admit",
 	Shed:              "shed",
 	Drop:              "drop",
+	MarkStamp:         "mark-stamp",
+	MarkHop:           "mark-hop",
+	MarkRetire:        "mark-retire",
+	SLOBreach:         "slo-breach",
 }
 
 // String returns the event kind's stable wire name.
@@ -144,7 +160,16 @@ type shard struct {
 type Recorder struct {
 	shards []shard
 	smask  uint32
+	// watch, when non-nil, observes every instant event synchronously at
+	// Emit time — the flight recorder's trigger tap. Installed once before
+	// the run starts, so no synchronization guards the read.
+	watch func(Event)
 }
+
+// Watch installs a synchronous observer for instant (non-Run) events.
+// Call before any Emit races; the observer must be cheap and non-blocking
+// on its fast path.
+func (r *Recorder) Watch(f func(Event)) { r.watch = f }
 
 // NewRecorder returns a bus holding up to capacity events (min 64),
 // sharded for the current process's parallelism.
@@ -194,6 +219,27 @@ func (r *Recorder) Emit(e Event) {
 	sh := &r.shards[uint32(e.Actor+1)&r.smask]
 	i := sh.cursor.Add(1) - 1
 	sh.slots[i&sh.mask].Store(&e)
+	if r.watch != nil && e.Kind.Instant() {
+		r.watch(e)
+	}
+}
+
+// LastEventNs returns the timestamp of the most recently emitted event
+// still retained, or 0 when the bus is empty. O(shards): it reads only
+// each shard's newest slot, so liveness probes can call it freely.
+func (r *Recorder) LastEventNs() int64 {
+	var last int64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		c := sh.cursor.Load()
+		if c == 0 {
+			continue
+		}
+		if p := sh.slots[(c-1)&sh.mask].Load(); p != nil && p.At > last {
+			last = p.At
+		}
+	}
+	return last
 }
 
 // Dropped returns how many events have been overwritten, summed over the
@@ -309,6 +355,22 @@ func overlayChar(k Kind) (byte, int) {
 	return 0, -1
 }
 
+// markerChar maps a latency-marker lifecycle kind to its lane character.
+// Marker events render on their own timeline lane, not the decisions row.
+func markerChar(k Kind) (byte, int) {
+	switch k {
+	case SLOBreach:
+		return 'L', 3
+	case MarkRetire:
+		return 'M', 2
+	case MarkStamp:
+		return 'S', 1
+	case MarkHop:
+		return '+', 0
+	}
+	return 0, -1
+}
+
 // Timeline renders per-actor utilization over time as an ASCII grid: one
 // row per actor, width buckets spanning the recorded window, each cell
 // shaded by the fraction of the bucket the actor spent running. Restarts
@@ -368,17 +430,38 @@ func (r *Recorder) Timeline(names []string, width int) string {
 	decisions := make([]byte, width)
 	decisionPri := make([]int, width)
 	for i := range decisionPri {
+		decisions[i] = ' '
 		decisionPri[i] = -1
 	}
 	decided := false
+	// Latency-marker lane: marker lifecycle events share one overlay row so
+	// end-to-end probes read against the same time axis as utilization.
+	marks := make([]byte, width)
+	markPri := make([]int, width)
+	for i := range markPri {
+		marks[i] = ' '
+		markPri[i] = -1
+	}
+	marked := false
 	for _, e := range events {
-		ch, pri := overlayChar(e.Kind)
-		if pri < 0 || e.At < lo || e.At > hi {
+		if e.At < lo || e.At > hi {
 			continue
 		}
 		b := int(float64(e.At-lo) / bucket)
 		if b >= width {
 			b = width - 1
+		}
+		if ch, pri := markerChar(e.Kind); pri >= 0 {
+			if pri > markPri[b] {
+				markPri[b] = pri
+				marks[b] = ch
+				marked = true
+			}
+			continue
+		}
+		ch, pri := overlayChar(e.Kind)
+		if pri < 0 {
+			continue
 		}
 		if e.Actor >= 0 && e.Actor <= maxActor {
 			if actorMark[e.Actor] == nil {
@@ -419,6 +502,10 @@ func (r *Recorder) Timeline(names []string, width int) string {
 	if decided {
 		fmt.Fprintf(&sb, "%-24.24s |%s|\n", "monitor decisions", decisions)
 		sb.WriteString("(R restart, E escalate, G resize, B batch, W width, D/U/P bridge, c ckpt, X deadlock)\n")
+	}
+	if marked {
+		fmt.Fprintf(&sb, "%-24.24s |%s|\n", "latency markers", marks)
+		sb.WriteString("(S stamp, + hop, M retire, L SLO breach)\n")
 	}
 	if d := r.Dropped(); d > 0 {
 		fmt.Fprintf(&sb, "(%d older events overwritten)\n", d)

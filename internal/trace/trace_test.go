@@ -313,6 +313,103 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 }
 
+// TestTimelineGoldenWithMarkerLane pins the full ASCII timeline layout —
+// kernel rows, the monitor-decisions row (including a gateway shed), and
+// the latency-marker lane with all four lifecycle characters — against a
+// golden file, so rendering drift is a reviewed diff, not an accident.
+func TestTimelineGoldenWithMarkerLane(t *testing.T) {
+	r := NewRecorder(256)
+	r.Record(0, RunStart, 0)
+	r.Record(0, RunEnd, 1000)
+	r.Record(1, RunStart, 200)
+	r.Record(1, RunEnd, 900)
+	r.Emit(Event{Actor: -1, Kind: QueueGrow, At: 150, Prev: 64, Arg: 256, Label: "gen.out->work.in"})
+	r.Emit(Event{Actor: -1, Kind: Shed, At: 450, Arg: 64, Label: "flood/logs"})
+	r.Emit(Event{Actor: 0, Kind: MarkStamp, At: 100, Arg: 7, Label: "tenant/src"})
+	r.Emit(Event{Actor: 1, Kind: MarkHop, At: 500, Prev: 3, Arg: 7, Label: "gen.out->work.in"})
+	r.Emit(Event{Actor: 1, Kind: MarkRetire, At: 800, Prev: 7, Arg: 700, Label: "tenant/src"})
+	r.Emit(Event{Actor: -1, Kind: SLOBreach, At: 850, Prev: 7, Arg: 700, Label: "tenant/src"})
+
+	out := r.Timeline([]string{"gen", "work"}, 20)
+	var markerRow string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "latency markers") {
+			markerRow = l
+		}
+	}
+	if markerRow == "" {
+		t.Fatalf("no latency-marker lane:\n%s", out)
+	}
+	for _, ch := range []string{"S", "+", "M", "L"} {
+		if !strings.Contains(markerRow, ch) {
+			t.Fatalf("marker lane missing %q: %q", ch, markerRow)
+		}
+	}
+
+	golden := filepath.Join("testdata", "timeline_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (run with -update): %v", err)
+	}
+	if out != string(want) {
+		t.Fatalf("timeline drifted from golden:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestMarkerRetirementSurvivesBusWrap drives marker lifecycles through a
+// deliberately tiny trace bus until its shards overwrite slots many times:
+// the bus may lose marker *events* (it is a bounded ring by design), but
+// retirement accounting lives in the MarkerDomain, so every stamped marker
+// must still be counted, with exact flow and stage statistics.
+func TestMarkerRetirementSurvivesBusWrap(t *testing.T) {
+	r := NewSharded(64, 1) // one 64-slot shard: guaranteed wraparound
+	d := NewMarkerDomain(1)
+	const n = 500
+	for i := 0; i < n; i++ {
+		now := int64(i * 100)
+		m := d.Stamp("tenant", "src", now)
+		r.Emit(Event{Actor: 0, Kind: MarkStamp, At: now, Arg: int64(m.ID), Label: m.Flow()})
+		m.EndTransit("gen.out->sink.in", now+30)
+		r.Emit(Event{Actor: 1, Kind: MarkHop, At: now + 30, Arg: int64(m.ID), Label: "gen.out->sink.in"})
+		e2e := d.Retire(m, now+70)
+		r.Emit(Event{Actor: 1, Kind: MarkRetire, At: now + 70, Prev: int64(m.ID), Arg: int64(e2e), Label: m.Flow()})
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("bus never wrapped — the test exercised nothing")
+	}
+	if got := d.Retired(); got != n {
+		t.Fatalf("retired = %d, want %d (bus overwrites leaked into marker accounting)", got, n)
+	}
+	flows := d.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %+v", flows)
+	}
+	f := flows[0]
+	if f.Tenant != "tenant" || f.Source != "src" || f.Count != n {
+		t.Fatalf("flow = %+v, want tenant/src count %d", f, n)
+	}
+	if f.SumNs != int64(n*70) || f.MaxNs != 70 {
+		t.Fatalf("flow sum/max = %d/%d, want %d/70", f.SumNs, f.MaxNs, n*70)
+	}
+	var hops uint64
+	for _, s := range d.Stages() {
+		if s.Stage == "gen.out->sink.in" {
+			hops = s.Count
+		}
+	}
+	if hops != n {
+		t.Fatalf("stage hops = %d, want %d", hops, n)
+	}
+}
+
 func TestRecorderConcurrentRetention(t *testing.T) {
 	r := NewSharded(1024, 8)
 	var wg sync.WaitGroup

@@ -96,6 +96,23 @@ type Config struct {
 	// DefaultTraceStride). Structural events are never sampled.
 	TraceStride int
 
+	// MarkerStride samples end-to-end latency markers: one element in
+	// every MarkerStride pushed by each ingest port (source kernels and
+	// gateway bindings) carries a provenance marker that accumulates
+	// per-stage queue/kernel residence and retires into latency histograms
+	// at a sink. 0 selects DefaultMarkerStride (markers are on by
+	// default); negative disables marker carriage entirely.
+	MarkerStride int
+	// SLO, when positive, is the end-to-end latency objective: a retired
+	// marker whose ingest-to-sink latency exceeds it emits an SLOBreach
+	// event on the trace bus and (when armed) triggers the flight
+	// recorder (see WithLatencySLO).
+	SLO time.Duration
+	// FlightPath, when non-empty, arms the anomaly-triggered flight
+	// recorder dumping into <FlightPath>.flightdump/ (see
+	// WithFlightRecorder).
+	FlightPath string
+
 	// ServiceRateControl switches the monitor's batcher and replica scaler
 	// from contended-window heuristics to decisions driven by online λ̂/µ̂
 	// estimates (see WithServiceRateControl).
@@ -134,6 +151,10 @@ type Config struct {
 
 	// resLog collects supervision events during one Exe for the Report.
 	resLog *resilience.Log
+	// markers is this execution's latency-marker rig (domain + bus), built
+	// from MarkerStride; flight is the armed flight recorder, if any.
+	markers *markerRig
+	flight  *trace.FlightRecorder
 }
 
 func defaultConfig() Config {
@@ -247,6 +268,62 @@ func WithTraceStride(n int) Option {
 	}
 }
 
+// DefaultMarkerStride is the latency-marker sampling stride: one element
+// in every DefaultMarkerStride pushed by an ingest port carries a
+// provenance marker. Sampling keeps the always-on cost to a counter
+// decrement per push batch plus one pointer check per port operation;
+// the stamped path (marker allocation, lane deposit/pickup, histogram
+// retirement) amortizes over the stride.
+const DefaultMarkerStride = 1024
+
+// WithLatencyMarkers sets the end-to-end latency-marker sampling stride
+// (1 = every element; 0 or negative selects DefaultMarkerStride). Markers
+// are on by default — use WithoutLatencyMarkers to disable carriage.
+func WithLatencyMarkers(stride int) Option {
+	return func(c *Config) {
+		if stride < 1 {
+			stride = DefaultMarkerStride
+		}
+		c.MarkerStride = stride
+	}
+}
+
+// WithoutLatencyMarkers disables latency-marker carriage for the run:
+// no lanes are installed and every port operation pays exactly one nil
+// check.
+func WithoutLatencyMarkers() Option { return func(c *Config) { c.MarkerStride = -1 } }
+
+// WithLatencySLO sets the end-to-end latency objective: any retired
+// marker whose ingest-to-sink latency exceeds d emits an SLOBreach event
+// on the trace bus, and triggers the flight recorder when one is armed.
+func WithLatencySLO(d time.Duration) Option {
+	return func(c *Config) {
+		if d > 0 {
+			c.SLO = d
+		}
+	}
+}
+
+// WithFlightRecorder arms the anomaly-triggered flight recorder: a
+// deadlock abort, a supervisor escalation, a gateway shed storm or an
+// e2e-latency SLO breach dumps the retained trace-bus events as a
+// self-contained Chrome trace plus a text post-mortem (per-flow latency,
+// per-stage residence, recently retired markers, last events) into
+// <base>.flightdump/. The always-on state is exactly the bounded rings
+// the run already keeps; a 64Ki-event trace ring is enabled
+// automatically when WithTrace was not given.
+func WithFlightRecorder(base string) Option {
+	return func(c *Config) {
+		if base == "" {
+			base = "raft"
+		}
+		c.FlightPath = base
+		if c.TraceCapacity <= 0 {
+			c.TraceCapacity = 1 << 16
+		}
+	}
+}
+
 // WithServiceRateControl turns the monitor's reactive heuristics into a
 // model-driven controller: an online estimator (internal/qmodel, after
 // the instantaneous-rate model of arXiv:1504.00591) maintains per-kernel
@@ -346,6 +423,28 @@ type Report struct {
 	// Gateway summarizes ingestion-gateway admission activity (per-tenant
 	// admitted/shed counts, per-source drops); nil unless WithGateway.
 	Gateway *GatewayReport
+	// Latency is the end-to-end latency provenance summary: per-flow
+	// (tenant/source) latency distributions and per-stage residence
+	// attribution folded from retired markers. Nil when latency markers
+	// are disabled (WithoutLatencyMarkers).
+	Latency *LatencyReport
+}
+
+// LatencyReport summarizes the run's retired latency markers.
+type LatencyReport struct {
+	// Stride is the marker sampling stride in effect.
+	Stride int
+	// Retired is the number of markers that completed the ingest-to-sink
+	// journey.
+	Retired uint64
+	// Flows holds per-(tenant,source) e2e latency distributions.
+	Flows []trace.FlowStats
+	// Stages holds per-stage residence attribution (time-in-queue vs
+	// time-in-kernel), sorted by total residence descending.
+	Stages []trace.StageStats
+	// FlightDir and FlightDumps describe the flight recorder, when armed.
+	FlightDir   string
+	FlightDumps uint64
 }
 
 // TraceNames returns the kernel names indexed by trace kernel id for
@@ -414,6 +513,12 @@ type LinkReport struct {
 	// Batch is the transfer batch size in effect when execution ended
 	// (0 when the adaptive batcher made no decision for this link).
 	Batch int
+	// Views counts completed zero-copy borrow/release cycles on the
+	// stream; ViewHoldNs is the cumulative wall time views were held
+	// open (held views defer resizes, so a high hold time explains a
+	// quiet monitor).
+	Views      uint64
+	ViewHoldNs uint64
 	// LambdaHat, MuHat and RhoHat are the online estimator's final
 	// arrival rate λ̂ (elements/s), consumer drain rate µ̂ (elements/s)
 	// and utilization ρ̂ = λ̂/µ̂ for this link — the controller's inputs,
@@ -474,7 +579,16 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 		return nil, err
 	}
 
-	// 4. Stream allocation.
+	// 4. Stream allocation (with the latency-marker rig, when markers are
+	// on — allocate installs one lane per link and the rig on every
+	// endpoint kernel).
+	if cfg.MarkerStride >= 0 {
+		stride := cfg.MarkerStride
+		if stride == 0 {
+			stride = DefaultMarkerStride
+		}
+		cfg.markers = &markerRig{dom: trace.NewMarkerDomain(stride)}
+	}
 	linkInfos, err := m.allocate(&cfg)
 	if err != nil {
 		return nil, err
@@ -499,11 +613,45 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if stride < 1 {
 		stride = DefaultTraceStride
 	}
+	if cfg.markers != nil {
+		cfg.markers.rec = rec
+	}
 	actors := m.buildActors(assignment, rec, stride)
 	if cfg.Fault != nil || cfg.Supervised {
 		if err := m.wireResilience(&cfg, actors); err != nil {
 			return nil, err
 		}
+	}
+
+	// 5b. Flight recorder and latency SLO. The recorder taps the trace bus
+	// for anomaly kinds (deadlock, escalation, shed storm, SLO breach); a
+	// breach itself is detected at marker retirement and published as an
+	// SLOBreach event, so the tap sees it like any other anomaly.
+	if cfg.FlightPath != "" && rec != nil {
+		var dom *trace.MarkerDomain
+		if cfg.markers != nil {
+			dom = cfg.markers.dom
+		}
+		cfg.flight = trace.NewFlightRecorder(cfg.FlightPath, rec, dom)
+		names := make([]string, len(actors))
+		for i, a := range actors {
+			names[i] = a.Name
+		}
+		cfg.flight.SetNames(names)
+		rec.Watch(cfg.flight.Observe)
+	}
+	if cfg.SLO > 0 && cfg.markers != nil {
+		breachRec, fl := rec, cfg.flight
+		cfg.markers.dom.SetSLO(cfg.SLO, func(mk *trace.Marker, e2e time.Duration) {
+			if breachRec != nil {
+				breachRec.Emit(trace.Event{Actor: -1, Kind: trace.SLOBreach,
+					At: time.Now().UnixNano(), Prev: int64(mk.ID), Arg: int64(e2e),
+					Label: mk.Flow()})
+			} else if fl != nil {
+				fl.Trigger(fmt.Sprintf("e2e latency SLO breach: %v on flow %s (marker %d)",
+					e2e.Round(time.Microsecond), mk.Flow(), mk.ID))
+			}
+		})
 	}
 
 	// 6. Monitor (and the rate estimator it drives, when requested).
@@ -537,6 +685,12 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 						m.exc.err = fmt.Errorf("raft: %s", diag)
 					}
 					m.exc.mu.Unlock()
+					// Capture the post-mortem before the teardown below
+					// disturbs the frozen state (the bus tap also fires on
+					// the monitor's Deadlock event; the cooldown dedups).
+					if cfg.flight != nil {
+						cfg.flight.Trigger("deadlock detected: " + diag)
+					}
 					for _, li := range linkInfos {
 						li.Queue.Close()
 					}
@@ -557,9 +711,10 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 
 	// 7. Run to completion (with the metrics endpoint up, when requested).
+	health := &execHealth{}
 	var msrv *metricsServer
 	if cfg.MetricsAddr != "" || cfg.MetricsListener != nil {
-		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec, est)
+		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec, est, health)
 		if err != nil {
 			if mon != nil {
 				mon.Stop()
@@ -573,7 +728,11 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 	var streamer *statsStreamer
 	if cfg.Observer != nil {
-		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors, est)
+		var dom *trace.MarkerDomain
+		if cfg.markers != nil {
+			dom = cfg.markers.dom
+		}
+		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors, est, dom)
 	}
 	if cfg.Gateway != nil {
 		if err := cfg.Gateway.Start(); err != nil {
@@ -589,9 +748,11 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			return nil, err
 		}
 	}
+	health.set(healthRunning)
 	start := time.Now()
 	runErr := sched.Run(actors)
 	elapsed := time.Since(start)
+	health.set(healthDraining)
 	if cfg.Gateway != nil {
 		cfg.Gateway.Stop()
 	}
@@ -601,6 +762,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if streamer != nil {
 		streamer.Stop()
 	}
+	health.set(healthDone)
 	if raised := m.raisedError(); raised != nil {
 		runErr = errors.Join(raised, runErr)
 	}
@@ -707,9 +869,30 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 		l.SrcPort.batch = bc
 		l.DstPort.batch = bc
 
+		name := fmt.Sprintf("%s.%s->%s.%s", l.Src.kernelBase().Name(), l.SrcPort.name, l.Dst.kernelBase().Name(), l.DstPort.name)
+
+		// One marker lane per stream, shared by both endpoints (the same
+		// pattern as the batch control): the producer's push deposits,
+		// the consumer's pop collects. Ingest ports — out ports of kernels
+		// with no inputs that have not opted out via SetMarkerForwarder —
+		// additionally stamp fresh markers at the sampling stride.
+		if cfg.markers != nil {
+			lane := trace.NewMarkerLane(name)
+			l.SrcPort.lane = lane
+			l.DstPort.lane = lane
+			src := l.Src.kernelBase()
+			src.marks = cfg.markers
+			l.Dst.kernelBase().marks = cfg.markers
+			if len(src.inNames) == 0 && !src.markForward && l.SrcPort.stampEvery == 0 {
+				l.SrcPort.stampEvery = cfg.markers.dom.Stride()
+				l.SrcPort.stampLeft = l.SrcPort.stampEvery
+				l.SrcPort.stampSource = src.Name()
+			}
+		}
+
 		infos = append(infos, &core.LinkInfo{
 			ID:              i,
-			Name:            fmt.Sprintf("%s.%s->%s.%s", l.Src.kernelBase().Name(), l.SrcPort.name, l.Dst.kernelBase().Name(), l.DstPort.name),
+			Name:            name,
 			Queue:           q,
 			SrcActor:        m.index[l.Src.kernelBase()],
 			DstActor:        m.index[l.Dst.kernelBase()],
@@ -734,6 +917,8 @@ func (m *Map) buildActors(assignment mapper.Assignment, rec *trace.Recorder, str
 	actors := make([]*core.Actor, len(m.kernels))
 	for i, k := range m.kernels {
 		kb := k.kernelBase()
+		// Marker lifecycle events attribute to the kernel's trace track.
+		kb.actor = int32(i)
 		a := &core.Actor{
 			ID:      i,
 			Name:    kb.Name(),
@@ -893,6 +1078,8 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			OccP50:        stats.LogQuantile(tel.Occupancy[:], 0.50),
 			OccP99:        stats.LogQuantile(tel.Occupancy[:], 0.99),
 			Batch:         l.Batch.Get(),
+			Views:         tel.Views,
+			ViewHoldNs:    tel.ViewHoldNs,
 		}
 		if est != nil {
 			if r, ok := est.Link(i); ok && r.Primed {
@@ -911,6 +1098,18 @@ func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignme
 			MaxReplicas: s.Max(),
 			ActiveAtEnd: s.Active(),
 		})
+	}
+	if cfg.markers != nil {
+		rep.Latency = &LatencyReport{
+			Stride:  int(cfg.markers.dom.Stride()),
+			Retired: cfg.markers.dom.Retired(),
+			Flows:   cfg.markers.dom.Flows(),
+			Stages:  cfg.markers.dom.Stages(),
+		}
+		if cfg.flight != nil {
+			rep.Latency.FlightDir = cfg.flight.Dir()
+			rep.Latency.FlightDumps = cfg.flight.Dumps()
+		}
 	}
 	return rep
 }

@@ -49,6 +49,9 @@ type sourceBatch[T any] struct {
 	vals   []T
 	done   chan error
 	pooled bool
+	// tenant is the admitting tenant's name, stamped onto sampled latency
+	// markers so e2e distributions attribute per tenant.
+	tenant string
 }
 
 // Source is an externally-fed source kernel: the bridge between the
@@ -138,6 +141,9 @@ func (s *Source[T]) Run() Status {
 // decode buffer the only intermediate the batch ever touches, counted in
 // copiesSaved.
 func (s *Source[T]) deliver(out *Port, b sourceBatch[T]) error {
+	// Same-goroutine write: deliver and the push hook that reads
+	// stampTenant both run on the kernel's goroutine.
+	out.stampTenant = b.tenant
 	err := s.push(out, b.vals)
 	if b.pooled && err == nil {
 		s.copiesSaved.Add(1)
@@ -194,8 +200,8 @@ func (s *Source[T]) Finalize() {
 // the stream's FIFO (nil) or the source can no longer deliver it
 // (ErrClosed / stream error — the gateway answers 503, the batch was NOT
 // admitted).
-func (s *Source[T]) inject(vals []T, pooled bool) error {
-	b := sourceBatch[T]{vals: vals, done: make(chan error, 1), pooled: pooled}
+func (s *Source[T]) inject(tenant string, vals []T, pooled bool) error {
+	b := sourceBatch[T]{vals: vals, done: make(chan error, 1), pooled: pooled, tenant: tenant}
 	select {
 	case s.feed <- b:
 	case <-s.intakeDone:
@@ -238,7 +244,10 @@ func BindSource[T any](gw *gateway.Server, src *Source[T], dec func(payload []by
 			return vals, len(vals), nil
 		},
 		Push: func(batch any) error {
-			return src.inject(batch.([]T), false)
+			return src.inject("", batch.([]T), false)
+		},
+		PushTenant: func(tenant string, batch any) error {
+			return src.inject(tenant, batch.([]T), false)
 		},
 		CloseIntake: src.CloseIntake,
 		CopiesSaved: src.CopiesSaved,
@@ -267,7 +276,10 @@ func BindSourceAppend[T any](gw *gateway.Server, src *Source[T], dec func(payloa
 			return vals, len(vals), nil
 		},
 		Push: func(batch any) error {
-			return src.inject(batch.([]T), true)
+			return src.inject("", batch.([]T), true)
+		},
+		PushTenant: func(tenant string, batch any) error {
+			return src.inject(tenant, batch.([]T), true)
 		},
 		Recycle: func(batch any) {
 			vs := batch.([]T)
@@ -329,6 +341,12 @@ func (m *Map) wireGateway(cfg *Config, linkInfos []*core.LinkInfo,
 	if rec != nil {
 		gw.SetTrace(rec, -1)
 	}
+	if cfg.markers != nil {
+		dom := cfg.markers.dom
+		gw.SetLatency(func(tenant string) (time.Duration, bool) {
+			return dom.TenantQuantile(tenant, 0.99)
+		})
+	}
 	return nil
 }
 
@@ -352,6 +370,9 @@ type GatewayTenant struct {
 	// (occupancy, utilization or predicted-wait thresholds).
 	ShedQuota uint64
 	ShedModel uint64
+	// E2EP99 is the tenant's observed end-to-end p99 latency from retired
+	// provenance markers (0 until a marker of the tenant retires).
+	E2EP99 time.Duration
 }
 
 // GatewaySource is one source's ingestion counters.
@@ -376,6 +397,7 @@ func gatewayReport(gw *gateway.Server) *GatewayReport {
 			AdmittedElems:   t.AdmittedElems,
 			ShedQuota:       t.ShedQuota,
 			ShedModel:       t.ShedModel,
+			E2EP99:          time.Duration(t.E2EP99Ns),
 		})
 	}
 	for _, s := range st.Sources {

@@ -235,12 +235,12 @@ func TestGatewaySourceAbort(t *testing.T) {
 	}()
 	// First inject is consumed; subsequent ones must fail once the stream
 	// closes rather than blocking forever.
-	if err := src.inject([]int{1}, false); err != nil {
+	if err := src.inject("", []int{1}, false); err != nil {
 		t.Fatalf("first inject: %v", err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if err := src.inject([]int{2}, false); err != nil {
+		if err := src.inject("", []int{2}, false); err != nil {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -4,6 +4,7 @@ import (
 	"reflect"
 
 	"raftlib/internal/ringbuffer"
+	"raftlib/internal/trace"
 )
 
 // Kernel is one compute kernel: a sequentially-written unit of work that
@@ -62,6 +63,16 @@ type KernelBase struct {
 	outPorts map[string]*Port
 
 	m *Map // owning map, set by Link
+
+	// Latency-marker carriage (see marker.go): marks is the execution's
+	// rig (nil when markers are off), pendingMarks holds markers picked up
+	// but not yet forwarded, markForward opts bridge endpoints out of
+	// stamping and retirement, and actor is the kernel's trace actor id
+	// (set by Exe; used to attribute marker events to kernel tracks).
+	marks        *markerRig
+	pendingMarks []*trace.Marker
+	markForward  bool
+	actor        int32
 }
 
 func (k *KernelBase) kernelBase() *KernelBase { return k }

@@ -6,6 +6,7 @@ import (
 	"raftlib/internal/core"
 	"raftlib/internal/qmodel"
 	"raftlib/internal/stats"
+	"raftlib/internal/trace"
 )
 
 // LiveStats is one point-in-time snapshot of a running application,
@@ -23,6 +24,21 @@ type LiveStats struct {
 	Links []LiveLink
 	// Kernels holds one entry per kernel.
 	Kernels []LiveKernel
+	// Flows holds per-(tenant,source) end-to-end latency snapshots from
+	// retired markers (empty until the first marker completes its journey;
+	// always empty under WithoutLatencyMarkers).
+	Flows []LiveFlow
+}
+
+// LiveFlow is one flow's end-to-end latency so far.
+type LiveFlow struct {
+	// Tenant is empty for flows that never crossed the gateway.
+	Tenant string
+	Source string
+	// Retired counts completed markers; P50 and P99 are e2e latency
+	// quantile upper bounds over all of them.
+	Retired  uint64
+	P50, P99 time.Duration
 }
 
 // LiveLink is the instantaneous state of one stream.
@@ -94,18 +110,20 @@ type statsStreamer struct {
 	links    []*core.LinkInfo
 	actors   []*core.Actor
 	est      *qmodel.Estimator
+	dom      *trace.MarkerDomain
 	start    time.Time
 	stop     chan struct{}
 	done     chan struct{}
 }
 
-func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor, est *qmodel.Estimator) *statsStreamer {
+func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor, est *qmodel.Estimator, dom *trace.MarkerDomain) *statsStreamer {
 	s := &statsStreamer{
 		interval: interval,
 		fn:       fn,
 		links:    links,
 		actors:   actors,
 		est:      est,
+		dom:      dom,
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -171,6 +189,17 @@ func (s *statsStreamer) snapshot() LiveStats {
 			}
 		}
 		ls.Kernels = append(ls.Kernels, lk)
+	}
+	if s.dom != nil {
+		for _, f := range s.dom.Flows() {
+			ls.Flows = append(ls.Flows, LiveFlow{
+				Tenant:  f.Tenant,
+				Source:  f.Source,
+				Retired: f.Count,
+				P50:     f.Quantile(0.50),
+				P99:     f.Quantile(0.99),
+			})
+		}
 	}
 	return ls
 }

@@ -1,0 +1,156 @@
+package raft
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMarkersRetireEndToEnd(t *testing.T) {
+	m := NewMap()
+	work := newWork()
+	sink := newCollect()
+	if _, err := m.Link(newGen(20000), work); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(work, sink); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe(WithLatencyMarkers(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.values()); got != 20000 {
+		t.Fatalf("delivered %d elements, want 20000 (markers perturbed the stream)", got)
+	}
+	lat := rep.Latency
+	if lat == nil {
+		t.Fatal("report carries no latency section with markers on")
+	}
+	if lat.Stride != 16 {
+		t.Fatalf("stride = %d, want 16", lat.Stride)
+	}
+	if lat.Retired == 0 {
+		t.Fatal("no markers retired")
+	}
+	if len(lat.Flows) != 1 || lat.Flows[0].Count != lat.Retired {
+		t.Fatalf("flows = %+v, want one flow with count %d", lat.Flows, lat.Retired)
+	}
+	if lat.Flows[0].SumNs <= 0 || lat.Flows[0].Quantile(0.99) <= 0 {
+		t.Fatalf("flow latency not measured: %+v", lat.Flows[0])
+	}
+	// Both hops of the two-link pipeline must attribute residence.
+	if len(lat.Stages) != 2 {
+		t.Fatalf("stages = %+v, want 2 hops", lat.Stages)
+	}
+	for _, s := range lat.Stages {
+		if s.Count == 0 {
+			t.Fatalf("stage %q saw no hops", s.Stage)
+		}
+	}
+}
+
+func TestMarkersOnByDefault(t *testing.T) {
+	// More than DefaultMarkerStride elements, no options: markers must be
+	// on and at least one must complete the journey.
+	m := NewMap()
+	sink := newCollect()
+	if _, err := m.Link(newGen(3*DefaultMarkerStride), sink); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency == nil || rep.Latency.Retired == 0 {
+		t.Fatalf("latency = %+v, want markers retired by default", rep.Latency)
+	}
+}
+
+func TestMarkersDisabled(t *testing.T) {
+	m := NewMap()
+	sink := newCollect()
+	if _, err := m.Link(newGen(5000), sink); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Exe(WithoutLatencyMarkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency != nil {
+		t.Fatalf("latency = %+v, want none with markers disabled", rep.Latency)
+	}
+	if got := len(sink.values()); got != 5000 {
+		t.Fatalf("delivered %d, want 5000", got)
+	}
+}
+
+// healthzPoller probes /healthz from the observer callback, capturing the
+// first mid-run response.
+type healthzPoller struct {
+	addr string
+	mu   sync.Mutex
+	code int
+	body string
+}
+
+func (h *healthzPoller) observe(LiveStats) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.code != 0 {
+		return
+	}
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get("http://" + h.addr + "/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	h.code, h.body = resp.StatusCode, string(b)
+}
+
+func TestHealthzDuringRun(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poller := &healthzPoller{addr: ln.Addr().String()}
+
+	m := NewMap()
+	work := newWork()
+	sink := newCollect()
+	if _, err := m.Link(newGen(200000), work); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link(work, sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exe(
+		WithMetricsListener(ln),
+		WithTrace(1<<14),
+		WithObserver(1_000_000, poller.observe), // 1ms
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	poller.mu.Lock()
+	code, body := poller.code, poller.body
+	poller.mu.Unlock()
+	if code == 0 {
+		t.Fatal("no /healthz probe landed during the run")
+	}
+	if code != http.StatusOK {
+		t.Fatalf("mid-run /healthz = %d, want 200 (body %q)", code, body)
+	}
+	if !strings.Contains(body, `"state":"running"`) {
+		t.Fatalf("mid-run /healthz body = %q, want state running", body)
+	}
+	if !strings.Contains(body, "lastTraceEventAgeNs") {
+		t.Fatalf("/healthz body lacks trace-age field: %q", body)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"raftlib/internal/core"
@@ -28,6 +29,40 @@ func (r *Report) WriteChromeTrace(w io.Writer) error {
 	return r.Trace.WriteChromeTrace(w, TraceNames(r))
 }
 
+// execHealth tracks the run's lifecycle phase for the /healthz readiness
+// endpoint: starting (allocation through scheduler launch), running
+// (kernels executing), draining (kernels done, runtime tearing down),
+// done (report built).
+type execHealth struct{ phase atomic.Int32 }
+
+const (
+	healthStarting int32 = iota
+	healthRunning
+	healthDraining
+	healthDone
+)
+
+func (h *execHealth) set(p int32) {
+	if h != nil {
+		h.phase.Store(p)
+	}
+}
+
+func (h *execHealth) state() string {
+	if h == nil {
+		return "starting"
+	}
+	switch h.phase.Load() {
+	case healthRunning:
+		return "running"
+	case healthDraining:
+		return "draining"
+	case healthDone:
+		return "done"
+	}
+	return "starting"
+}
+
 // metricsServer serves the Prometheus text endpoint (plus pprof) for the
 // duration of one Exe. Scrapes read live engine state through atomics, so
 // serving concurrently with execution is safe and nearly free when nobody
@@ -41,7 +76,7 @@ type metricsServer struct {
 
 func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
 	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder,
-	est *qmodel.Estimator) (*metricsServer, error) {
+	est *qmodel.Estimator, health *execHealth) (*metricsServer, error) {
 
 	ln := cfg.MetricsListener
 	if ln == nil {
@@ -51,10 +86,30 @@ func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
 			return nil, fmt.Errorf("raft: metrics listener: %w", err)
 		}
 	}
+	rig, flight := cfg.markers, cfg.flight
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, links, actors, scalers, m, mon, rec, est)
+		writeMetrics(w, links, actors, scalers, m, mon, rec, est, rig, flight)
+	})
+	// /healthz is the readiness probe: 200 while the graph is executing,
+	// 503 before launch and once draining/done. The body reports the
+	// phase and the age of the newest trace-bus event (-1 without
+	// WithTrace) — a frozen pipeline shows up as a growing age long
+	// before deadlock detection fires.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		state := health.state()
+		age := int64(-1)
+		if rec != nil {
+			if last := rec.LastEventNs(); last > 0 {
+				age = time.Now().UnixNano() - last
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if state != "running" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"state\":%q,\"lastTraceEventAgeNs\":%d}\n", state, age)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -88,7 +143,7 @@ func (ms *metricsServer) Stop() {
 // amortization needed — scrapes are rare relative to the hot path.
 func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder,
-	est *qmodel.Estimator) {
+	est *qmodel.Estimator, rig *markerRig, flight *trace.FlightRecorder) {
 
 	var b strings.Builder
 
@@ -123,6 +178,7 @@ func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 		{"raft_link_spin_yields_total", "Lock-free back-off spin-to-yield escalations.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.SpinYields }},
 		{"raft_link_spin_sleeps_total", "Lock-free back-off yield-to-sleep escalations.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.SpinSleeps }},
 		{"raft_link_dropped_total", "Elements discarded by the best-effort overflow policy.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Dropped }},
+		{"raft_link_views_total", "Completed zero-copy borrow/release view cycles.", func(t ringbuffer.TelemetrySnapshot) uint64 { return t.Views }},
 	}
 	for _, c := range linkCounters {
 		counter(c.name, c.help)
@@ -141,6 +197,48 @@ func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 	gauge("raft_link_batch", "Adaptive transfer batch size (0 = no decision).")
 	for i, r := range rows {
 		fmt.Fprintf(&b, "raft_link_batch{link=%q} %d\n", r.name, links[i].Batch.Get())
+	}
+	counter("raft_link_view_hold_seconds_total", "Cumulative wall time zero-copy views were held open.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "raft_link_view_hold_seconds_total{link=%q} %g\n",
+			r.name, float64(r.tel.ViewHoldNs)/1e9)
+	}
+
+	// End-to-end latency provenance: per-flow histograms folded from
+	// retired markers, labeled by tenant and source. The bucket edges are
+	// the marker domain's log2-nanosecond edges converted to seconds.
+	if rig != nil {
+		flows := rig.dom.Flows()
+		if len(flows) > 0 {
+			fmt.Fprintf(&b, "# HELP raft_e2e_latency_seconds End-to-end (ingest to sink) latency of sampled markers.\n# TYPE raft_e2e_latency_seconds histogram\n")
+			for _, f := range flows {
+				tenant := f.Tenant
+				if tenant == "" {
+					tenant = "default"
+				}
+				var cum uint64
+				for i, n := range f.Buckets {
+					cum += n
+					if n == 0 && i > 40 {
+						continue // latencies beyond ~2^41 ns (~36 min) don't occur
+					}
+					fmt.Fprintf(&b, "raft_e2e_latency_seconds_bucket{tenant=%q,source=%q,le=\"%g\"} %d\n",
+						tenant, f.Source, float64(uint64(1)<<uint(i+1)-1)/1e9, cum)
+				}
+				fmt.Fprintf(&b, "raft_e2e_latency_seconds_bucket{tenant=%q,source=%q,le=\"+Inf\"} %d\n",
+					tenant, f.Source, f.Count)
+				fmt.Fprintf(&b, "raft_e2e_latency_seconds_sum{tenant=%q,source=%q} %g\n",
+					tenant, f.Source, float64(f.SumNs)/1e9)
+				fmt.Fprintf(&b, "raft_e2e_latency_seconds_count{tenant=%q,source=%q} %d\n",
+					tenant, f.Source, f.Count)
+			}
+		}
+		counter("raft_markers_retired_total", "Latency markers retired at sinks.")
+		fmt.Fprintf(&b, "raft_markers_retired_total %d\n", rig.dom.Retired())
+	}
+	if flight != nil {
+		counter("raft_flight_dumps_total", "Flight-recorder post-mortem artifacts written.")
+		fmt.Fprintf(&b, "raft_flight_dumps_total %d\n", flight.Dumps())
 	}
 
 	// Online rate estimates (the controller's inputs, observable so its

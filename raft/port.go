@@ -6,6 +6,7 @@ import (
 
 	"raftlib/internal/core"
 	"raftlib/internal/ringbuffer"
+	"raftlib/internal/trace"
 )
 
 // Direction distinguishes input from output ports.
@@ -76,6 +77,19 @@ type Port struct {
 	async *asyncCell
 	link  *Link
 	batch *core.BatchControl
+
+	// lane is the link's latency-marker mailbox, shared by both endpoint
+	// ports (like batch above); nil when markers are off, which keeps the
+	// disabled cost of every port operation to one pointer check.
+	lane *trace.MarkerLane
+	// stampEvery > 0 makes this (source-kernel output) port an ingest
+	// point: one marker is stamped per stampEvery pushed elements, labeled
+	// stampTenant/stampSource. stampLeft is the countdown; all three are
+	// touched only by the producing goroutine.
+	stampEvery  uint32
+	stampLeft   uint32
+	stampTenant string
+	stampSource string
 }
 
 // Name returns the port's name.
@@ -194,12 +208,19 @@ func ringOf[T any](p *Port) *ringbuffer.Ring[T] {
 // directly).
 func Pop[T any](p *Port) (T, error) {
 	v, _, err := queueOf[T](p).Pop()
+	if err == nil {
+		p.markPop()
+	}
 	return v, err
 }
 
 // PopSig is Pop plus the synchronized signal delivered with the element.
 func PopSig[T any](p *Port) (T, Signal, error) {
-	return queueOf[T](p).Pop()
+	v, s, err := queueOf[T](p).Pop()
+	if err == nil {
+		p.markPop()
+	}
+	return v, s, err
 }
 
 // TryPop removes the next element without blocking. ok reports whether an
@@ -207,30 +228,49 @@ func PopSig[T any](p *Port) (T, Signal, error) {
 // drained.
 func TryPop[T any](p *Port) (v T, ok bool, err error) {
 	v, _, ok, err = queueOf[T](p).TryPop()
+	if ok {
+		p.markPop()
+	}
 	return v, ok, err
 }
 
 // Push appends v to an output port, blocking while the stream is full.
 func Push[T any](p *Port, v T) error {
-	return queueOf[T](p).Push(v, SigNone)
+	err := queueOf[T](p).Push(v, SigNone)
+	if err == nil {
+		p.markPush(1)
+	}
+	return err
 }
 
 // PushSig appends v with a synchronized signal that downstream kernels
 // receive together with the element.
 func PushSig[T any](p *Port, v T, s Signal) error {
-	return queueOf[T](p).Push(v, s)
+	err := queueOf[T](p).Push(v, s)
+	if err == nil {
+		p.markPush(1)
+	}
+	return err
 }
 
 // TryPush appends v without blocking; it reports whether the element was
 // accepted.
 func TryPush[T any](p *Port, v T) (bool, error) {
-	return queueOf[T](p).TryPush(v, SigNone)
+	ok, err := queueOf[T](p).TryPush(v, SigNone)
+	if ok {
+		p.markPush(1)
+	}
+	return ok, err
 }
 
 // PushBatch appends all of vs (more efficient than element-wise Push for
 // high-rate streams); the final element carries sig.
 func PushBatch[T any](p *Port, vs []T, sig Signal) error {
-	return ringOf[T](p).PushBatch(vs, sig)
+	err := ringOf[T](p).PushBatch(vs, sig)
+	if err == nil {
+		p.markPush(len(vs))
+	}
+	return err
 }
 
 // bulkOf extracts the batched queue interface from a port, panicking with a
@@ -250,14 +290,22 @@ func bulkOf[T any](p *Port) bulkQueue[T] {
 // PushNSig to attach synchronized signals. PushN blocks while the stream is
 // full and returns ErrClosed on a closed stream.
 func PushN[T any](p *Port, vs []T) error {
-	return bulkOf[T](p).PushN(vs, nil)
+	err := bulkOf[T](p).PushN(vs, nil)
+	if err == nil {
+		p.markPush(len(vs))
+	}
+	return err
 }
 
 // PushNSig is PushN with per-element synchronized signals: sigs must be nil
 // (all SigNone) or have exactly len(vs) entries, delivered downstream
 // aligned with their elements.
 func PushNSig[T any](p *Port, vs []T, sigs []Signal) error {
-	return bulkOf[T](p).PushN(vs, sigs)
+	err := bulkOf[T](p).PushN(vs, sigs)
+	if err == nil {
+		p.markPush(len(vs))
+	}
+	return err
 }
 
 // PopN removes up to len(dst) elements from an input port in one bulk
@@ -266,21 +314,33 @@ func PushNSig[T any](p *Port, vs []T, sigs []Signal) error {
 // The elements' signals are consumed and discarded (like Pop); use PopNSig
 // to observe them.
 func PopN[T any](p *Port, dst []T) (int, error) {
-	return bulkOf[T](p).PopN(dst, nil)
+	n, err := bulkOf[T](p).PopN(dst, nil)
+	if n > 0 {
+		p.markPop()
+	}
+	return n, err
 }
 
 // PopNSig is PopN plus the elements' synchronized signals: the first n
 // entries of sigs (which must hold at least len(dst)) receive the signals
 // aligned with dst.
 func PopNSig[T any](p *Port, dst []T, sigs []Signal) (int, error) {
-	return bulkOf[T](p).PopN(dst, sigs)
+	n, err := bulkOf[T](p).PopN(dst, sigs)
+	if n > 0 {
+		p.markPop()
+	}
+	return n, err
 }
 
 // DrainTo is the non-blocking PopN: it removes whatever is buffered, up to
 // len(dst) elements, returning 0 with a nil error when the stream is empty
 // but open and (0, ErrClosed) once it is closed and drained.
 func DrainTo[T any](p *Port, dst []T) (int, error) {
-	return bulkOf[T](p).DrainTo(dst, nil)
+	n, err := bulkOf[T](p).DrainTo(dst, nil)
+	if n > 0 {
+		p.markPop()
+	}
+	return n, err
 }
 
 // Peek returns the element at offset i from the stream head without
@@ -312,6 +372,9 @@ func PeekRangeSig[T any](p *Port, n int) ([]T, []Signal, error) {
 // PeekRange, sliding the window forward.
 func Recycle[T any](p *Port, n int) {
 	ringOf[T](p).Recycle(n)
+	if n > 0 {
+		p.markPop()
+	}
 }
 
 // Alloc is a writable slot on an output stream, the analogue of the
@@ -340,7 +403,11 @@ func (a *Alloc[T]) Send() error {
 		return nil
 	}
 	a.sent = true
-	return queueOf[T](a.p).Push(a.Val, a.Sig)
+	err := queueOf[T](a.p).Push(a.Val, a.Sig)
+	if err == nil {
+		a.p.markPush(1)
+	}
+	return err
 }
 
 // moveItems transfers up to max elements between two queues of the same

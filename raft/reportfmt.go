@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"raftlib/internal/trace"
 )
 
 // String renders the execution report as an aligned text summary: the
@@ -41,18 +43,20 @@ func (r *Report) String() string {
 		b.WriteByte('\n')
 	}
 
-	// drop column appears only when some link actually shed (it would be
-	// an all-zero column on backpressure-only graphs).
-	drops := false
+	// drop and vhold columns appear only when some link actually shed or
+	// took the zero-copy view path (all-zero columns otherwise).
+	drops, views := false, false
 	for _, l := range r.Links {
 		if l.Dropped > 0 {
 			drops = true
-			break
+		}
+		if l.Views > 0 {
+			views = true
 		}
 	}
 
 	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	writeTable(&b, streamCols(rates, drops), len(r.Links), func(i int) *LinkReport { return &r.Links[i] })
+	writeTable(&b, streamCols(rates, drops, views), len(r.Links), func(i int) *LinkReport { return &r.Links[i] })
 
 	if len(r.Groups) > 0 {
 		fmt.Fprintf(&b, "\nreplicated groups (%d):\n", len(r.Groups))
@@ -81,6 +85,20 @@ func (r *Report) String() string {
 		for _, br := range r.Bridges {
 			fmt.Fprintf(&b, "  bridge %-28s %d reconnects, %d replayed, %d dropped, %v down\n",
 				br.Stream, br.Reconnects, br.Replayed, br.Dropped, br.Downtime)
+		}
+	}
+	if r.Latency != nil && (r.Latency.Retired > 0 || r.Latency.FlightDumps > 0) {
+		fmt.Fprintf(&b, "\nlatency (marker stride %d, %d retired):\n", r.Latency.Stride, r.Latency.Retired)
+		writeTable(&b, flowCols(), len(r.Latency.Flows),
+			func(i int) *traceFlow { return &r.Latency.Flows[i] })
+		if len(r.Latency.Stages) > 0 {
+			fmt.Fprintf(&b, " per-stage residence:\n")
+			writeTable(&b, stageCols(), len(r.Latency.Stages),
+				func(i int) *traceStage { return &r.Latency.Stages[i] })
+		}
+		if r.Latency.FlightDumps > 0 {
+			fmt.Fprintf(&b, "  flight recorder: %d dump(s) in %s\n",
+				r.Latency.FlightDumps, r.Latency.FlightDir)
 		}
 	}
 	if r.Gateway != nil {
@@ -126,7 +144,7 @@ func writeTable[T any](b *strings.Builder, cols []col[T], n int, row func(int) T
 // streamCols is the streams-section layout. The drop column appears only
 // when some link shed elements; the estimator columns only when rate
 // control ran.
-func streamCols(rates, drops bool) []col[*LinkReport] {
+func streamCols(rates, drops, views bool) []col[*LinkReport] {
 	cols := []col[*LinkReport]{
 		{"link", 44, func(l *LinkReport) string { return l.Name }},
 		{"ring", 6, func(l *LinkReport) string { return l.Ring }},
@@ -144,6 +162,11 @@ func streamCols(rates, drops bool) []col[*LinkReport] {
 		cols = append(cols,
 			col[*LinkReport]{"drop", 8, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Dropped) }})
 	}
+	if views {
+		cols = append(cols,
+			col[*LinkReport]{"views", 8, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Views) }},
+			col[*LinkReport]{"vhold", 10, func(l *LinkReport) string { return fmtNanos(float64(l.ViewHoldNs)) }})
+	}
 	if rates {
 		cols = append(cols,
 			col[*LinkReport]{"λ̂/s", 12, func(l *LinkReport) string { return fmt.Sprintf("%.0f", l.LambdaHat) }},
@@ -151,6 +174,56 @@ func streamCols(rates, drops bool) []col[*LinkReport] {
 			col[*LinkReport]{"ρ̂", 6, func(l *LinkReport) string { return fmt.Sprintf("%.2f", l.RhoHat) }})
 	}
 	return cols
+}
+
+// traceFlow / traceStage alias the marker-domain aggregates so the
+// generic table writer can address them without re-declaring the shape.
+type (
+	traceFlow  = trace.FlowStats
+	traceStage = trace.StageStats
+)
+
+// flowName renders a flow's tenant/source pair (bare source when the
+// flow never crossed the gateway).
+func flowName(f *traceFlow) string {
+	if f.Tenant == "" {
+		return f.Source
+	}
+	return f.Tenant + "/" + f.Source
+}
+
+// flowCols is the per-flow latency-table layout.
+func flowCols() []col[*traceFlow] {
+	return []col[*traceFlow]{
+		{"flow", 28, flowName},
+		{"count", 8, func(f *traceFlow) string { return fmt.Sprintf("%d", f.Count) }},
+		{"mean", 10, func(f *traceFlow) string { return fmtNanos(float64(f.Mean())) }},
+		{"p50", 10, func(f *traceFlow) string { return fmtNanos(float64(f.Quantile(0.50))) }},
+		{"p99", 10, func(f *traceFlow) string { return fmtNanos(float64(f.Quantile(0.99))) }},
+		{"max", 10, func(f *traceFlow) string { return fmtNanos(float64(f.MaxNs)) }},
+	}
+}
+
+// stageCols is the per-stage residence-attribution layout: how long the
+// sampled elements sat in each stage's inbound queue versus inside the
+// stage itself.
+func stageCols() []col[*traceStage] {
+	return []col[*traceStage]{
+		{"stage", 44, func(s *traceStage) string { return s.Stage }},
+		{"hops", 8, func(s *traceStage) string { return fmt.Sprintf("%d", s.Count) }},
+		{"queue mean", 11, func(s *traceStage) string {
+			if s.Count == 0 {
+				return "-"
+			}
+			return fmtNanos(float64(s.QueueNs) / float64(s.Count))
+		}},
+		{"kernel mean", 11, func(s *traceStage) string {
+			if s.Count == 0 {
+				return "-"
+			}
+			return fmtNanos(float64(s.KernelNs) / float64(s.Count))
+		}},
+	}
 }
 
 // tenantCols is the gateway tenant-table layout.
@@ -161,6 +234,12 @@ func tenantCols() []col[*GatewayTenant] {
 		{"elems", 12, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.AdmittedElems) }},
 		{"shed:quota", 11, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.ShedQuota) }},
 		{"shed:model", 11, func(t *GatewayTenant) string { return fmt.Sprintf("%d", t.ShedModel) }},
+		{"e2e p99", 10, func(t *GatewayTenant) string {
+			if t.E2EP99 == 0 {
+				return "-"
+			}
+			return fmtNanos(float64(t.E2EP99))
+		}},
 	}
 }
 

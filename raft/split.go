@@ -105,12 +105,20 @@ func (s *splitKernel) Run() Status {
 	in := s.In("in")
 	out, batch := s.pick(in.BatchHint(splitBatch))
 	if s.mover != nil {
-		if _, err := s.mover(in.typed, out.typed, batch, true); err != nil {
+		n, err := s.mover(in.typed, out.typed, batch, true)
+		if n > 0 {
+			forwardMarks(in, out)
+		}
+		if err != nil {
 			return Stop // input drained (or a downstream queue force-closed)
 		}
 		return Proceed
 	}
-	if _, err := in.moveBlocking(in.typed, out.typed, batch); err != nil {
+	n, err := in.moveBlocking(in.typed, out.typed, batch)
+	if n > 0 {
+		forwardMarks(in, out)
+	}
+	if err != nil {
 		return Stop
 	}
 	return Proceed
@@ -210,6 +218,9 @@ func (m *mergeKernel) Run() Status {
 			n, err = m.mover(in.typed, out.typed, hint, false)
 		} else {
 			n, err = in.move(in.typed, out.typed, hint)
+		}
+		if n > 0 {
+			forwardMarks(in, out)
 		}
 		moved += n
 		if err == nil {

@@ -163,6 +163,9 @@ func writeViewOf[T any](p *Port) writeViewQueue[T] {
 // and are invalid after release.
 func PopView[T any](p *Port, max int) (View[T], error) {
 	v, err := viewOf[T](p).AcquireView(max)
+	if len(v.Vals) > 0 {
+		p.markPop()
+	}
 	return View[T](v), err
 }
 
@@ -171,6 +174,9 @@ func PopView[T any](p *Port, max int) (View[T], error) {
 // and drained. An empty view must not be released.
 func TryPopView[T any](p *Port, max int) (View[T], error) {
 	v, err := viewOf[T](p).TryAcquireView(max)
+	if len(v.Vals) > 0 {
+		p.markPop()
+	}
 	return View[T](v), err
 }
 
@@ -201,6 +207,9 @@ func TryAcquireWriteView[T any](p *Port, max int) (WriteView[T], error) {
 // first n slots downstream; the rest return to the free region.
 func ReleaseWriteView[T any](p *Port, n int) {
 	writeViewOf[T](p).ReleaseWriteView(n)
+	if n > 0 {
+		p.markPush(n)
+	}
 }
 
 // moveView transfers up to max elements src→dst by borrowing the source's
