@@ -10,7 +10,7 @@ CI_SEED ?= 0
 FUZZTIME ?= 60s
 FUZZTIME_SHORT ?= 15s
 
-.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-nightly-bars
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-sched ci-nightly-bars
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench:
 # ci runs exactly what .github/workflows/ci.yml runs, as one local command.
 # The workflow jobs invoke the ci-* sub-targets below so the two can never
 # drift: editing a step here edits it for CI too.
-ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs
+ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-sched
 
 ci-vet:
 	$(GO) vet ./...
@@ -85,6 +85,7 @@ ci-fuzz:
 		echo "$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz=^$$t\$$ -fuzztime=$(FUZZTIME_SHORT)"; \
 		$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME_SHORT) || exit 1; \
 	done
+	$(GO) test ./internal/scheduler/ -run='^$$' -fuzz='^FuzzStealDeque$$' -fuzztime=$(FUZZTIME_SHORT)
 
 # Bench smoke for CI: correctness is always asserted; perf bars downgrade
 # to warnings on small runners (auto-detected via GOMAXPROCS < 2). -seed
@@ -126,13 +127,23 @@ ci-obs:
 	$(GO) test -race -count=3 -run 'Marker|Latency|Flight|Healthz|Timeline' ./raft/ ./internal/oar/
 	$(GO) run ./cmd/raft-bench -ablate latency -items 500000 -seed $(CI_SEED)
 
+# Scheduler gate: race-test the work-stealing scheduler and the actor
+# core with three passes — deque steals, park/wake hook delivery and the
+# watchdog are all interleaving-dependent — then run the A17 scale
+# ablation as a seeded smoke. Element exactness and park/wake counter
+# visibility assert on every run; the 1.05x scale-ratio bars warn on
+# small runners and are enforced by the nightly perf-bars job.
+ci-sched:
+	$(GO) test -race -count=3 ./internal/scheduler/... ./internal/core/...
+	$(GO) run ./cmd/raft-bench -ablate sched -corpus 4 -seed $(CI_SEED)
+
 # The nightly perf gate: the A5 (monitoring overhead), A11 (batching
 # speedup), A12 (telemetry overhead), A13 (controller parity/latency/
 # overhead), A14 (gateway admission/isolation), A15 (zero-copy view
-# speedup) and A16 (latency-marker overhead) bars, *enforced* —
-# -enforce-bars refuses the small-runner downgrade, so a missed bar
-# fails the job. Runs only on the pinned multi-core runner (see the
-# perf-bars job in .github/workflows/ci.yml); PR-time bench-smoke stays
-# advisory.
+# speedup), A16 (latency-marker overhead) and A17 (work-stealing
+# scheduler scale) bars, *enforced* — -enforce-bars refuses the
+# small-runner downgrade, so a missed bar fails the job. Runs only on
+# the pinned multi-core runner (see the perf-bars job in
+# .github/workflows/ci.yml); PR-time bench-smoke stays advisory.
 ci-nightly-bars:
-	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view,latency -corpus 16 -seed $(CI_SEED) -enforce-bars
+	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view,latency,sched -corpus 16 -seed $(CI_SEED) -enforce-bars

@@ -29,6 +29,7 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateClone(corpusMB)
 	case "sched":
 		ablateSched(corpusMB)
+		ablateSchedScale()
 	case "monitor":
 		ablateMonitor(corpusMB)
 	case "map":
@@ -270,6 +271,7 @@ func ablateSched(corpusMB int) {
 	for _, c := range []cfg{
 		{"goroutine-per-kernel", nil},
 		{fmt.Sprintf("pool-%d", 2*cores), []raft.Option{raft.WithPoolScheduler(2 * cores)}},
+		{fmt.Sprintf("worksteal-%d", cores), []raft.Option{raft.WithWorkStealing(cores)}},
 	} {
 		res, err := textsearch.Run(data, textsearch.Config{
 			Algo: "horspool", Cores: min(4, cores), ExtraExeOpts: c.opts,
@@ -282,6 +284,110 @@ func ablateSched(corpusMB int) {
 	}
 	fmt.Println("\nexpected: comparable throughput here (Go's runtime multiplexes")
 	fmt.Println("goroutines well); the pool matters when kernel count >> cores.")
+}
+
+// benchSchedKernels is the A17 sweep's kernel-count ladder, settable with
+// the -sched-kernels flag.
+var benchSchedKernels = []int{1000, 10000, 100000}
+
+// ablateSchedScale is the A17 scale sweep: the goroutine-per-kernel
+// scheduler against the work-stealing scheduler on graphs of 1k, 10k and
+// 100k kernels. The workload is kernel-count stress, not bandwidth: k/2
+// independent producer->consumer pairs over tiny fixed queues, so almost
+// every scheduling decision is a stall/park/wake transition and the
+// scheduler's bookkeeping cost dominates. Two bars gate the configuration:
+// work-stealing must stay within 5% of the goroutine scheduler at the
+// smallest scale (no fixed overhead regression) and must sustain that at
+// the largest (parked kernels must cost nothing while they wait).
+func ablateSchedScale() {
+	header("A17: Work-stealing scheduler — 1k/10k/100k-kernel scale sweep")
+	const itemsPer = 64
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("k/2 gen->sink pairs, %d items each, Cap(4) queues, %d steal workers\n\n", itemsPer, workers)
+	fmt.Printf("%-8s %-14s %-12s %-8s %-10s %-10s %-10s %-10s\n",
+		"kernels", "scheduler", "elapsed(ms)", "ratio", "steals", "parks", "wakes", "rescues")
+
+	build := func(k int) (*raft.Map, *int64) {
+		m := raft.NewMap()
+		got := new(int64)
+		for p := 0; p < k/2; p++ {
+			sent := 0
+			gen := raft.NewLambda[int64](0, 1, func(lk *raft.LambdaKernel) raft.Status {
+				if sent == itemsPer {
+					return raft.Stop
+				}
+				if err := raft.Push(lk.Out("0"), int64(sent)); err != nil {
+					return raft.Stop
+				}
+				sent++
+				return raft.Proceed
+			})
+			sink := raft.NewLambda[int64](1, 0, func(lk *raft.LambdaKernel) raft.Status {
+				if _, err := raft.Pop[int64](lk.In("0")); err != nil {
+					return raft.Stop
+				}
+				*got++
+				return raft.Proceed
+			})
+			m.MustLink(gen, sink, raft.Cap(4), raft.MaxCap(4))
+		}
+		return m, got
+	}
+
+	for si, k := range benchSchedKernels {
+		var base time.Duration
+		for _, ws := range []bool{false, true} {
+			m, got := build(k)
+			opts := []raft.Option{raft.WithDynamicResize(false), raft.WithoutMonitor()}
+			name := "goroutine"
+			if ws {
+				opts = append(opts, raft.WithWorkStealing(workers))
+				name = fmt.Sprintf("worksteal-%d", workers)
+			}
+			start := time.Now()
+			rep, err := m.Exe(opts...)
+			elapsed := time.Since(start)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			if want := int64(k/2) * itemsPer; *got != want {
+				failf("A17: %s at %d kernels moved %d elements, want %d", name, k, *got, want)
+			}
+			if !ws {
+				base = elapsed
+				fmt.Printf("%-8d %-14s %-12.1f %-8s %-10s %-10s %-10s %-10s\n",
+					k, name, float64(elapsed)/float64(time.Millisecond), "1.00", "-", "-", "-", "-")
+				continue
+			}
+			ratio := float64(elapsed) / float64(base)
+			if rep.Sched == nil {
+				failf("A17: work-stealing report carries no Sched section")
+				return
+			}
+			s := rep.Sched
+			fmt.Printf("%-8d %-14s %-12.1f %-8.2f %-10d %-10d %-10d %-10d\n",
+				k, name, float64(elapsed)/float64(time.Millisecond), ratio,
+				s.Steals, s.Parks, s.Wakes, s.Rescues)
+			if s.Parks == 0 || s.Wakes == 0 {
+				failf("A17: no park/wake activity at %d kernels on Cap(4) queues — hooks dead?", k)
+			}
+			// The smallest scale prices fixed overhead; the largest prices
+			// idle-kernel cost. Both bars are the same 5% envelope: within
+			// it at 1k means no regression, within it at 100k means parked
+			// kernels scale for free.
+			if si == 0 && ratio > 1.05 {
+				failf("A17: work-stealing %.2fx the goroutine scheduler at %d kernels, bar is 1.05x", ratio, k)
+			}
+			if si == len(benchSchedKernels)-1 && ratio > 1.05 {
+				failf("A17: work-stealing did not sustain at %d kernels (%.2fx goroutine, bar is 1.05x)", k, ratio)
+			}
+		}
+	}
+	fmt.Println("\nexpected: the goroutine scheduler pays the Go runtime's price per")
+	fmt.Println("blocked goroutine; work-stealing parks stalled kernels for the cost")
+	fmt.Println("of one state word and a wake hook, so its ratio holds flat (<=1.05)")
+	fmt.Println("as the kernel count grows two orders of magnitude.")
 }
 
 // ablateMonitor measures the paper's low-overhead monitoring claim (A5):

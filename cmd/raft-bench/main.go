@@ -51,6 +51,7 @@ func main() {
 		coresArg = flag.String("cores", "", "comma-separated core counts for Figure 10 (default 1,2,4,...,NumCPU)")
 		csvOut   = flag.String("csv", "", "directory to also write figure data as CSV")
 		seed     = flag.Uint64("seed", 0, "offset added to every workload seed (CI runs vary it to de-correlate flakes)")
+		schedKs  = flag.String("sched-kernels", "", "comma-separated kernel counts for the A17 scheduler scale sweep (default 1000,10000,100000)")
 		small    = flag.Bool("small-runner", false, "downgrade perf assertions to warnings (auto-set when GOMAXPROCS < 2)")
 		enforce  = flag.Bool("enforce-bars", false, "perf-bar misses always fail, refusing the small-runner downgrade (nightly pinned-runner mode)")
 	)
@@ -58,6 +59,18 @@ func main() {
 	csvDir = *csvOut
 	benchItems = *items
 	benchSeed = *seed
+	if *schedKs != "" {
+		var ks []int
+		for _, f := range strings.Split(*schedKs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "raft-bench: bad -sched-kernels entry %q\n", f)
+				os.Exit(2)
+			}
+			ks = append(ks, n)
+		}
+		benchSchedKernels = ks
+	}
 	smallRunner = *small || runtime.GOMAXPROCS(0) < 2
 	if *enforce {
 		// The dedicated-runner gate: a host too small to measure on must

@@ -173,6 +173,21 @@ func (b *BatchControl) Set(n int) {
 	b.n.Store(int32(n))
 }
 
+// Hint publishes n as the link's initial batch size only if no decision
+// exists yet (Get() == 0) and the control is not pinned, reporting whether
+// it applied. Nil-safe. Placement-time advisors (the work-stealing
+// scheduler's cross-shard hints) use it so they seed a starting point
+// without overriding the adaptive batcher or a user pin.
+func (b *BatchControl) Hint(n int) bool {
+	if b == nil || b.pinned.Load() {
+		return false
+	}
+	if n < 1 {
+		n = 1
+	}
+	return b.n.CompareAndSwap(0, int32(n))
+}
+
 // Pin fixes the batch size permanently; the monitor skips pinned controls.
 func (b *BatchControl) Pin(n int) {
 	b.Set(n)

@@ -212,6 +212,10 @@ func assignLevel(g *graph.Graph, t Topology, kernels, places []int, lv level, ou
 	}
 }
 
+// partitionExactMax bounds the kernel-set size the exact cut DP and greedy
+// refinement run on; larger sets take the linearize-and-split fast path.
+const partitionExactMax = 2048
+
 // partition splits the kernel set into k contiguous parts of a
 // depth-first linearization, choosing the k-1 cut positions that sever the
 // fewest (weighted) streams subject to a loose balance bound — the
@@ -231,6 +235,22 @@ func partition(g *graph.Graph, kernels []int, k int) [][]int {
 	origK := k
 	if k > n {
 		k = n
+	}
+
+	if n > partitionExactMax {
+		// Fast path for very large kernel sets (the 100k-kernel graphs the
+		// work-stealing scheduler targets): the exact cut DP is
+		// O(k·n·maxBlock) and the greedy refinement O(passes·n·E), both
+		// quadratic-ish in n. The linearization already places most stream
+		// edges between adjacent positions, so even contiguous blocks over
+		// it — the same shape as the DP's infeasibility fallback — cut few
+		// streams at a tiny fraction of the cost.
+		parts := make([][]int, k)
+		for i, v := range order {
+			pi := i * k / n
+			parts[pi] = append(parts[pi], v)
+		}
+		return pad(parts, origK)
 	}
 
 	// spanCost[p] = total weight of edges whose endpoints straddle a cut

@@ -234,3 +234,35 @@ func TestPartitionMoreLikelyPartsThanKernels(t *testing.T) {
 		t.Fatalf("kernels placed = %d", n)
 	}
 }
+
+func TestAssignLargeFastPath(t *testing.T) {
+	// Above partitionExactMax the partitioner must take the
+	// linearize-and-split fast path and stay fast; a valid assignment with
+	// mostly-local chain edges is still required.
+	n := partitionExactMax*2 + 10
+	g := pipeline(n)
+	top := NewLocal(8, 2)
+	a, err := Assign(g, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != n {
+		t.Fatalf("assignment covers %d kernels, want %d", len(a), n)
+	}
+	for i, p := range a {
+		if p < 0 || p >= len(top.Places) {
+			t.Fatalf("kernel %d assigned invalid place %d", i, p)
+		}
+	}
+	// A chain split into contiguous blocks crosses sockets at most a
+	// handful of times, never per-edge.
+	crossings := 0
+	for i := 0; i+1 < n; i++ {
+		if top.Places[a[i]].Socket != top.Places[a[i+1]].Socket {
+			crossings++
+		}
+	}
+	if crossings > 4 {
+		t.Fatalf("chain crosses sockets %d times, want few", crossings)
+	}
+}

@@ -58,6 +58,11 @@ type Ring[T any] struct {
 	wviewSince  int64
 	deferredCap int
 
+	// wake, when set, is called on readiness transitions (empty→non-empty,
+	// full→non-full, close) while r.mu is held — see WakeHooker for the
+	// contract the hook must obey.
+	wake func(Wake)
+
 	tel Telemetry
 }
 
@@ -180,9 +185,29 @@ func (r *Ring[T]) Closed() bool {
 func (r *Ring[T]) Close() {
 	r.mu.Lock()
 	r.closed = true
+	wake := r.wake
 	r.mu.Unlock()
 	r.notEmpty.Broadcast()
 	r.notFull.Broadcast()
+	if wake != nil {
+		wake(WakeClosed)
+	}
+}
+
+// SetWakeHook installs (or, with nil, detaches) the scheduler wake hook.
+// See WakeHooker for the contract.
+func (r *Ring[T]) SetWakeHook(fn func(Wake)) {
+	r.mu.Lock()
+	r.wake = fn
+	r.mu.Unlock()
+}
+
+// wokeNotEmpty fires the hook after an insert that filled an empty ring.
+// Called with r.mu held.
+func (r *Ring[T]) wokeNotEmpty(wasEmpty bool) {
+	if wasEmpty && r.n > 0 && r.wake != nil {
+		r.wake(WakeNotEmpty)
+	}
 }
 
 // sigAt returns the signal stored at ring index i.
@@ -223,6 +248,7 @@ func (r *Ring[T]) Push(v T, sig Signal) error {
 	if err := r.waitForSpaceLocked(1); err != nil {
 		return err
 	}
+	wasEmpty := r.n == 0
 	i := r.index(r.n)
 	r.vals[i] = v
 	r.setSigAt(i, sig)
@@ -230,6 +256,7 @@ func (r *Ring[T]) Push(v T, sig Signal) error {
 	r.tel.Pushes.Inc()
 	r.tel.recordOcc(r.n)
 	r.notEmpty.Signal()
+	r.wokeNotEmpty(wasEmpty)
 	return nil
 }
 
@@ -247,6 +274,7 @@ func (r *Ring[T]) TryPush(v T, sig Signal) (bool, error) {
 	if r.n == len(r.vals) {
 		return false, nil
 	}
+	wasEmpty := r.n == 0
 	i := r.index(r.n)
 	r.vals[i] = v
 	r.setSigAt(i, sig)
@@ -254,6 +282,7 @@ func (r *Ring[T]) TryPush(v T, sig Signal) (bool, error) {
 	r.tel.Pushes.Inc()
 	r.tel.recordOcc(r.n)
 	r.notEmpty.Signal()
+	r.wokeNotEmpty(wasEmpty)
 	return true, nil
 }
 
@@ -269,6 +298,7 @@ func (r *Ring[T]) PushBatch(vs []T, sig Signal) error {
 		if err := r.waitForSpaceLocked(1); err != nil {
 			return err
 		}
+		wasEmpty := r.n == 0
 		free := len(r.vals) - r.n
 		k := min(free, len(vs))
 		for j := 0; j < k; j++ {
@@ -285,6 +315,7 @@ func (r *Ring[T]) PushBatch(vs []T, sig Signal) error {
 		r.tel.recordOcc(r.n)
 		vs = vs[k:]
 		r.notEmpty.Broadcast()
+		r.wokeNotEmpty(wasEmpty)
 	}
 	return nil
 }
@@ -328,6 +359,7 @@ func (r *Ring[T]) PushN(vs []T, sigs []Signal) error {
 		if err := r.waitForSpaceLocked(1); err != nil {
 			return err
 		}
+		wasEmpty := r.n == 0
 		k := min(len(r.vals)-r.n, len(vs))
 		r.enqueueLocked(vs[:k], sigs)
 		vs = vs[k:]
@@ -337,6 +369,7 @@ func (r *Ring[T]) PushN(vs []T, sigs []Signal) error {
 		r.tel.Pushes.Add(uint64(k))
 		r.tel.recordOcc(r.n)
 		r.notEmpty.Broadcast()
+		r.wokeNotEmpty(wasEmpty)
 	}
 	return nil
 }
@@ -568,6 +601,7 @@ func (r *Ring[T]) Recycle(n int) {
 
 // dropLocked removes k elements from the head and wakes the producer.
 func (r *Ring[T]) dropLocked(k int) {
+	wasFull := r.n == len(r.vals)
 	// Release references so the GC can reclaim popped payloads.
 	var zero T
 	for j := 0; j < k; j++ {
@@ -583,6 +617,9 @@ func (r *Ring[T]) dropLocked(k int) {
 	}
 	r.tel.Pops.Add(uint64(k))
 	r.notFull.Broadcast()
+	if wasFull && k > 0 && r.wake != nil {
+		r.wake(WakeNotFull)
+	}
 }
 
 // Resize changes the capacity to newCap, preserving buffered elements and
@@ -644,6 +681,9 @@ func (r *Ring[T]) resizeLocked(newCap int) error {
 	// be met); wake both sides to re-evaluate.
 	r.notFull.Broadcast()
 	r.notEmpty.Broadcast()
+	if grew && r.wake != nil {
+		r.wake(WakeNotFull)
+	}
 	return nil
 }
 

@@ -60,7 +60,14 @@ type SPSC[T any] struct {
 	// than latest-wins. Both sides of the asymmetry satisfy the policy's
 	// contract: the producer never blocks and every loss is counted.
 	bestEffort atomic.Bool
-	tel        Telemetry
+	// wake, when non-nil, is the scheduler hook for readiness transitions.
+	// The transition detection here is conservative (endpoints race the
+	// opposing side's sequence counter): the post-publish re-load pattern in
+	// notifyPushed/notifyPopped catches every transition that a concurrently
+	// parking endpoint could have decided on, and the scheduler's watchdog
+	// rescues the pathological remainder. See WakeHooker.
+	wake atomic.Pointer[func(Wake)]
+	tel  Telemetry
 
 	writerBlockSince atomic.Int64
 	readerBlockSince atomic.Int64
@@ -134,7 +141,50 @@ func (q *SPSC[T]) SetBestEffort(on bool) { q.bestEffort.Store(on) }
 func (q *SPSC[T]) BestEffort() bool { return q.bestEffort.Load() }
 
 // Close marks the producer finished. Idempotent.
-func (q *SPSC[T]) Close() { q.closed.Store(true) }
+func (q *SPSC[T]) Close() {
+	q.closed.Store(true)
+	if p := q.wake.Load(); p != nil {
+		(*p)(WakeClosed)
+	}
+}
+
+// SetWakeHook installs (or, with nil, detaches) the scheduler wake hook.
+// See WakeHooker for the contract.
+func (q *SPSC[T]) SetWakeHook(fn func(Wake)) {
+	if fn == nil {
+		q.wake.Store(nil)
+		return
+	}
+	q.wake.Store(&fn)
+}
+
+// notifyPushed fires WakeNotEmpty after a tail publish at sequence oldTail.
+// The head is re-loaded AFTER the tail store: if the consumer had drained
+// everything visible before this push (head == oldTail) it may be parked —
+// or deciding to park — and the hook's state machine covers both. If
+// head < oldTail there were unconsumed elements when the batch published,
+// so the consumer cannot have parked on an empty queue whose emptiness
+// postdates them.
+func (q *SPSC[T]) notifyPushed(oldTail uint64) {
+	if p := q.wake.Load(); p != nil && q.head.Load() == oldTail {
+		(*p)(WakeNotEmpty)
+	}
+}
+
+// notifyPopped fires WakeNotFull after a head publish that started from
+// sequence oldHead. The tail is re-loaded AFTER the head store: if the
+// producer filled the ring to capacity relative to the pre-pop head it may
+// be parked on the full queue; the conservative >= catches the epoch-swap
+// backlog case too (occupancy beyond the active capacity).
+func (q *SPSC[T]) notifyPopped(oldHead uint64) {
+	p := q.wake.Load()
+	if p == nil {
+		return
+	}
+	if q.tail.Load()-oldHead >= uint64(len(q.active.Load().vals)) {
+		(*p)(WakeNotFull)
+	}
+}
 
 // Closed reports whether the producer closed the queue.
 func (q *SPSC[T]) Closed() bool { return q.closed.Load() }
@@ -162,6 +212,7 @@ func (q *SPSC[T]) TryPush(v T, sig Signal) (bool, error) {
 	q.tail.Store(t + 1) // release: publishes the slot
 	q.tel.Pushes.Inc()
 	q.tel.recordOcc(int(t + 1 - h))
+	q.notifyPushed(t)
 	return true, nil
 }
 
@@ -259,6 +310,7 @@ func (q *SPSC[T]) PushN(vs []T, sigs []Signal) error {
 		q.tail.Store(t + uint64(k)) // release: publishes the whole batch
 		q.tel.Pushes.Add(uint64(k))
 		q.tel.recordOcc(int(t + uint64(k) - h))
+		q.notifyPushed(t)
 		vs = vs[k:]
 		if sigs != nil {
 			sigs = sigs[k:]
@@ -305,6 +357,7 @@ func (q *SPSC[T]) DrainTo(dst []T, sigs []Signal) (int, error) {
 		return 0, nil
 	}
 	h := q.head.Load()
+	h0 := h
 	t := q.tail.Load()
 	if t == h {
 		if !q.closed.Load() {
@@ -346,6 +399,9 @@ func (q *SPSC[T]) DrainTo(dst []T, sigs []Signal) (int, error) {
 	}
 	q.head.Store(h) // release: consumes the whole batch
 	q.tel.Pops.Add(uint64(total))
+	if total > 0 {
+		q.notifyPopped(h0)
+	}
 	return total, nil
 }
 
@@ -379,6 +435,7 @@ func (q *SPSC[T]) TryPop() (v T, s Signal, ok bool, err error) {
 	seg.vals[i] = zero
 	q.head.Store(h + 1)
 	q.tel.Pops.Inc()
+	q.notifyPopped(h)
 	return v, s, true, nil
 }
 

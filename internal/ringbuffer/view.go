@@ -307,10 +307,12 @@ func (r *Ring[T]) ReleaseWriteView(n int) {
 	r.tel.ViewHoldNs.Add(uint64(nowNanos() - r.wviewSince))
 	r.wviewSince = 0
 	if n > 0 {
+		wasEmpty := r.n == 0
 		r.n += n
 		r.tel.Pushes.Add(uint64(n))
 		r.tel.recordOcc(r.n)
 		r.notEmpty.Broadcast()
+		r.wokeNotEmpty(wasEmpty)
 	}
 	r.applyDeferredLocked()
 }
@@ -445,6 +447,7 @@ func (q *SPSC[T]) ReleaseView(n int) {
 	}
 	q.head.Store(h + uint64(n))
 	q.tel.Pops.Add(uint64(n))
+	q.notifyPopped(h)
 }
 
 // AcquireWriteView reserves up to max free slots of the producer's epoch,
@@ -540,6 +543,7 @@ func (q *SPSC[T]) ReleaseWriteView(n int) {
 	q.tail.Store(t + uint64(n)) // release: publishes the batch
 	q.tel.Pushes.Add(uint64(n))
 	q.tel.recordOcc(int(t + uint64(n) - q.head.Load()))
+	q.notifyPushed(t)
 }
 
 // ViewHeldFor implements ViewHolder.

@@ -1,0 +1,54 @@
+package ringbuffer
+
+// Wake identifies one queue-state transition of interest to a parked
+// scheduler: the transitions are exactly the edges of the cooperative
+// readiness predicate (inputs non-empty or closed, outputs non-full or
+// closed), so a kernel parked on a Stall needs to be re-queued on no other
+// occasion.
+type Wake uint8
+
+const (
+	// WakeNotEmpty fires when a push transitions the queue from empty to
+	// non-empty: the consumer, if parked, can make progress again.
+	WakeNotEmpty Wake = iota
+	// WakeNotFull fires when a pop (or a capacity grow) transitions the
+	// queue from full to non-full: the producer, if parked, can push again.
+	WakeNotFull
+	// WakeClosed fires on Close: both endpoints must re-run so they can
+	// observe ErrClosed and stop (deadlock aborts close every queue, so a
+	// parked actor is never stranded by teardown).
+	WakeClosed
+)
+
+// String returns the transition's stable name.
+func (w Wake) String() string {
+	switch w {
+	case WakeNotEmpty:
+		return "not-empty"
+	case WakeNotFull:
+		return "not-full"
+	case WakeClosed:
+		return "closed"
+	}
+	return "wake(?)"
+}
+
+// WakeHooker is implemented by queue kinds that can notify a scheduler of
+// readiness transitions. The hook contract is strict, because it runs on
+// the queues' hot paths (under the mutex ring's lock; on the SPSC ring's
+// lock-free push/pop sequence):
+//
+//   - it must not block,
+//   - it must not call back into any queue, and
+//   - it must tolerate spurious invocations (the SPSC transition detection
+//     is conservative under concurrent endpoint races — a rare missed edge
+//     is rescued by the scheduler's watchdog, a rare extra edge must be
+//     harmless).
+//
+// Passing nil detaches the hook. Installation is not synchronized with
+// in-flight operations beyond the queue's own ordering: install before the
+// endpoints start (or accept that a transition during the install race may
+// be missed — the watchdog covers that too).
+type WakeHooker interface {
+	SetWakeHook(func(Wake))
+}

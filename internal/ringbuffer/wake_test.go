@@ -1,0 +1,193 @@
+package ringbuffer
+
+import (
+	"sync"
+	"testing"
+)
+
+// wakeLog collects hook invocations (the mutex ring calls the hook under
+// its lock, so the log needs its own).
+type wakeLog struct {
+	mu sync.Mutex
+	ws []Wake
+}
+
+func (l *wakeLog) hook(w Wake) {
+	l.mu.Lock()
+	l.ws = append(l.ws, w)
+	l.mu.Unlock()
+}
+
+func (l *wakeLog) count(w Wake) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, x := range l.ws {
+		if x == w {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRingWakeHook(t *testing.T) {
+	r := NewRing[int](2)
+	var log wakeLog
+	r.SetWakeHook(log.hook)
+
+	// Empty -> non-empty fires exactly once; the second push stays quiet.
+	mustPush(t, r, 1)
+	mustPush(t, r, 2)
+	if got := log.count(WakeNotEmpty); got != 1 {
+		t.Fatalf("not-empty fires = %d, want 1", got)
+	}
+
+	// Full -> non-full fires on the first pop only.
+	if _, _, err := r.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.count(WakeNotFull); got != 1 {
+		t.Fatalf("not-full fires = %d, want 1", got)
+	}
+
+	// Refill after drain: a fresh empty -> non-empty edge.
+	mustPush(t, r, 3)
+	if got := log.count(WakeNotEmpty); got != 2 {
+		t.Fatalf("not-empty fires after refill = %d, want 2", got)
+	}
+
+	r.Close()
+	if got := log.count(WakeClosed); got != 1 {
+		t.Fatalf("closed fires = %d, want 1", got)
+	}
+
+	// Detached hook must not fire.
+	r2 := NewRing[int](2)
+	r2.SetWakeHook(log.hook)
+	r2.SetWakeHook(nil)
+	mustPush(t, r2, 1)
+	if got := log.count(WakeNotEmpty); got != 2 {
+		t.Fatalf("detached hook fired (not-empty = %d)", got)
+	}
+}
+
+func TestRingWakeHookBatchPaths(t *testing.T) {
+	r := NewRing[int](4)
+	var log wakeLog
+	r.SetWakeHook(log.hook)
+
+	if err := r.PushN([]int{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.count(WakeNotEmpty); got != 1 {
+		t.Fatalf("PushN not-empty fires = %d, want 1", got)
+	}
+	dst := make([]int, 4)
+	if _, err := r.DrainTo(dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.count(WakeNotFull); got != 1 {
+		t.Fatalf("DrainTo not-full fires = %d, want 1", got)
+	}
+}
+
+func TestRingWakeHookGrowFiresNotFull(t *testing.T) {
+	r := NewRing[int](2)
+	var log wakeLog
+	r.SetWakeHook(log.hook)
+	mustPush(t, r, 1)
+	mustPush(t, r, 2)
+	if err := r.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.count(WakeNotFull); got != 1 {
+		t.Fatalf("grow not-full fires = %d, want 1", got)
+	}
+}
+
+func TestSPSCWakeHook(t *testing.T) {
+	q := NewSPSC[int](2)
+	var log wakeLog
+	q.SetWakeHook(log.hook)
+
+	ok, err := q.TryPush(1, SigNone)
+	if !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	ok, err = q.TryPush(2, SigNone)
+	if !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	if got := log.count(WakeNotEmpty); got != 1 {
+		t.Fatalf("not-empty fires = %d, want 1", got)
+	}
+
+	// Queue is at capacity: the first pop is a full -> non-full edge.
+	if _, _, ok, err := q.TryPop(); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	if got := log.count(WakeNotFull); got != 1 {
+		t.Fatalf("not-full fires = %d, want 1", got)
+	}
+	if _, _, ok, err := q.TryPop(); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	if got := log.count(WakeNotFull); got != 1 {
+		t.Fatalf("non-full pop fired spuriously (= %d)", got)
+	}
+
+	// Batch paths: PushN into empty fires once, DrainTo from full fires once.
+	if err := q.PushN([]int{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.count(WakeNotEmpty); got != 2 {
+		t.Fatalf("PushN not-empty fires = %d, want 2", got)
+	}
+	dst := make([]int, 2)
+	if _, err := q.DrainTo(dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.count(WakeNotFull); got != 2 {
+		t.Fatalf("DrainTo not-full fires = %d, want 2", got)
+	}
+
+	q.Close()
+	if got := log.count(WakeClosed); got != 1 {
+		t.Fatalf("closed fires = %d, want 1", got)
+	}
+}
+
+func TestSPSCWakeHookViews(t *testing.T) {
+	q := NewSPSC[int](2)
+	var log wakeLog
+	q.SetWakeHook(log.hook)
+
+	wv, err := q.TryAcquireWriteView(2)
+	if err != nil || wv.Len() != 2 {
+		t.Fatal(err, wv.Len())
+	}
+	wv.Vals[0], wv.Vals[1] = 10, 11
+	q.ReleaseWriteView(2)
+	if got := log.count(WakeNotEmpty); got != 1 {
+		t.Fatalf("write-view not-empty fires = %d, want 1", got)
+	}
+
+	v, err := q.AcquireView(2)
+	if err != nil || v.Len() != 2 {
+		t.Fatal(err, v.Len())
+	}
+	q.ReleaseView(2)
+	if got := log.count(WakeNotFull); got != 1 {
+		t.Fatalf("read-view not-full fires = %d, want 1", got)
+	}
+}
+
+func mustPush(t *testing.T, r *Ring[int], v int) {
+	t.Helper()
+	if err := r.Push(v, SigNone); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -100,9 +100,23 @@ func (Goroutine) Run(actors []*core.Actor) error {
 type Pool struct {
 	// Workers is the number of worker goroutines (defaults to GOMAXPROCS).
 	Workers int
-	// StallSleep is how long a fully stalled pass sleeps before retrying
-	// (defaults to 50µs).
+	// StallSleep caps the exponential backoff a stalled kernel's requeue
+	// sleeps before retrying (defaults to 50µs). The backoff starts at 1µs
+	// on a kernel's first stalled pass and doubles per consecutive stall,
+	// so a briefly-blocked kernel retries almost immediately while a
+	// long-blocked one converges to the old fixed-sleep behaviour.
 	StallSleep time.Duration
+	// Counters, when non-nil, receives activity counts (stalled passes).
+	// A pointer so the Pool value type keeps its copy semantics while Run
+	// and SchedStats observe the same cells; Run leaves a nil field nil
+	// and counts nothing.
+	Counters *counters
+}
+
+// NewPool returns a counting Pool: Workers set to workers (0 means
+// GOMAXPROCS) and Counters wired so SchedStats reports stalled passes.
+func NewPool(workers int) Pool {
+	return Pool{Workers: workers, Counters: &counters{}}
 }
 
 // Name implements Scheduler.
@@ -115,24 +129,35 @@ func (p Pool) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// SchedStats implements StatsReporter.
+func (p Pool) SchedStats() Stats {
+	s := Stats{Scheduler: p.Name(), Workers: p.workers()}
+	p.Counters.snapshot(&s)
+	return s
+}
+
+// poolJob is one actor's scheduling handle; streak counts consecutive
+// stalled passes and drives the per-kernel backoff.
+type poolJob struct {
+	a      *core.Actor
+	idx    int
+	streak int
+}
+
 // Run implements Scheduler.
 func (p Pool) Run(actors []*core.Actor) error {
-	type job struct {
-		a   *core.Actor
-		idx int
-	}
-	stallSleep := p.StallSleep
-	if stallSleep <= 0 {
-		stallSleep = 50 * time.Microsecond
+	stallCap := p.StallSleep
+	if stallCap <= 0 {
+		stallCap = 50 * time.Microsecond
 	}
 
-	queue := make(chan job, len(actors))
+	queue := make(chan *poolJob, len(actors))
 	errs := make([]error, len(actors))
 	var errMu sync.Mutex
 	var pending sync.WaitGroup // counts unfinished actors
 
 	// Initialize all actors up front; failures mark the actor finished.
-	live := make([]job, 0, len(actors))
+	live := make([]*poolJob, 0, len(actors))
 	for i, a := range actors {
 		if a.Init != nil {
 			if err := a.Init(); err != nil {
@@ -151,7 +176,7 @@ func (p Pool) Run(actors []*core.Actor) error {
 			a.Finished.Store(true)
 			continue
 		}
-		live = append(live, job{a: a, idx: i})
+		live = append(live, &poolJob{a: a, idx: i})
 	}
 	pending.Add(len(live))
 	for _, j := range live {
@@ -164,13 +189,13 @@ func (p Pool) Run(actors []*core.Actor) error {
 		go func() {
 			defer wg.Done()
 			for j := range queue {
-				p.stepQuantum(j.a, j.idx, errs, &errMu, func(done bool) {
+				p.stepQuantum(j, errs, &errMu, func(done bool) {
 					if done {
 						pending.Done()
 					} else {
 						queue <- j // cooperative requeue
 					}
-				}, stallSleep)
+				}, stallCap)
 			}
 		}()
 	}
@@ -182,13 +207,17 @@ func (p Pool) Run(actors []*core.Actor) error {
 }
 
 // stepQuantum runs a bounded burst of Steps for one actor, then either
-// finishes it or hands it back via done(false).
-func (p Pool) stepQuantum(a *core.Actor, idx int, errs []error, errMu *sync.Mutex, done func(bool), stallSleep time.Duration) {
+// finishes it or hands it back via done(false). A pass that makes no
+// progress sleeps the kernel's current backoff (1µs doubled per
+// consecutive stalled pass, capped at stallCap) before the requeue; any
+// progress resets the streak.
+func (p Pool) stepQuantum(j *poolJob, errs []error, errMu *sync.Mutex, done func(bool), stallCap time.Duration) {
+	a := j.a
 	finished := false
 	defer func() {
 		if r := recover(); r != nil {
 			errMu.Lock()
-			errs[idx] = fmt.Errorf("kernel %q %w", a.Name, core.PanicError(r))
+			errs[j.idx] = fmt.Errorf("kernel %q %w", a.Name, core.PanicError(r))
 			errMu.Unlock()
 			finished = true
 		}
@@ -208,18 +237,33 @@ func (p Pool) stepQuantum(a *core.Actor, idx int, errs []error, errMu *sync.Mute
 		// capture this worker — requeue it and serve someone who can run.
 		if a.Ready != nil && !a.Ready() {
 			if i == 0 {
-				time.Sleep(stallSleep)
+				p.stalled(j, stallCap)
 			}
 			return
 		}
 		switch a.StepTimed() {
 		case core.Proceed:
+			j.streak = 0
 		case core.Stop:
 			finished = true
 			return
 		case core.Stall:
-			time.Sleep(stallSleep)
+			p.stalled(j, stallCap)
 			return
 		}
 	}
+	j.streak = 0
+}
+
+// stalled records one no-progress pass and sleeps the kernel's backoff.
+func (p Pool) stalled(j *poolJob, stallCap time.Duration) {
+	if p.Counters != nil {
+		p.Counters.stalled.Add(1)
+	}
+	d := time.Microsecond << min(j.streak, 20)
+	if d > stallCap {
+		d = stallCap
+	}
+	j.streak++
+	time.Sleep(d)
 }

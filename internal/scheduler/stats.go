@@ -1,0 +1,56 @@
+package scheduler
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of a scheduler's internal activity,
+// surfaced in Report/LiveStats and as Prometheus counters. All counters are
+// cumulative since Run started.
+type Stats struct {
+	// Scheduler is the implementation's Name().
+	Scheduler string
+	// Workers is the number of worker goroutines multiplexing kernels
+	// (0 for goroutine-per-kernel, which has no worker pool).
+	Workers int
+	// Steals counts successful steal operations (one per victim raid);
+	// StolenTasks counts the kernels moved by them (batched steals move
+	// several per raid).
+	Steals, StolenTasks uint64
+	// Parks counts kernels parked after a Stall to await a link wake;
+	// Wakes counts link-transition re-queues of parked kernels; Rescues
+	// counts watchdog re-queues (kernels whose stall had no hooked link
+	// transition to wake them, or the rare missed SPSC edge).
+	Parks, Wakes, Rescues uint64
+	// StalledPasses counts scheduling passes that found the kernel unable
+	// to progress (the pool's backoff events; 0 for schedulers that park
+	// instead of polling).
+	StalledPasses uint64
+	// CrossShardLinks is the number of links whose producer and consumer
+	// were placed on different shards (work-stealing only).
+	CrossShardLinks int
+}
+
+// StatsReporter is implemented by schedulers that expose activity counters.
+// SchedStats must be safe to call concurrently with Run (the live-stats
+// streamer and the metrics endpoint poll it mid-flight).
+type StatsReporter interface {
+	SchedStats() Stats
+}
+
+// counters is the shared mutable counter block behind Stats. It sits behind
+// a pointer so value-typed schedulers (Pool) keep their copy semantics
+// while Run and SchedStats still observe the same cells.
+type counters struct {
+	steals, stolen, parks, wakes, rescues, stalled atomic.Uint64
+}
+
+func (c *counters) snapshot(into *Stats) {
+	if c == nil {
+		return
+	}
+	into.Steals = c.steals.Load()
+	into.StolenTasks = c.stolen.Load()
+	into.Parks = c.parks.Load()
+	into.Wakes = c.wakes.Load()
+	into.Rescues = c.rescues.Load()
+	into.StalledPasses = c.stalled.Load()
+}

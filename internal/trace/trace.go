@@ -86,6 +86,16 @@ const (
 	// SLOBreach is one retired marker exceeding the configured end-to-end
 	// objective (Prev = marker ID, Arg = e2e ns, Label = "tenant/source").
 	SLOBreach
+	// Steal is one successful steal by an idle work-stealing worker (Actor =
+	// first stolen kernel, Prev = victim shard, Arg = tasks moved, Label =
+	// thief shard "w<i>").
+	Steal
+	// Park is one kernel parking after a Stall, awaiting a link wake
+	// (sampled on the scheduler's hot path; Prev = owning shard).
+	Park
+	// Wake is one parked kernel re-queued (sampled; Arg = 0 for a link
+	// transition wake, 1 for a watchdog rescue).
+	Wake
 )
 
 var kindNames = [...]string{
@@ -112,6 +122,9 @@ var kindNames = [...]string{
 	MarkHop:           "mark-hop",
 	MarkRetire:        "mark-retire",
 	SLOBreach:         "slo-breach",
+	Steal:             "steal",
+	Park:              "park",
+	Wake:              "wake",
 }
 
 // String returns the event kind's stable wire name.

@@ -39,6 +39,13 @@ type Config struct {
 	// workers; 0 selects the default goroutine-per-kernel scheduler.
 	PoolWorkers int
 
+	// WorkStealing selects the sharded work-stealing scheduler (per-worker
+	// deques, park/wake on queue transitions, locality-aware placement)
+	// with StealWorkers workers (0 = GOMAXPROCS). Takes precedence over
+	// PoolWorkers.
+	WorkStealing bool
+	StealWorkers int
+
 	// MonitorEnabled runs the δ-tick monitor thread (default true).
 	MonitorEnabled bool
 	// MonitorDelta is the monitor period δ (default 10µs, per the paper).
@@ -188,6 +195,20 @@ func WithLockFreeQueues() Option { return func(c *Config) { c.LockFree = true } 
 // WithPoolScheduler multiplexes kernels over n worker goroutines instead of
 // one goroutine per kernel (the A4 ablation configuration).
 func WithPoolScheduler(n int) Option { return func(c *Config) { c.PoolWorkers = n } }
+
+// WithWorkStealing multiplexes kernels over n worker shards (0 =
+// GOMAXPROCS) under the sharded work-stealing scheduler: each worker owns
+// a ready deque (LIFO local pop, batched FIFO steal), a kernel that
+// returns Stall parks until one of its streams transitions
+// empty→non-empty or full→non-full instead of being polled, and shard
+// assignment follows the mapper's placement so producer/consumer pairs
+// stay on one shard while links that still cross shards get a wider
+// initial transfer batch. Steal/park/wake activity lands in
+// Report.Sched, LiveStats and the Prometheus counters (the A17 ablation
+// configuration).
+func WithWorkStealing(n int) Option {
+	return func(c *Config) { c.WorkStealing = true; c.StealWorkers = n }
+}
 
 // WithoutMonitor disables the runtime monitor entirely (A5 ablation).
 func WithoutMonitor() Option { return func(c *Config) { c.MonitorEnabled = false } }
@@ -428,6 +449,31 @@ type Report struct {
 	// attribution folded from retired markers. Nil when latency markers
 	// are disabled (WithoutLatencyMarkers).
 	Latency *LatencyReport
+	// Sched holds the scheduler's activity counters (steals, parks, wakes,
+	// stalled passes). Nil under the default goroutine-per-kernel
+	// scheduler, which delegates entirely to the Go runtime and has no
+	// counters of its own.
+	Sched *SchedReport
+}
+
+// SchedReport is the scheduler-activity section of a Report, populated by
+// the pool and work-stealing schedulers.
+type SchedReport struct {
+	// Workers is the number of scheduler worker goroutines.
+	Workers int
+	// Steals counts successful steal operations; StolenTasks the kernels
+	// migrated by them (a steal moves up to StealBatch tasks).
+	Steals, StolenTasks uint64
+	// Parks counts kernel park transitions (kernel stalled and was
+	// descheduled until a link readiness hook fired); Wakes counts
+	// hook-driven unparks and Rescues watchdog-driven ones.
+	Parks, Wakes, Rescues uint64
+	// StalledPasses counts scheduling passes that made no progress.
+	StalledPasses uint64
+	// CrossShardLinks is the number of links whose endpoints the placement
+	// pass put on different shards (these links get a batch hint to
+	// amortize the cross-shard transfer).
+	CrossShardLinks int
 }
 
 // LatencyReport summarizes the run's retired latency markers.
@@ -710,11 +756,28 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 		}
 	}
 
-	// 7. Run to completion (with the metrics endpoint up, when requested).
+	// 7. Scheduler selection — before the metrics endpoint and the stats
+	// streamer start, so both can poll the scheduler's counters mid-run.
+	var sched scheduler.Scheduler = scheduler.Goroutine{}
+	switch {
+	case cfg.WorkStealing:
+		ws := scheduler.NewWorkSteal(cfg.StealWorkers)
+		ws.AttachLinks(linkInfos)
+		ws.AttachTopology(cfg.Topology)
+		if rec != nil {
+			ws.AttachTrace(rec)
+		}
+		sched = ws
+	case cfg.PoolWorkers > 0:
+		sched = scheduler.NewPool(cfg.PoolWorkers)
+	}
+	schedStats, _ := sched.(scheduler.StatsReporter)
+
+	// Run to completion (with the metrics endpoint up, when requested).
 	health := &execHealth{}
 	var msrv *metricsServer
 	if cfg.MetricsAddr != "" || cfg.MetricsListener != nil {
-		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec, est, health)
+		msrv, err = startMetrics(&cfg, linkInfos, actors, scalers, m, mon, rec, est, health, schedStats)
 		if err != nil {
 			if mon != nil {
 				mon.Stop()
@@ -722,17 +785,13 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			return nil, err
 		}
 	}
-	var sched scheduler.Scheduler = scheduler.Goroutine{}
-	if cfg.PoolWorkers > 0 {
-		sched = scheduler.Pool{Workers: cfg.PoolWorkers}
-	}
 	var streamer *statsStreamer
 	if cfg.Observer != nil {
 		var dom *trace.MarkerDomain
 		if cfg.markers != nil {
 			dom = cfg.markers.dom
 		}
-		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors, est, dom)
+		streamer = startStatsStreamer(cfg.ObserveEvery, cfg.Observer, linkInfos, actors, est, dom, schedStats)
 	}
 	if cfg.Gateway != nil {
 		if err := cfg.Gateway.Start(); err != nil {
@@ -768,7 +827,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 
 	// 8. Report.
-	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, est, sched.Name(), elapsed)
+	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, est, sched, elapsed)
 	rep.Trace = rec
 	if cfg.Gateway != nil {
 		rep.Gateway = gatewayReport(cfg.Gateway)
@@ -1019,12 +1078,25 @@ func readinessOf(kb *KernelBase) func() bool {
 
 func (m *Map) buildReport(g *graph.Graph, cfg Config, assignment mapper.Assignment,
 	actors []*core.Actor, links []*core.LinkInfo, mon *monitor.Monitor,
-	scalers []*groupScaler, est *qmodel.Estimator, schedName string, elapsed time.Duration) *Report {
+	scalers []*groupScaler, est *qmodel.Estimator, sched scheduler.Scheduler, elapsed time.Duration) *Report {
 
 	rep := &Report{
 		Elapsed:   elapsed,
-		Scheduler: schedName,
+		Scheduler: sched.Name(),
 		CutCost:   mapper.CutCost(g, cfg.Topology, assignment),
+	}
+	if sr, ok := sched.(scheduler.StatsReporter); ok {
+		ss := sr.SchedStats()
+		rep.Sched = &SchedReport{
+			Workers:         ss.Workers,
+			Steals:          ss.Steals,
+			StolenTasks:     ss.StolenTasks,
+			Parks:           ss.Parks,
+			Wakes:           ss.Wakes,
+			Rescues:         ss.Rescues,
+			StalledPasses:   ss.StalledPasses,
+			CrossShardLinks: ss.CrossShardLinks,
+		}
 	}
 	for _, a := range actors {
 		kr := KernelReport{

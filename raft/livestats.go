@@ -5,6 +5,7 @@ import (
 
 	"raftlib/internal/core"
 	"raftlib/internal/qmodel"
+	"raftlib/internal/scheduler"
 	"raftlib/internal/stats"
 	"raftlib/internal/trace"
 )
@@ -28,6 +29,9 @@ type LiveStats struct {
 	// retired markers (empty until the first marker completes its journey;
 	// always empty under WithoutLatencyMarkers).
 	Flows []LiveFlow
+	// Sched holds the scheduler's activity counters so far (nil under the
+	// default goroutine-per-kernel scheduler, which has none to report).
+	Sched *scheduler.Stats
 }
 
 // LiveFlow is one flow's end-to-end latency so far.
@@ -111,12 +115,13 @@ type statsStreamer struct {
 	actors   []*core.Actor
 	est      *qmodel.Estimator
 	dom      *trace.MarkerDomain
+	sched    scheduler.StatsReporter
 	start    time.Time
 	stop     chan struct{}
 	done     chan struct{}
 }
 
-func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor, est *qmodel.Estimator, dom *trace.MarkerDomain) *statsStreamer {
+func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkInfo, actors []*core.Actor, est *qmodel.Estimator, dom *trace.MarkerDomain, sched scheduler.StatsReporter) *statsStreamer {
 	s := &statsStreamer{
 		interval: interval,
 		fn:       fn,
@@ -124,6 +129,7 @@ func startStatsStreamer(interval time.Duration, fn Observer, links []*core.LinkI
 		actors:   actors,
 		est:      est,
 		dom:      dom,
+		sched:    sched,
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -189,6 +195,10 @@ func (s *statsStreamer) snapshot() LiveStats {
 			}
 		}
 		ls.Kernels = append(ls.Kernels, lk)
+	}
+	if s.sched != nil {
+		ss := s.sched.SchedStats()
+		ls.Sched = &ss
 	}
 	if s.dom != nil {
 		for _, f := range s.dom.Flows() {

@@ -15,6 +15,7 @@ import (
 	"raftlib/internal/monitor"
 	"raftlib/internal/qmodel"
 	"raftlib/internal/ringbuffer"
+	"raftlib/internal/scheduler"
 	"raftlib/internal/trace"
 )
 
@@ -76,7 +77,7 @@ type metricsServer struct {
 
 func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
 	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder,
-	est *qmodel.Estimator, health *execHealth) (*metricsServer, error) {
+	est *qmodel.Estimator, health *execHealth, sched scheduler.StatsReporter) (*metricsServer, error) {
 
 	ln := cfg.MetricsListener
 	if ln == nil {
@@ -90,7 +91,7 @@ func startMetrics(cfg *Config, links []*core.LinkInfo, actors []*core.Actor,
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, links, actors, scalers, m, mon, rec, est, rig, flight)
+		writeMetrics(w, links, actors, scalers, m, mon, rec, est, rig, flight, sched)
 	})
 	// /healthz is the readiness probe: 200 while the graph is executing,
 	// 503 before launch and once draining/done. The body reports the
@@ -143,7 +144,8 @@ func (ms *metricsServer) Stop() {
 // amortization needed — scrapes are rare relative to the hot path.
 func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 	scalers []*groupScaler, m *Map, mon *monitor.Monitor, rec *trace.Recorder,
-	est *qmodel.Estimator, rig *markerRig, flight *trace.FlightRecorder) {
+	est *qmodel.Estimator, rig *markerRig, flight *trace.FlightRecorder,
+	sched scheduler.StatsReporter) {
 
 	var b strings.Builder
 
@@ -377,6 +379,31 @@ func writeMetrics(w io.Writer, links []*core.LinkInfo, actors []*core.Actor,
 	if rec != nil {
 		counter("raft_trace_dropped_total", "Trace events overwritten by wraparound.")
 		fmt.Fprintf(&b, "raft_trace_dropped_total %d\n", rec.Dropped())
+	}
+
+	// Scheduler activity (pool and work-stealing schedulers only; the
+	// default goroutine-per-kernel scheduler has no counters to report).
+	if sched != nil {
+		ss := sched.SchedStats()
+		gauge("raft_sched_workers", "Scheduler worker goroutines.")
+		fmt.Fprintf(&b, "raft_sched_workers{scheduler=%q} %d\n", ss.Scheduler, ss.Workers)
+		gauge("raft_sched_cross_shard_links", "Links whose endpoints landed on different shards.")
+		fmt.Fprintf(&b, "raft_sched_cross_shard_links{scheduler=%q} %d\n", ss.Scheduler, ss.CrossShardLinks)
+		schedCounters := []struct {
+			name, help string
+			v          uint64
+		}{
+			{"raft_sched_steals_total", "Successful steal operations between worker deques.", ss.Steals},
+			{"raft_sched_stolen_tasks_total", "Kernels migrated by steals.", ss.StolenTasks},
+			{"raft_sched_parks_total", "Kernel park transitions (stalled, descheduled).", ss.Parks},
+			{"raft_sched_wakes_total", "Kernel wakes from link readiness hooks.", ss.Wakes},
+			{"raft_sched_rescues_total", "Watchdog rescues of parked kernels.", ss.Rescues},
+			{"raft_sched_stalled_passes_total", "Scheduling passes that made no progress.", ss.StalledPasses},
+		}
+		for _, c := range schedCounters {
+			counter(c.name, c.help)
+			fmt.Fprintf(&b, "%s{scheduler=%q} %d\n", c.name, ss.Scheduler, c.v)
+		}
 	}
 
 	_, _ = io.WriteString(w, b.String())
