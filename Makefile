@@ -10,7 +10,7 @@ CI_SEED ?= 0
 FUZZTIME ?= 60s
 FUZZTIME_SHORT ?= 15s
 
-.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-sched ci-nightly-bars
+.PHONY: build test check bench bench-smoke ci ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-sched ci-graph ci-nightly-bars
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ bench:
 # ci runs exactly what .github/workflows/ci.yml runs, as one local command.
 # The workflow jobs invoke the ci-* sub-targets below so the two can never
 # drift: editing a step here edits it for CI too.
-ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-sched
+ci: ci-vet ci-fmt ci-lint ci-test ci-race ci-fuzz ci-smoke ci-gateway ci-view ci-obs ci-sched ci-graph
 
 ci-vet:
 	$(GO) vet ./...
@@ -86,6 +86,7 @@ ci-fuzz:
 		$(GO) test ./internal/ringbuffer/ -run='^$$' -fuzz="^$$t\$$" -fuzztime=$(FUZZTIME_SHORT) || exit 1; \
 	done
 	$(GO) test ./internal/scheduler/ -run='^$$' -fuzz='^FuzzStealDeque$$' -fuzztime=$(FUZZTIME_SHORT)
+	$(GO) test ./raft/ -run='^$$' -fuzz='^FuzzGraphRewrite$$' -fuzztime=$(FUZZTIME_SHORT)
 
 # Bench smoke for CI: correctness is always asserted; perf bars downgrade
 # to warnings on small runners (auto-detected via GOMAXPROCS < 2). -seed
@@ -137,13 +138,26 @@ ci-sched:
 	$(GO) test -race -count=3 ./internal/scheduler/... ./internal/core/...
 	$(GO) run ./cmd/raft-bench -ablate sched -corpus 4 -seed $(CI_SEED)
 
+# Graph-rewrite gate: race-test the rewrite transaction protocol and the
+# subgraph-template lifecycle with three passes — gate-pause sequencing,
+# drain/retire ordering and template reap/restore are all interleaving-
+# dependent — plus the chaos mid-run-splice integration test, then run
+# the A18 ablation as a seeded smoke. Element exactness across epochs
+# asserts on every run; the splice-pause and untouched-throughput bars
+# warn on small runners and are enforced by the nightly perf-bars job.
+ci-graph:
+	$(GO) test -race -count=3 -run 'Rewrite|Template' ./raft/
+	$(GO) test -race -run 'ChaosTextsearchExactAcrossMidRunSplice' .
+	$(GO) run ./cmd/raft-bench -ablate graph -items 500000 -seed $(CI_SEED)
+
 # The nightly perf gate: the A5 (monitoring overhead), A11 (batching
 # speedup), A12 (telemetry overhead), A13 (controller parity/latency/
 # overhead), A14 (gateway admission/isolation), A15 (zero-copy view
-# speedup), A16 (latency-marker overhead) and A17 (work-stealing
-# scheduler scale) bars, *enforced* — -enforce-bars refuses the
-# small-runner downgrade, so a missed bar fails the job. Runs only on
-# the pinned multi-core runner (see the perf-bars job in
-# .github/workflows/ci.yml); PR-time bench-smoke stays advisory.
+# speedup), A16 (latency-marker overhead), A17 (work-stealing scheduler
+# scale) and A18 (graph-rewrite pause/isolation) bars, *enforced* —
+# -enforce-bars refuses the small-runner downgrade, so a missed bar
+# fails the job. Runs only on the pinned multi-core runner (see the
+# perf-bars job in .github/workflows/ci.yml); PR-time bench-smoke stays
+# advisory.
 ci-nightly-bars:
-	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view,latency,sched -corpus 16 -seed $(CI_SEED) -enforce-bars
+	$(GO) run ./cmd/raft-bench -ablate monitor,batch,obs,rate,gateway,view,latency,sched,graph -corpus 16 -seed $(CI_SEED) -enforce-bars

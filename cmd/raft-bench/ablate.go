@@ -54,6 +54,8 @@ func runAblation(name string, corpusMB int, cores []int) {
 		ablateView()
 	case "latency":
 		ablateLatency()
+	case "graph":
+		ablateGraph()
 	default:
 		fmt.Fprintf(os.Stderr, "raft-bench: unknown ablation %q\n", name)
 		os.Exit(2)

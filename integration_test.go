@@ -8,6 +8,7 @@ package raftlib
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -378,5 +379,159 @@ func TestChaosDistributedSumExact(t *testing.T) {
 	}
 	if inj.Fired("kill") != 1 || inj.Fired("sever") != 2 {
 		t.Fatalf("faults fired: kill=%d sever=%d, want 1 and 2", inj.Fired("kill"), inj.Fired("sever"))
+	}
+}
+
+// TestChaosTextsearchExactAcrossMidRunSplice combines the resilience
+// gauntlet with runtime graph rewriting: the distributed textsearch
+// topology runs with a kernel kill and a bridge sever in flight, and
+// mid-run a relay kernel is spliced into the producer pipeline (then the
+// undisturbed variant establishes the baseline). The disturbed, spliced
+// run must produce the byte-identical answer — the epoch protocol's
+// drain-then-splice guarantee composed with supervision and bridge
+// replay.
+func TestChaosTextsearchExactAcrossMidRunSplice(t *testing.T) {
+	data := corpus.Generate(corpus.Spec{Bytes: 2 << 20, Seed: 777})
+	pattern := []byte(corpus.DefaultPattern)
+	want := int64(bytes.Count(data, pattern))
+	if want == 0 {
+		t.Fatal("corpus has no hits")
+	}
+
+	// pacedRelay forwards chunks unchanged, sleeping briefly every few
+	// chunks: it keeps the producer half alive long enough for the splice
+	// to land mid-run, and counts throughput so the test knows when the
+	// stream is hot.
+	newRelay := func(name string, count *atomic.Int64, pause time.Duration) *raft.LambdaKernel {
+		k := raft.NewLambdaIO[kernels.Chunk, kernels.Chunk](1, 1, func(k *raft.LambdaKernel) raft.Status {
+			c, err := raft.Pop[kernels.Chunk](k.In("0"))
+			if err != nil {
+				return raft.Stop
+			}
+			if err := raft.Push(k.Out("0"), c); err != nil {
+				return raft.Stop
+			}
+			if n := count.Add(1); pause > 0 && n%8 == 0 {
+				time.Sleep(pause)
+			}
+			return raft.Status(raft.Proceed)
+		})
+		k.SetName(name)
+		return k
+	}
+
+	run := func(chaos bool) int64 {
+		t.Helper()
+		node, err := oar.NewNode("splice-search", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+
+		var inj *raft.FaultInjector
+		var bridgeOpts []oar.BridgeOption
+		if chaos {
+			inj = raft.NewFaultInjector()
+			inj.KillKernel("search[", 5)
+			inj.SeverBridge("hits", 1)
+			bridgeOpts = append(bridgeOpts,
+				oar.WithBridgeFault(inj),
+				oar.WithReconnectBackoff(time.Millisecond, 50*time.Millisecond))
+		}
+		send, recv, err := oar.Bridge[int64](node, "hits", bridgeOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Producer half: filereader -> relay -> match -> tcp-send. The
+		// relay is the splice site; match stays unreplicated so the graph
+		// has no rigid kernels.
+		var relayed atomic.Int64
+		relay := newRelay("relay", &relayed, time.Millisecond)
+		producer := raft.NewMap()
+		match, err := kernels.NewCountSearch("horspool", pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		producer.MustLink(kernels.NewBytesReader(data, 2<<10, len(pattern)-1), relay)
+		spliceAt := producer.MustLink(relay, match)
+		producer.MustLink(match, send)
+		prodOpts := []raft.Option{
+			raft.WithAdaptiveBatching(true),
+			raft.WithTrace(1 << 14), raft.WithTraceStride(1),
+		}
+		if chaos {
+			prodOpts = append(prodOpts,
+				raft.WithSupervision(raft.SupervisionPolicy{InitialBackoff: time.Microsecond}),
+				raft.WithFaultInjection(inj))
+		}
+
+		var total int64
+		consumer := raft.NewMap()
+		consumer.MustLink(recv, kernels.NewReduce(func(a, v int64) int64 { return a + v }, 0, &total))
+
+		var wg sync.WaitGroup
+		var consErr error
+		wg.Add(1)
+		go func() { defer wg.Done(); _, consErr = consumer.Exe() }()
+
+		ex, err := producer.ExeAsync(prodOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Splice a second relay between the first and the matcher once the
+		// stream is demonstrably hot.
+		deadline := time.Now().Add(10 * time.Second)
+		for relayed.Load() < 64 {
+			if time.Now().After(deadline) {
+				t.Fatal("stream never became hot")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		var relayed2 atomic.Int64
+		relay2 := newRelay("relay2", &relayed2, 0)
+		tx := ex.Rewriter().Begin()
+		if err := tx.RemoveLink(spliceAt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Link(relay, relay2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Link(relay2, match); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("mid-run splice (chaos=%v): %v", chaos, err)
+		}
+
+		if _, err := ex.Wait(); err != nil {
+			t.Fatalf("producer (chaos=%v): %v", chaos, err)
+		}
+		wg.Wait()
+		if consErr != nil {
+			t.Fatalf("consumer (chaos=%v): %v", chaos, consErr)
+		}
+		if chaos {
+			if inj.Fired("kill") != 1 {
+				t.Fatalf("kills fired = %d, want 1", inj.Fired("kill"))
+			}
+			if inj.Fired("sever") != 1 {
+				t.Fatalf("severs fired = %d, want 1", inj.Fired("sever"))
+			}
+		}
+		if relayed2.Load() == 0 {
+			t.Fatalf("spliced relay saw no traffic (chaos=%v)", chaos)
+		}
+		return total
+	}
+
+	undisturbed := run(false)
+	disturbed := run(true)
+	if undisturbed != want {
+		t.Fatalf("undisturbed spliced hits = %d, want %d", undisturbed, want)
+	}
+	if disturbed != undisturbed {
+		t.Fatalf("disturbed spliced hits = %d, undisturbed = %d (must be identical)", disturbed, undisturbed)
 	}
 }

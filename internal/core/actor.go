@@ -60,6 +60,11 @@ type Actor struct {
 	// the monitor's deadlock detector ignores finished actors.
 	Finished atomic.Bool
 
+	// Gate, when non-nil, lets the runtime hold the actor at a step
+	// boundary (graph-rewrite splices) or retire it mid-run. Schedulers
+	// poll it between invocations; the open-gate cost is one atomic load.
+	Gate *Gate
+
 	// Trace, when non-nil, receives RunStart/RunEnd events for sampled
 	// invocations (and restart/checkpoint events from the supervisor).
 	// TraceID is the actor id used on the bus — it matches ID for plain

@@ -195,6 +195,12 @@ type Server struct {
 
 	rec        *trace.Recorder
 	traceActor int32
+	// resolver, when set, gets one shot at materializing a binding for an
+	// unknown or unwired source before ingest answers 404/503 — the hook
+	// behind per-tenant subgraph templates. It returns the name of the
+	// binding (possibly per-tenant, e.g. "name@tenant") that now serves the
+	// source, or ok=false to decline.
+	resolver func(source, tenant string) (actual string, ok bool)
 	// latency, when set, reports a tenant's observed end-to-end p99
 	// latency from retired provenance markers (wired by the raft layer).
 	latency func(tenant string) (time.Duration, bool)
@@ -286,6 +292,25 @@ func (s *Server) Wire(name string, w Wiring) error {
 	b.wiring = w
 	b.wired = true
 	return nil
+}
+
+// SetResolver installs the unknown-source hook: ingest consults it before
+// answering 404 (unknown source) or 503 (registered but unwired), giving
+// the runtime a chance to instantiate a subgraph template and register a
+// (possibly per-tenant) binding. The resolver returns the binding name
+// that now serves the request; lookup is retried against it.
+func (s *Server) SetResolver(f func(source, tenant string) (string, bool)) {
+	s.mu.Lock()
+	s.resolver = f
+	s.mu.Unlock()
+}
+
+// Unregister removes a source binding (scale-to-zero reaping of template
+// instances). Unknown names are a no-op.
+func (s *Server) Unregister(name string) {
+	s.mu.Lock()
+	delete(s.bindings, name)
+	s.mu.Unlock()
 }
 
 // SetLatency installs the per-tenant end-to-end latency hook surfaced in
@@ -413,6 +438,20 @@ type ingestResult struct {
 // model check, push. On accepted the batch is in the source's FIFO.
 func (s *Server) ingest(tenantName, sourceName string, payload []byte) ingestResult {
 	b := s.binding(sourceName)
+	if b == nil || !b.wired {
+		// Template hook: let the runtime materialize an instance (and its
+		// binding) for this source/tenant before giving up.
+		s.mu.Lock()
+		resolve := s.resolver
+		s.mu.Unlock()
+		if resolve != nil {
+			if actual, ok := resolve(sourceName, tenantName); ok {
+				if nb := s.binding(actual); nb != nil {
+					b = nb
+				}
+			}
+		}
+	}
 	if b == nil {
 		return ingestResult{code: notFound, msg: fmt.Sprintf("unknown source %q", sourceName)}
 	}

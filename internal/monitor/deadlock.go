@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"raftlib/internal/core"
@@ -35,6 +36,9 @@ import (
 
 // DeadlockWatch extends a Monitor with freeze detection.
 type DeadlockWatch struct {
+	// mu guards actors and links: Check runs on the monitor goroutine
+	// while graph rewrites splice both sets from the rewriter's.
+	mu     sync.Mutex
 	actors []*core.Actor
 	links  []*core.LinkInfo
 	grace  time.Duration
@@ -43,6 +47,33 @@ type DeadlockWatch struct {
 	frozenSince time.Time
 	lastOps     uint64
 	fired       bool
+}
+
+// AddActor includes a dynamically-spawned actor in the freeze scan.
+func (d *DeadlockWatch) AddActor(a *core.Actor) {
+	d.mu.Lock()
+	d.actors = append(d.actors, a)
+	d.mu.Unlock()
+}
+
+// AddLink includes a dynamically-spliced link in the freeze scan.
+func (d *DeadlockWatch) AddLink(l *core.LinkInfo) {
+	d.mu.Lock()
+	d.links = append(d.links, l)
+	d.mu.Unlock()
+}
+
+// RemoveLink drops a sealed link from the freeze scan (removed actors
+// need no counterpart: they finish, and finished actors are skipped).
+func (d *DeadlockWatch) RemoveLink(l *core.LinkInfo) {
+	d.mu.Lock()
+	for i, x := range d.links {
+		if x == l {
+			d.links = append(d.links[:i], d.links[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
 }
 
 // NewDeadlockWatch builds a watcher that calls abort with a diagnostic
@@ -56,6 +87,8 @@ func NewDeadlockWatch(actors []*core.Actor, links []*core.LinkInfo, grace time.D
 
 // Check evaluates the predicate once; the Monitor calls it per tick.
 func (d *DeadlockWatch) Check(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.fired {
 		return
 	}

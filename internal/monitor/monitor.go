@@ -133,28 +133,46 @@ func (c *Config) fill() {
 // DefaultBatchMax is the adaptive batcher's default size ceiling.
 const DefaultBatchMax = 256
 
+// linkState carries one link's monitor bookkeeping. Links used to be
+// tracked in parallel index-keyed slices; graph rewrites add and remove
+// links mid-run, so the state now travels with the link record and only
+// estIdx remembers the estimator slot (taps are built at Exe — links
+// added dynamically have no estimator slot and run the heuristics).
+type linkState struct {
+	l *core.LinkInfo
+	// estIdx is the link's index in the rate estimator's tap table, or -1
+	// for dynamically-added links (estimator rules skipped).
+	estIdx int
+	// shrink hysteresis counter
+	quiet int
+	// adaptive batcher state
+	batchTick  int
+	batchFull  int
+	batchEmpty int
+	prevTel    ringbuffer.TelemetrySnapshot
+	// drop watcher state (best-effort links only)
+	dropTick int
+	dropSeen uint64
+}
+
 // Monitor periodically samples and re-optimizes a running streaming graph.
 type Monitor struct {
 	cfg     Config
-	links   []*core.LinkInfo
 	scalers []core.Scaler
-	linkIdx map[*core.LinkInfo]int // link identity → estimator link index
+	linkIdx map[*core.LinkInfo]int // static link identity → estimator link index
 
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
 
-	// per-link shrink hysteresis counters
-	quiet []int
-	// per-link adaptive batcher state
-	batchTick  []int
-	batchFull  []int
-	batchEmpty []int
-	prevTel    []ringbuffer.TelemetrySnapshot
-	// per-link drop watcher state (best-effort links only)
-	dropTick []int
-	dropSeen []uint64
-	// per-scaler tick state
+	// linksMu guards the copy-on-write links slice: Tick snapshots the
+	// header; AddLink/RemoveLink publish a fresh slice, so a tick in
+	// flight finishes over the structure it started with.
+	linksMu sync.Mutex
+	links   []*linkState
+
+	// per-scaler tick state (the scaler set stays static; replication
+	// width is its own dynamic axis)
 	scaleTick  []int
 	fullTicks  []int
 	emptyTicks []int
@@ -184,27 +202,49 @@ type Event struct {
 func New(cfg Config, links []*core.LinkInfo, scalers []core.Scaler) *Monitor {
 	cfg.fill()
 	idx := make(map[*core.LinkInfo]int, len(links))
+	states := make([]*linkState, len(links))
 	for i, l := range links {
 		idx[l] = i
+		states[i] = &linkState{l: l, estIdx: i}
 	}
 	return &Monitor{
 		cfg:        cfg,
-		links:      links,
+		links:      states,
 		scalers:    scalers,
 		linkIdx:    idx,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
-		quiet:      make([]int, len(links)),
-		batchTick:  make([]int, len(links)),
-		batchFull:  make([]int, len(links)),
-		batchEmpty: make([]int, len(links)),
-		prevTel:    make([]ringbuffer.TelemetrySnapshot, len(links)),
-		dropTick:   make([]int, len(links)),
-		dropSeen:   make([]uint64, len(links)),
 		scaleTick:  make([]int, len(scalers)),
 		fullTicks:  make([]int, len(scalers)),
 		emptyTicks: make([]int, len(scalers)),
 	}
+}
+
+// AddLink attaches a dynamically-spliced link to the sampling loop. The
+// link gets occupancy sampling, resize rules, the adaptive batcher and
+// the drop watcher; estimator-driven rules are skipped (taps are built at
+// Exe), so it runs the contended-window heuristics.
+func (m *Monitor) AddLink(l *core.LinkInfo) {
+	m.linksMu.Lock()
+	next := make([]*linkState, len(m.links), len(m.links)+1)
+	copy(next, m.links)
+	m.links = append(next, &linkState{l: l, estIdx: -1})
+	m.linksMu.Unlock()
+}
+
+// RemoveLink detaches a link from the sampling loop (its queue is sealed;
+// re-applying resize or batch rules to it would be dead work). A tick in
+// flight may sample it once more, which is harmless.
+func (m *Monitor) RemoveLink(l *core.LinkInfo) {
+	m.linksMu.Lock()
+	next := make([]*linkState, 0, len(m.links))
+	for _, st := range m.links {
+		if st.l != l {
+			next = append(next, st)
+		}
+	}
+	m.links = next
+	m.linksMu.Unlock()
 }
 
 // Start launches the monitor goroutine.
@@ -314,16 +354,20 @@ func (m *Monitor) Tick() {
 		m.cfg.Rates.Tick(time.Now())
 	}
 	threshold := time.Duration(m.cfg.BlockFactor) * m.cfg.Delta
-	for i, l := range m.links {
+	m.linksMu.Lock()
+	links := m.links
+	m.linksMu.Unlock()
+	for _, st := range links {
+		l := st.l
 		qlen, qcap := l.Queue.Len(), l.Queue.Cap()
 		l.Occupancy.Sample(qlen, qcap)
 
 		if m.cfg.AdaptiveBatch {
-			m.batchStep(i, l, qlen, qcap)
+			m.batchStep(st, qlen, qcap)
 		}
 
 		if l.BestEffort {
-			m.dropStep(i, l)
+			m.dropStep(st)
 		}
 
 		if !m.cfg.Resize || !l.ResizeEnabled {
@@ -334,7 +378,7 @@ func (m *Monitor) Tick() {
 		// the capacity has not changed yet, so skip the link — re-applying
 		// the rules now would stack a second request on the same evidence.
 		if rp, ok := l.Queue.(resizePending); ok && rp.ResizePending() {
-			m.quiet[i] = 0
+			st.quiet = 0
 			continue
 		}
 		// A borrowed batch view pins the current storage epoch: resizing
@@ -342,7 +386,7 @@ func (m *Monitor) Tick() {
 		// (SPSC), so the evidence gathered this tick cannot take effect.
 		// Skip the link and re-decide once the view is released.
 		if vh, ok := l.Queue.(viewHolder); ok && vh.ViewHeldFor() > 0 {
-			m.quiet[i] = 0
+			st.quiet = 0
 			continue
 		}
 		// Write-side rule (§4.1): writer blocked for >= BlockFactor×δ.
@@ -354,7 +398,7 @@ func (m *Monitor) Tick() {
 				}
 				if target > qcap && l.Queue.Resize(target) == nil {
 					m.record("grow", l.Name, qcap, target)
-					m.quiet[i] = 0
+					st.quiet = 0
 					continue
 				}
 			}
@@ -362,8 +406,8 @@ func (m *Monitor) Tick() {
 		// Conservative shrink with hysteresis.
 		if m.cfg.Shrink {
 			if qlen*8 < qcap && l.Queue.WriterBlockedFor() == 0 {
-				m.quiet[i]++
-				if m.quiet[i] >= m.cfg.ShrinkAfter && qcap > 1 {
+				st.quiet++
+				if st.quiet >= m.cfg.ShrinkAfter && qcap > 1 {
 					target := qcap / 2
 					if target < qlen {
 						target = qlen
@@ -371,10 +415,10 @@ func (m *Monitor) Tick() {
 					if target >= 1 && target < qcap && l.Queue.Resize(target) == nil {
 						m.record("shrink", l.Name, qcap, target)
 					}
-					m.quiet[i] = 0
+					st.quiet = 0
 				}
 			} else {
-				m.quiet[i] = 0
+				st.quiet = 0
 			}
 		}
 	}
@@ -478,18 +522,19 @@ func (m *Monitor) rateWidth(s core.Scaler, in *core.LinkInfo) bool {
 // drops into a single event carrying the old and new cumulative counts.
 const dropWindow = 1024
 
-// dropStep polls link i's best-effort drop counter (one atomic load) and,
-// at most once per dropWindow ticks, records the delta as a "drop" event.
-func (m *Monitor) dropStep(i int, l *core.LinkInfo) {
-	m.dropTick[i]++
-	if m.dropTick[i] < dropWindow {
+// dropStep polls the link's best-effort drop counter (one atomic load)
+// and, at most once per dropWindow ticks, records the delta as a "drop"
+// event.
+func (m *Monitor) dropStep(st *linkState) {
+	st.dropTick++
+	if st.dropTick < dropWindow {
 		return
 	}
-	m.dropTick[i] = 0
-	cur := l.Queue.Telemetry().Drops()
-	if prev := m.dropSeen[i]; cur > prev {
-		m.dropSeen[i] = cur
-		m.record("drop", l.Name, int(prev), int(cur))
+	st.dropTick = 0
+	cur := st.l.Queue.Telemetry().Drops()
+	if prev := st.dropSeen; cur > prev {
+		st.dropSeen = cur
+		m.record("drop", st.l.Name, int(prev), int(cur))
 	}
 }
 
@@ -501,29 +546,30 @@ func (m *Monitor) dropStep(i int, l *core.LinkInfo) {
 // link goes quiet so a later latency-sensitive phase is not stuck behind a
 // large batch. The size is capped at min(BatchMax, cap/2) so neither side
 // can monopolize the queue, and pinned (latency-priority) links are skipped.
-func (m *Monitor) batchStep(i int, l *core.LinkInfo, qlen, qcap int) {
+func (m *Monitor) batchStep(st *linkState, qlen, qcap int) {
+	l := st.l
 	bc := l.Batch
 	if bc == nil || bc.Pinned() || l.LatencyPriority {
 		return
 	}
-	m.batchTick[i]++
+	st.batchTick++
 	if qcap > 0 && qlen*2 >= qcap {
-		m.batchFull[i]++
+		st.batchFull++
 	}
 	if qlen == 0 {
-		m.batchEmpty[i]++
+		st.batchEmpty++
 	}
-	if m.batchTick[i] < m.cfg.BatchWindow {
+	if st.batchTick < m.cfg.BatchWindow {
 		return
 	}
-	window := float64(m.batchTick[i])
-	fullFrac := float64(m.batchFull[i]) / window
-	emptyFrac := float64(m.batchEmpty[i]) / window
-	m.batchTick[i], m.batchFull[i], m.batchEmpty[i] = 0, 0, 0
+	window := float64(st.batchTick)
+	fullFrac := float64(st.batchFull) / window
+	emptyFrac := float64(st.batchEmpty) / window
+	st.batchTick, st.batchFull, st.batchEmpty = 0, 0, 0
 
 	tel := l.Queue.Telemetry().Snapshot()
-	prev := m.prevTel[i]
-	m.prevTel[i] = tel
+	prev := st.prevTel
+	st.prevTel = tel
 	moved := tel.Pushes - prev.Pushes
 
 	// Pre-saturation signal from the rate estimator: a link running at
@@ -538,8 +584,8 @@ func (m *Monitor) batchStep(i int, l *core.LinkInfo, qlen, qcap int) {
 	// startup, so gating growth on it costs a few milliseconds once,
 	// not adaptivity.
 	contended := tel.Blocked(prev) || fullFrac >= 0.5
-	if m.cfg.RateControl && m.cfg.Rates != nil {
-		if lr, ok := m.cfg.Rates.Link(i); ok {
+	if m.cfg.RateControl && m.cfg.Rates != nil && st.estIdx >= 0 {
+		if lr, ok := m.cfg.Rates.Link(st.estIdx); ok {
 			rateHot := false
 			if lr.Primed {
 				horizon := float64(m.cfg.BatchWindow) * m.cfg.Delta.Seconds()

@@ -30,6 +30,68 @@ type Scheduler interface {
 	Name() string
 }
 
+// Spawner is implemented by schedulers that can absorb actors into a
+// running execution — the scheduling half of the graph-rewrite protocol.
+// Spawn runs the actor's full lifecycle (Init, Step loop, Finish) and
+// folds its error into Run's combined result; it fails once Run has
+// completed, since a finished execution cannot adopt new kernels.
+type Spawner interface {
+	Spawn(a *core.Actor) error
+}
+
+// dynSet tracks dynamically-runnable actors for the simpler schedulers:
+// a goroutine per actor, a shared error list, and a completion latch so
+// Run can wait for spawns that arrive while it is already waiting.
+type dynSet struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	errs   []error
+	closed bool
+}
+
+func (d *dynSet) launch(a *core.Actor) error {
+	d.mu.Lock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("scheduler: execution already completed")
+	}
+	d.n++
+	d.mu.Unlock()
+	go func() {
+		err := runActorLifecycle(a, runtime.Gosched)
+		d.mu.Lock()
+		if err != nil {
+			d.errs = append(d.errs, err)
+		}
+		d.n--
+		if d.n == 0 {
+			d.cond.Broadcast()
+		}
+		d.mu.Unlock()
+	}()
+	return nil
+}
+
+// wait blocks until every launched actor (including ones spawned during
+// the wait) has finished, then closes the set against further spawns.
+func (d *dynSet) wait() error {
+	d.mu.Lock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	for d.n > 0 {
+		d.cond.Wait()
+	}
+	d.closed = true
+	err := errors.Join(d.errs...)
+	d.mu.Unlock()
+	return err
+}
+
 // runActorLifecycle executes one actor: Init, the Step loop, then Finish.
 // yield is invoked on Stall. Panics inside kernel code are recovered and
 // converted into errors so one faulty kernel cannot crash the process.
@@ -55,6 +117,9 @@ func runActorLifecycle(a *core.Actor, yield func()) (err error) {
 		return nil
 	}
 	for {
+		if a.Gate != nil && a.Gate.Poll() == core.GateStop {
+			return nil
+		}
 		switch a.StepTimed() {
 		case core.Proceed:
 		case core.Stop:
@@ -66,14 +131,27 @@ func runActorLifecycle(a *core.Actor, yield func()) (err error) {
 }
 
 // Goroutine runs one goroutine per actor — the Go analogue of the paper's
-// "default OS thread scheduler" choice. It is the runtime's default.
-type Goroutine struct{}
+// "default OS thread scheduler" choice. It is the runtime's default. The
+// zero value works; NewGoroutine returns one that additionally supports
+// Spawn (actors added mid-run by a graph rewrite).
+type Goroutine struct {
+	dyn *dynSet
+}
+
+// NewGoroutine returns a Goroutine scheduler that implements Spawner.
+func NewGoroutine() Goroutine { return Goroutine{dyn: &dynSet{}} }
 
 // Name implements Scheduler.
 func (Goroutine) Name() string { return "goroutine-per-kernel" }
 
 // Run implements Scheduler.
-func (Goroutine) Run(actors []*core.Actor) error {
+func (g Goroutine) Run(actors []*core.Actor) error {
+	if g.dyn != nil {
+		for _, a := range actors {
+			g.dyn.launch(a)
+		}
+		return g.dyn.wait()
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(actors))
 	for i, a := range actors {
@@ -85,6 +163,14 @@ func (Goroutine) Run(actors []*core.Actor) error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// Spawn implements Spawner on schedulers built with NewGoroutine.
+func (g Goroutine) Spawn(a *core.Actor) error {
+	if g.dyn == nil {
+		return errors.New("scheduler: Goroutine zero value cannot spawn (use NewGoroutine)")
+	}
+	return g.dyn.launch(a)
 }
 
 // Pool multiplexes all actors over a fixed number of worker goroutines.
@@ -111,12 +197,27 @@ type Pool struct {
 	// and SchedStats observe the same cells; Run leaves a nil field nil
 	// and counts nothing.
 	Counters *counters
+	// dyn, when non-nil, adopts actors spawned mid-run by a graph rewrite.
+	// The pool's job queue is sized at Run, so spawned actors run on
+	// dedicated goroutines instead — correct, if unpooled; set by NewPool.
+	dyn *dynSet
 }
 
 // NewPool returns a counting Pool: Workers set to workers (0 means
-// GOMAXPROCS) and Counters wired so SchedStats reports stalled passes.
+// GOMAXPROCS), Counters wired so SchedStats reports stalled passes, and
+// Spawn supported for mid-run graph rewrites.
 func NewPool(workers int) Pool {
-	return Pool{Workers: workers, Counters: &counters{}}
+	return Pool{Workers: workers, Counters: &counters{}, dyn: &dynSet{}}
+}
+
+// Spawn implements Spawner on pools built with NewPool. The spawned actor
+// runs on its own goroutine (the pool's job queue is capacity-fixed at
+// Run); Run waits for it like any pooled actor.
+func (p Pool) Spawn(a *core.Actor) error {
+	if p.dyn == nil {
+		return errors.New("scheduler: Pool zero value cannot spawn (use NewPool)")
+	}
+	return p.dyn.launch(a)
 }
 
 // Name implements Scheduler.
@@ -203,7 +304,13 @@ func (p Pool) Run(actors []*core.Actor) error {
 	pending.Wait()
 	close(queue)
 	wg.Wait()
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	if p.dyn != nil {
+		if derr := p.dyn.wait(); derr != nil {
+			err = errors.Join(err, derr)
+		}
+	}
+	return err
 }
 
 // stepQuantum runs a bounded burst of Steps for one actor, then either
@@ -233,6 +340,10 @@ func (p Pool) stepQuantum(j *poolJob, errs []error, errMu *sync.Mutex, done func
 	}()
 	const quantum = 64
 	for i := 0; i < quantum; i++ {
+		if a.Gate != nil && a.Gate.Poll() == core.GateStop {
+			finished = true
+			return
+		}
 		// Readiness gate: never let a kernel that would block on a port
 		// capture this worker — requeue it and serve someone who can run.
 		if a.Ready != nil && !a.Ready() {

@@ -44,8 +44,9 @@ type wsTask struct {
 	home int // shard whose deque wakes re-enqueue to
 	// hooked records whether at least one of the kernel's links carries a
 	// wake hook; hook-less stallers rely on the watchdog alone and get the
-	// short rescue grace.
-	hooked   bool
+	// short rescue grace. Atomic: dynamic link wiring flips it while the
+	// watchdog reads.
+	hooked   atomic.Bool
 	state    atomic.Int32
 	parkedAt atomic.Int64 // UnixNano of the park (watchdog grace base)
 }
@@ -101,12 +102,32 @@ type WorkSteal struct {
 	deques     []*stealDeque
 	tokens     chan struct{}
 	crossShard atomic.Int32
+	nw         int
+
+	// ready is closed once Run has built the deques, letting Spawn and
+	// TakeLink from a rewrite transaction wait out the startup race.
+	// Created by NewWorkSteal; the zero-value literal cannot spawn.
+	ready chan struct{}
+
+	// dynMu guards the dynamic run state: the live task list (watchdog
+	// scan set, extended by Spawn), the unfinished-task count standing in
+	// for a WaitGroup (Add racing Wait-at-zero is illegal on WaitGroup),
+	// and the hooked-queue list Run detaches on the way out.
+	dynMu    sync.Mutex
+	pendCond *sync.Cond
+	pendingN int
+	stopped  bool
+	tasks    []*wsTask
+	hooked   []ringbuffer.WakeHooker
+
+	errMu sync.Mutex
+	errs  []error
 }
 
 // NewWorkSteal returns a work-stealing scheduler with the given worker
 // count (0 = GOMAXPROCS).
 func NewWorkSteal(workers int) *WorkSteal {
-	return &WorkSteal{Workers: workers, Counters: &counters{}}
+	return &WorkSteal{Workers: workers, Counters: &counters{}, ready: make(chan struct{})}
 }
 
 // AttachLinks hands the scheduler the engine's link table so it can install
@@ -155,8 +176,9 @@ func (ws *WorkSteal) Run(actors []*core.Actor) error {
 		ws.Counters = &counters{}
 	}
 	nw := ws.workers()
-	errs := make([]error, len(actors))
-	var errMu sync.Mutex
+	ws.nw = nw
+	ws.pendCond = sync.NewCond(&ws.dynMu)
+	ws.errs = make([]error, len(actors))
 
 	// Initialize all actors up front (same discipline as Pool): failures
 	// and virtual kernels finish immediately and never enter a deque.
@@ -164,7 +186,7 @@ func (ws *WorkSteal) Run(actors []*core.Actor) error {
 	for i, a := range actors {
 		if a.Init != nil {
 			if err := a.Init(); err != nil {
-				errs[i] = fmt.Errorf("kernel %q init: %w", a.Name, err)
+				ws.errs[i] = fmt.Errorf("kernel %q init: %w", a.Name, err)
 				if a.Finish != nil {
 					a.Finish()
 				}
@@ -182,12 +204,23 @@ func (ws *WorkSteal) Run(actors []*core.Actor) error {
 		live = append(live, &wsTask{a: a, idx: i})
 	}
 	if len(live) == 0 {
-		return errors.Join(errs...)
+		ws.dynMu.Lock()
+		ws.stopped = true
+		ws.dynMu.Unlock()
+		if ws.ready != nil {
+			close(ws.ready)
+		}
+		return errors.Join(ws.errs...)
 	}
 
 	ws.placement(live, nw)
-	hooked := ws.installHooks(live)
+	for _, h := range ws.installHooks(live) {
+		ws.hooked = append(ws.hooked, h)
+	}
 	defer func() {
+		ws.dynMu.Lock()
+		hooked := ws.hooked
+		ws.dynMu.Unlock()
 		for _, h := range hooked {
 			h.SetWakeHook(nil)
 		}
@@ -200,8 +233,8 @@ func (ws *WorkSteal) Run(actors []*core.Actor) error {
 	ws.tokens = make(chan struct{}, nw)
 	done := make(chan struct{})
 
-	var pending sync.WaitGroup
-	pending.Add(len(live))
+	ws.tasks = live
+	ws.pendingN = len(live)
 	for _, t := range live {
 		t.state.Store(wsQueued)
 		ws.deques[t.home].pushBottom(t)
@@ -209,25 +242,169 @@ func (ws *WorkSteal) Run(actors []*core.Actor) error {
 	for i := 0; i < nw; i++ {
 		ws.token()
 	}
+	if ws.ready != nil {
+		close(ws.ready) // Spawn/TakeLink may proceed from here
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		ws.watchdog(live, done)
+		ws.watchdog(done)
 	}()
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws.worker(w, nw, errs, &errMu, &pending, done)
+			ws.worker(w, nw, done)
 		}(w)
 	}
 
-	pending.Wait()
+	ws.dynMu.Lock()
+	for ws.pendingN > 0 {
+		ws.pendCond.Wait()
+	}
+	ws.stopped = true
+	ws.dynMu.Unlock()
 	close(done)
 	wg.Wait()
-	return errors.Join(errs...)
+	ws.errMu.Lock()
+	defer ws.errMu.Unlock()
+	return errors.Join(ws.errs...)
+}
+
+// taskDone retires one task from the pending count; the last one out
+// wakes Run.
+func (ws *WorkSteal) taskDone() {
+	ws.dynMu.Lock()
+	ws.pendingN--
+	if ws.pendingN == 0 {
+		ws.pendCond.Broadcast()
+	}
+	ws.dynMu.Unlock()
+}
+
+// recordErr files one task's terminal error: initial actors keep their
+// positional slot, spawned actors append.
+func (ws *WorkSteal) recordErr(t *wsTask, err error) {
+	ws.errMu.Lock()
+	if t.idx >= 0 && t.idx < len(ws.errs) {
+		ws.errs[t.idx] = err
+	} else {
+		ws.errs = append(ws.errs, err)
+	}
+	ws.errMu.Unlock()
+}
+
+// Spawn implements Spawner: a rewrite transaction hands the running
+// scheduler a freshly-built actor. The task joins a shard deque chosen
+// round-robin (locality for dynamic kernels comes from the wake hooks,
+// not placement) and is woken like any queued task. Blocks until Run has
+// built the deques; fails once the execution has completed.
+func (ws *WorkSteal) Spawn(a *core.Actor) error {
+	if ws.ready == nil {
+		return errors.New("scheduler: WorkSteal zero value cannot spawn (use NewWorkSteal)")
+	}
+	<-ws.ready
+	t := &wsTask{a: a, idx: -1}
+	ws.dynMu.Lock()
+	if ws.stopped {
+		ws.dynMu.Unlock()
+		return errors.New("scheduler: execution already completed")
+	}
+	ws.pendingN++
+	t.home = len(ws.tasks) % ws.nw
+	ws.tasks = append(ws.tasks, t)
+	ws.dynMu.Unlock()
+
+	if a.Init != nil {
+		if err := a.Init(); err != nil {
+			err = fmt.Errorf("kernel %q init: %w", a.Name, err)
+			ws.recordErr(t, err)
+			t.state.Store(wsDone)
+			if a.Finish != nil {
+				a.Finish()
+			}
+			a.Finished.Store(true)
+			ws.taskDone()
+			return err
+		}
+	}
+	if a.Virtual {
+		t.state.Store(wsDone)
+		if a.Finish != nil {
+			a.Finish()
+		}
+		a.Finished.Store(true)
+		ws.taskDone()
+		return nil
+	}
+	t.state.Store(wsQueued)
+	ws.deques[t.home].pushBottom(t)
+	ws.token()
+	return nil
+}
+
+// TakeLink wires a dynamically-added link's queue into the park/wake
+// protocol, exactly as installHooks does for the initial link table. The
+// hook is detached with the others when Run returns.
+func (ws *WorkSteal) TakeLink(l *core.LinkInfo) {
+	if ws.ready == nil {
+		return
+	}
+	<-ws.ready
+	h, ok := l.Queue.(ringbuffer.WakeHooker)
+	if !ok {
+		return
+	}
+	src, dst := ws.findTask(l.SrcActor), ws.findTask(l.DstActor)
+	if src == nil && dst == nil {
+		return
+	}
+	if src != nil {
+		src.hooked.Store(true)
+	}
+	if dst != nil {
+		dst.hooked.Store(true)
+	}
+	h.SetWakeHook(func(w ringbuffer.Wake) {
+		switch w {
+		case ringbuffer.WakeNotEmpty:
+			if dst != nil {
+				ws.wake(dst, false)
+			}
+		case ringbuffer.WakeNotFull:
+			if src != nil {
+				ws.wake(src, false)
+			}
+		default:
+			if src != nil {
+				ws.wake(src, false)
+			}
+			if dst != nil {
+				ws.wake(dst, false)
+			}
+		}
+	})
+	ws.dynMu.Lock()
+	ws.hooked = append(ws.hooked, h)
+	ws.dynMu.Unlock()
+}
+
+// findTask locates a live task by engine actor ID (dynamic-link wiring
+// only — not a hot path).
+func (ws *WorkSteal) findTask(id int) *wsTask {
+	if id < 0 {
+		return nil
+	}
+	ws.dynMu.Lock()
+	defer ws.dynMu.Unlock()
+	for _, t := range ws.tasks {
+		if t.a.ID == id {
+			return t
+		}
+	}
+	return nil
 }
 
 // placement assigns each task's home shard. With a topology attached the
@@ -318,10 +495,10 @@ func (ws *WorkSteal) installHooks(tasks []*wsTask) []ringbuffer.WakeHooker {
 			continue
 		}
 		if src != nil {
-			src.hooked = true
+			src.hooked.Store(true)
 		}
 		if dst != nil {
-			dst.hooked = true
+			dst.hooked.Store(true)
 		}
 		h.SetWakeHook(func(w ringbuffer.Wake) {
 			// Hook contract: no blocking, no queue re-entry. wake does
@@ -420,7 +597,7 @@ func (ws *WorkSteal) park(t *wsTask, shard int) {
 // have no wake source) and for the SPSC detector's conservatively missed
 // edges; with hooks installed it should almost never fire — Rescues
 // spiking in a report means wakes are being lost.
-func (ws *WorkSteal) watchdog(tasks []*wsTask, done chan struct{}) {
+func (ws *WorkSteal) watchdog(done chan struct{}) {
 	tick := time.NewTicker(wsWatchdogTick)
 	defer tick.Stop()
 	for {
@@ -429,13 +606,18 @@ func (ws *WorkSteal) watchdog(tasks []*wsTask, done chan struct{}) {
 			return
 		case <-tick.C:
 		}
+		// Snapshot the task list: Spawn appends under dynMu, and an append
+		// that reallocates leaves this snapshot intact.
+		ws.dynMu.Lock()
+		tasks := ws.tasks
+		ws.dynMu.Unlock()
 		now := time.Now().UnixNano()
 		for _, t := range tasks {
 			if t.state.Load() != wsParked {
 				continue
 			}
 			grace := wsGraceBare
-			if t.hooked {
+			if t.hooked.Load() {
 				grace = wsGraceHooked
 			}
 			if now-t.parkedAt.Load() > int64(grace) {
@@ -448,7 +630,7 @@ func (ws *WorkSteal) watchdog(tasks []*wsTask, done chan struct{}) {
 // worker is one shard's scheduling loop: drain the local deque bottom-up,
 // steal when dry, park on the token channel when the whole system looks
 // idle.
-func (ws *WorkSteal) worker(id, nw int, errs []error, errMu *sync.Mutex, pending *sync.WaitGroup, done chan struct{}) {
+func (ws *WorkSteal) worker(id, nw int, done chan struct{}) {
 	d := ws.deques[id]
 	scratch := make([]*wsTask, ws.stealBatch())
 	label := fmt.Sprintf("w%d", id)
@@ -475,7 +657,7 @@ func (ws *WorkSteal) worker(id, nw int, errs []error, errMu *sync.Mutex, pending
 			}
 			continue
 		}
-		ws.runTask(t, id, errs, errMu, pending)
+		ws.runTask(t, id)
 	}
 }
 
@@ -506,16 +688,14 @@ func (ws *WorkSteal) steal(id, nw int, scratch []*wsTask, label string) *wsTask 
 
 // runTask runs one quantum of a claimed task, then finishes, parks or
 // requeues it.
-func (ws *WorkSteal) runTask(t *wsTask, shard int, errs []error, errMu *sync.Mutex, pending *sync.WaitGroup) {
+func (ws *WorkSteal) runTask(t *wsTask, shard int) {
 	if !t.state.CompareAndSwap(wsQueued, wsRunning) {
 		return // defensive: a Done task can't re-enter a deque, but never double-run
 	}
 	finished := false
 	defer func() {
 		if r := recover(); r != nil {
-			errMu.Lock()
-			errs[t.idx] = fmt.Errorf("kernel %q %w", t.a.Name, core.PanicError(r))
-			errMu.Unlock()
+			ws.recordErr(t, fmt.Errorf("kernel %q %w", t.a.Name, core.PanicError(r)))
 			finished = true
 		}
 		if finished {
@@ -524,10 +704,16 @@ func (ws *WorkSteal) runTask(t *wsTask, shard int, errs []error, errMu *sync.Mut
 				t.a.Finish()
 			}
 			t.a.Finished.Store(true)
-			pending.Done()
+			ws.taskDone()
 		}
 	}()
 	for i := 0; i < wsQuantum; i++ {
+		// Rewrite gate: a held kernel blocks this worker only for the
+		// port-rebind instant; a retired one finishes like a Stop.
+		if t.a.Gate != nil && t.a.Gate.Poll() == core.GateStop {
+			finished = true
+			return
+		}
 		// Readiness gate, same as Pool's: a kernel that would block on a
 		// port must not capture this worker — park it and let the link
 		// transition bring it back.
@@ -555,4 +741,7 @@ func (ws *WorkSteal) runTask(t *wsTask, shard int, errs []error, errMu *sync.Mut
 var (
 	_ Scheduler     = (*WorkSteal)(nil)
 	_ StatsReporter = (*WorkSteal)(nil)
+	_ Spawner       = (*WorkSteal)(nil)
+	_ Spawner       = Goroutine{}
+	_ Spawner       = Pool{}
 )

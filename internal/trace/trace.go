@@ -96,6 +96,17 @@ const (
 	// Wake is one parked kernel re-queued (sampled; Arg = 0 for a link
 	// transition wake, 1 for a watchdog rescue).
 	Wake
+	// EpochSeal is one rewrite transaction sealing affected links at a
+	// batch boundary (Arg = epoch number, Prev = links sealed, Label =
+	// transaction summary).
+	EpochSeal
+	// GraphAdd is one kernel or link spliced into the running graph by a
+	// rewrite transaction (Actor = kernel id or -1 for a link, Arg = epoch,
+	// Label = kernel or link name).
+	GraphAdd
+	// GraphRemove is one kernel or link retired from the running graph
+	// (Actor = kernel id or -1 for a link, Arg = epoch, Label = name).
+	GraphRemove
 )
 
 var kindNames = [...]string{
@@ -125,6 +136,9 @@ var kindNames = [...]string{
 	Steal:             "steal",
 	Park:              "park",
 	Wake:              "wake",
+	EpochSeal:         "epoch-seal",
+	GraphAdd:          "graph-add",
+	GraphRemove:       "graph-remove",
 }
 
 // String returns the event kind's stable wire name.
@@ -384,6 +398,21 @@ func markerChar(k Kind) (byte, int) {
 	return 0, -1
 }
 
+// graphChar maps a graph-rewrite lifecycle kind to its lane character.
+// Rewrite events render on their own timeline lane so epoch seals and
+// splices read against the same time axis as utilization.
+func graphChar(k Kind) (byte, int) {
+	switch k {
+	case EpochSeal:
+		return '=', 2
+	case GraphRemove:
+		return '-', 1
+	case GraphAdd:
+		return '+', 0
+	}
+	return 0, -1
+}
+
 // Timeline renders per-actor utilization over time as an ASCII grid: one
 // row per actor, width buckets spanning the recorded window, each cell
 // shaded by the fraction of the bucket the actor spent running. Restarts
@@ -456,6 +485,15 @@ func (r *Recorder) Timeline(names []string, width int) string {
 		markPri[i] = -1
 	}
 	marked := false
+	// Graph-rewrite lane: epoch seals and kernel/link splices share one
+	// overlay row, present only when a rewrite happened during the run.
+	graphRow := make([]byte, width)
+	graphPri := make([]int, width)
+	for i := range graphPri {
+		graphRow[i] = ' '
+		graphPri[i] = -1
+	}
+	rewrote := false
 	for _, e := range events {
 		if e.At < lo || e.At > hi {
 			continue
@@ -463,6 +501,14 @@ func (r *Recorder) Timeline(names []string, width int) string {
 		b := int(float64(e.At-lo) / bucket)
 		if b >= width {
 			b = width - 1
+		}
+		if ch, pri := graphChar(e.Kind); pri >= 0 {
+			if pri > graphPri[b] {
+				graphPri[b] = pri
+				graphRow[b] = ch
+				rewrote = true
+			}
+			continue
 		}
 		if ch, pri := markerChar(e.Kind); pri >= 0 {
 			if pri > markPri[b] {
@@ -519,6 +565,10 @@ func (r *Recorder) Timeline(names []string, width int) string {
 	if marked {
 		fmt.Fprintf(&sb, "%-24.24s |%s|\n", "latency markers", marks)
 		sb.WriteString("(S stamp, + hop, M retire, L SLO breach)\n")
+	}
+	if rewrote {
+		fmt.Fprintf(&sb, "%-24.24s |%s|\n", "graph rewrites", graphRow)
+		sb.WriteString("(= epoch seal, + kernel/link added, - removed)\n")
 	}
 	if d := r.Dropped(); d > 0 {
 		fmt.Fprintf(&sb, "(%d older events overwritten)\n", d)

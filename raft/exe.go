@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sync"
 	"time"
 
 	"raftlib/internal/core"
@@ -158,6 +159,10 @@ type Config struct {
 
 	// resLog collects supervision events during one Exe for the Report.
 	resLog *resilience.Log
+	// resStore is the resolved checkpoint store for this execution; set by
+	// wireResilience, or lazily by the template manager so scale-to-zero
+	// reaping can checkpoint instances even in unsupervised runs.
+	resStore CheckpointStore
 	// markers is this execution's latency-marker rig (domain + bus), built
 	// from MarkerStride; flight is the armed flight recorder, if any.
 	markers *markerRig
@@ -522,6 +527,11 @@ type KernelReport struct {
 	// RatePerSec (achieved throughput, depressed by blocking), µ̂
 	// approximates what the kernel could sustain if never blocked.
 	MuHat float64
+	// JoinedAt and LeftAt are offsets from execution start at which a
+	// graph rewrite spliced the kernel in / retired it. Both zero for
+	// kernels present from start to finish, so static runs are unchanged.
+	JoinedAt time.Duration
+	LeftAt   time.Duration
 }
 
 // LinkReport is the per-stream slice of a Report.
@@ -573,6 +583,11 @@ type LinkReport struct {
 	LambdaHat float64
 	MuHat     float64
 	RhoHat    float64
+	// JoinedAt and LeftAt are offsets from execution start at which a
+	// graph rewrite spliced the stream in / sealed and removed it. Both
+	// zero for streams present from start to finish.
+	JoinedAt time.Duration
+	LeftAt   time.Duration
 }
 
 // GroupReport describes one replicated kernel group after execution.
@@ -588,6 +603,84 @@ type GroupReport struct {
 // optimizing dynamically, and blocks until every kernel has stopped
 // (paper §4, "map.exe()"). A Map can be executed once.
 func (m *Map) Exe(opts ...Option) (*Report, error) {
+	ex, err := m.ExeAsync(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Wait()
+}
+
+// Execution is a live run handle. ExeAsync returns one as soon as the
+// graph is running; Wait blocks until every kernel has stopped and
+// assembles the Report; Rewriter exposes the graph-rewrite protocol —
+// transactions that add and remove kernels and links under graph epochs
+// while the rest of the application keeps streaming.
+type Execution struct {
+	m       *Map
+	cfg     *Config
+	g       *graph.Graph
+	assign  mapper.Assignment
+	rec     *trace.Recorder
+	stride  int
+	mon     *monitor.Monitor
+	dw      *monitor.DeadlockWatch
+	est     *qmodel.Estimator
+	sched   scheduler.Scheduler
+	spawn   scheduler.Spawner
+	ws      *scheduler.WorkSteal
+	scalers []*groupScaler
+	health  *execHealth
+	msrv    *metricsServer
+	start   time.Time
+
+	reg  *registry
+	rw   *Rewriter
+	tmpl *templateSet
+
+	done    chan struct{}
+	elapsed time.Duration
+	runErr  error
+
+	repOnce sync.Once
+	rep     *Report
+}
+
+// Done is closed when every kernel (including dynamically spawned ones)
+// has stopped and the runtime services are torn down.
+func (ex *Execution) Done() <-chan struct{} { return ex.done }
+
+// Rewriter returns the execution's graph-rewrite handle.
+func (ex *Execution) Rewriter() *Rewriter { return ex.rw }
+
+// Wait blocks until the application completes, then builds the Report —
+// the second half of Exe. Safe to call from multiple goroutines; the
+// report is assembled once.
+func (ex *Execution) Wait() (*Report, error) {
+	<-ex.done
+	ex.repOnce.Do(func() {
+		actors, links := ex.reg.actorList(), ex.reg.linkInfoList()
+		rep := ex.m.buildReport(ex.g, *ex.cfg, ex.assign, actors, links,
+			ex.mon, ex.scalers, ex.est, ex.sched, ex.elapsed)
+		rep.Trace = ex.rec
+		ex.reg.stampReport(rep)
+		if ex.cfg.Gateway != nil {
+			rep.Gateway = gatewayReport(ex.cfg.Gateway)
+		}
+		if ex.msrv != nil {
+			rep.MetricsAddr = ex.msrv.Addr()
+			ex.msrv.Stop()
+		}
+		ex.rep = rep
+	})
+	return ex.rep, ex.runErr
+}
+
+// ExeAsync is Exe without the blocking half: it performs verification,
+// the auto-replication rewrite, allocation, mapping and scheduling, then
+// returns while the application runs. The handle's Rewriter can splice
+// kernels and links into (and out of) the running graph; Wait completes
+// the execution exactly as Exe would have.
+func (m *Map) ExeAsync(opts ...Option) (*Execution, error) {
 	if m.executed {
 		return nil, fmt.Errorf("%w (kernels and streams are single-use; build a fresh Map)", ErrAlreadyExecuted)
 	}
@@ -642,13 +735,6 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	for _, s := range scalers {
 		s.attachLinks(linkInfos)
 	}
-	// Global exception pathway: a kernel Raise force-closes every stream
-	// so the whole application unblocks and stops.
-	m.setAbort(func() {
-		for _, li := range linkInfos {
-			li.Queue.Close()
-		}
-	})
 
 	// 5. Actors.
 	var rec *trace.Recorder
@@ -668,6 +754,15 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			return nil, err
 		}
 	}
+
+	// 5a. Runtime registry: the live kernel/link book the rewriter, the
+	// abort pathway and the report build all read, since the static slices
+	// above stop being the whole story once a rewrite commits.
+	reg := newRegistry(m, actors, linkInfos, scalers)
+	// Global exception pathway: a kernel Raise force-closes every stream
+	// (including dynamically spliced ones) so the whole application
+	// unblocks and stops.
+	m.setAbort(reg.closeAllQueues)
 
 	// 5b. Flight recorder and latency SLO. The recorder taps the trace bus
 	// for anomaly kinds (deadlock, escalation, shed storm, SLO breach); a
@@ -711,6 +806,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	if cfg.ServiceRateControl {
 		est = buildEstimator(actors, linkInfos, rec)
 	}
+	var dw *monitor.DeadlockWatch
 	if cfg.MonitorEnabled {
 		mon = monitor.New(monitor.Config{
 			Delta:         cfg.MonitorDelta,
@@ -724,7 +820,7 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			RateControl:   cfg.ServiceRateControl,
 		}, linkInfos, coreScalers)
 		if cfg.DeadlockGrace > 0 {
-			mon.SetDeadlockWatch(monitor.NewDeadlockWatch(actors, linkInfos, cfg.DeadlockGrace,
+			dw = monitor.NewDeadlockWatch(actors, linkInfos, cfg.DeadlockGrace,
 				func(diag string) {
 					m.exc.mu.Lock()
 					if m.exc.err == nil {
@@ -737,10 +833,9 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 					if cfg.flight != nil {
 						cfg.flight.Trigger("deadlock detected: " + diag)
 					}
-					for _, li := range linkInfos {
-						li.Queue.Close()
-					}
-				}))
+					reg.closeAllQueues()
+				})
+			mon.SetDeadlockWatch(dw)
 		}
 		mon.Start()
 	}
@@ -758,10 +853,13 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 
 	// 7. Scheduler selection — before the metrics endpoint and the stats
 	// streamer start, so both can poll the scheduler's counters mid-run.
-	var sched scheduler.Scheduler = scheduler.Goroutine{}
+	// Every scheduler is constructed through its New* constructor so it
+	// implements Spawner and can adopt kernels spliced in by a rewrite.
+	var sched scheduler.Scheduler = scheduler.NewGoroutine()
+	var ws *scheduler.WorkSteal
 	switch {
 	case cfg.WorkStealing:
-		ws := scheduler.NewWorkSteal(cfg.StealWorkers)
+		ws = scheduler.NewWorkSteal(cfg.StealWorkers)
 		ws.AttachLinks(linkInfos)
 		ws.AttachTopology(cfg.Topology)
 		if rec != nil {
@@ -773,7 +871,8 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 	}
 	schedStats, _ := sched.(scheduler.StatsReporter)
 
-	// Run to completion (with the metrics endpoint up, when requested).
+	// Runtime services up (metrics endpoint, stats streamer, gateway), then
+	// launch and return the handle.
 	health := &execHealth{}
 	var msrv *metricsServer
 	if cfg.MetricsAddr != "" || cfg.MetricsListener != nil {
@@ -807,36 +906,47 @@ func (m *Map) Exe(opts ...Option) (*Report, error) {
 			return nil, err
 		}
 	}
-	health.set(healthRunning)
-	start := time.Now()
-	runErr := sched.Run(actors)
-	elapsed := time.Since(start)
-	health.set(healthDraining)
-	if cfg.Gateway != nil {
-		cfg.Gateway.Stop()
-	}
-	if mon != nil {
-		mon.Stop()
-	}
-	if streamer != nil {
-		streamer.Stop()
-	}
-	health.set(healthDone)
-	if raised := m.raisedError(); raised != nil {
-		runErr = errors.Join(raised, runErr)
-	}
 
-	// 8. Report.
-	rep := m.buildReport(g, cfg, assignment, actors, linkInfos, mon, scalers, est, sched, elapsed)
-	rep.Trace = rec
+	ex := &Execution{
+		m: m, cfg: &cfg, g: g, assign: assignment,
+		rec: rec, stride: stride, mon: mon, dw: dw, est: est,
+		sched: sched, ws: ws, scalers: scalers,
+		health: health, msrv: msrv,
+		reg:  reg,
+		done: make(chan struct{}),
+	}
+	ex.spawn, _ = sched.(scheduler.Spawner)
+	ex.rw = &Rewriter{ex: ex}
+	ex.tmpl = newTemplateSet(ex)
 	if cfg.Gateway != nil {
-		rep.Gateway = gatewayReport(cfg.Gateway)
+		// Unknown/unwired ingest sources get one shot at template-driven
+		// instantiation before the gateway answers 404/503.
+		cfg.Gateway.SetResolver(ex.tmpl.resolve)
 	}
-	if msrv != nil {
-		rep.MetricsAddr = msrv.Addr()
-		msrv.Stop()
-	}
-	return rep, runErr
+	reg.start = time.Now()
+	ex.start = reg.start
+	health.set(healthRunning)
+	go func() {
+		runErr := sched.Run(actors)
+		ex.elapsed = time.Since(ex.start)
+		health.set(healthDraining)
+		if cfg.Gateway != nil {
+			cfg.Gateway.Stop()
+		}
+		if mon != nil {
+			mon.Stop()
+		}
+		if streamer != nil {
+			streamer.Stop()
+		}
+		health.set(healthDone)
+		if raised := m.raisedError(); raised != nil {
+			runErr = errors.Join(raised, runErr)
+		}
+		ex.runErr = runErr
+		close(ex.done)
+	}()
+	return ex, nil
 }
 
 // Validate runs Exe's structural checks — every port linked, types
@@ -975,41 +1085,51 @@ func (m *Map) allocate(cfg *Config) ([]*core.LinkInfo, error) {
 func (m *Map) buildActors(assignment mapper.Assignment, rec *trace.Recorder, stride int) []*core.Actor {
 	actors := make([]*core.Actor, len(m.kernels))
 	for i, k := range m.kernels {
-		kb := k.kernelBase()
-		// Marker lifecycle events attribute to the kernel's trace track.
-		kb.actor = int32(i)
-		a := &core.Actor{
-			ID:      i,
-			Name:    kb.Name(),
-			Place:   assignment[i],
-			Weight:  kb.Weight(),
-			Step:    k.Run,
-			Virtual: kb.Virtual(),
-		}
-		if rec != nil {
-			a.Trace = rec
-			a.TraceID = int32(i)
-			a.TraceStride = uint32(stride)
-			if ta, ok := k.(TraceAttacher); ok {
-				ta.AttachTrace(rec, int32(i))
-			}
-		}
-		if init, ok := k.(Initializer); ok {
-			a.Init = init.Init
-		}
-		a.Ready = readinessOf(kb)
-		fin, hasFin := k.(Finalizer)
-		a.Finish = func() {
-			if hasFin {
-				fin.Finalize()
-			}
-			// Close outputs (EOF downstream) and inputs (unblocks upstream
-			// producers if this kernel died early).
-			kb.closeAllQueues()
-		}
-		actors[i] = a
+		actors[i] = buildActor(k, i, assignment[i], rec, stride)
 	}
 	return actors
+}
+
+// buildActor wraps one kernel into an actor — shared by the initial build
+// above and the rewriter, which spawns actors for kernels spliced into a
+// running graph.
+func buildActor(k Kernel, id, place int, rec *trace.Recorder, stride int) *core.Actor {
+	kb := k.kernelBase()
+	// Marker lifecycle events attribute to the kernel's trace track.
+	kb.actor = int32(id)
+	a := &core.Actor{
+		ID:      id,
+		Name:    kb.Name(),
+		Place:   place,
+		Weight:  kb.Weight(),
+		Step:    k.Run,
+		Virtual: kb.Virtual(),
+		// Every actor carries a gate so a later rewrite can pause it at a
+		// step boundary (one atomic load per step when idle).
+		Gate: core.NewGate(),
+	}
+	if rec != nil {
+		a.Trace = rec
+		a.TraceID = int32(id)
+		a.TraceStride = uint32(stride)
+		if ta, ok := k.(TraceAttacher); ok {
+			ta.AttachTrace(rec, int32(id))
+		}
+	}
+	if init, ok := k.(Initializer); ok {
+		a.Init = init.Init
+	}
+	a.Ready = readinessOf(kb)
+	fin, hasFin := k.(Finalizer)
+	a.Finish = func() {
+		if hasFin {
+			fin.Finalize()
+		}
+		// Close outputs (EOF downstream) and inputs (unblocks upstream
+		// producers if this kernel died early).
+		kb.closeAllQueues()
+	}
+	return a
 }
 
 // buildEstimator wires the online rate estimator over the engine state
@@ -1265,6 +1385,12 @@ func (m *Map) rewriteReplicated(cfg *Config) ([]*groupScaler, error) {
 			return nil, err
 		}
 
+		// Group structure is monitor-owned; the rewriter must not splice it.
+		split.kernelBase().rigid = true
+		merge.kernelBase().rigid = true
+		for _, c := range clones {
+			c.kernelBase().rigid = true
+		}
 		scalers = append(scalers, &groupScaler{
 			name:    kb.Name(),
 			split:   split,

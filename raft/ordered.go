@@ -110,6 +110,13 @@ func (m *Map) rewriteOrdered(k Kernel, inbound, outbound *Link, width int) error
 		dup.kernelBase().SetName(kb.Name() + "[" + strconv.Itoa(i) + "]")
 		clones[i] = dup
 	}
+	// The cyclic split/merge discipline is position-dependent; rewriting
+	// any part of the group would break determinism.
+	split.kernelBase().rigid = true
+	merge.kernelBase().rigid = true
+	for _, c := range clones {
+		c.kernelBase().rigid = true
+	}
 
 	m.removeLink(inbound)
 	m.removeLink(outbound)

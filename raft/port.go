@@ -1,8 +1,10 @@
 package raft
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 
 	"raftlib/internal/core"
 	"raftlib/internal/ringbuffer"
@@ -90,6 +92,57 @@ type Port struct {
 	stampLeft   uint32
 	stampTenant string
 	stampSource string
+
+	// pending, when non-nil, is the replacement binding a graph-rewrite
+	// transaction installed before sealing the current stream. The owning
+	// kernel applies it itself: when a consuming operation reports the old
+	// stream closed AND drained, the port swaps bindings and retries, so
+	// the kernel never observes the splice as EOF. Installed by the
+	// rewriter (before the seal, so the ErrClosed wake-up must find it);
+	// consumed on the kernel's own goroutine.
+	pending atomic.Pointer[pendingRebind]
+}
+
+// pendingRebind is a staged port binding: the new stream a consumer port
+// migrates to once its sealed predecessor drains.
+type pendingRebind struct {
+	q     ringbuffer.Queue
+	typed any
+	async *asyncCell
+	link  *Link
+	batch *core.BatchControl
+	lane  *trace.MarkerLane
+	// applied is closed once the owning kernel has swapped to this
+	// binding; the rewriter's commit waits on it so "Commit returned"
+	// means the new structure carries the traffic.
+	applied chan struct{}
+}
+
+// installPending stages a replacement binding on a continuing consumer
+// port. Must be called before the current stream is sealed.
+func (p *Port) installPending(b *pendingRebind) { p.pending.Store(b) }
+
+// migrateOnClosed is the consumer side of the epoch-seal handoff: called
+// with a port operation's error on the owning kernel's goroutine, it
+// reports whether the port just swapped to a staged replacement binding
+// (in which case the operation must retry against the new stream). The
+// swap happens only once the sealed stream is fully drained, so FIFO
+// order, signals and latency markers are preserved across the splice.
+func (p *Port) migrateOnClosed(err error) bool {
+	nb := p.pending.Load()
+	if nb == nil || !errors.Is(err, ringbuffer.ErrClosed) {
+		return false
+	}
+	if p.q != nil && p.q.Len() != 0 {
+		return false // sealed but not drained; keep consuming
+	}
+	if !p.pending.CompareAndSwap(nb, nil) {
+		return false
+	}
+	p.q, p.typed, p.async = nb.q, nb.typed, nb.async
+	p.link, p.batch, p.lane = nb.link, nb.batch, nb.lane
+	close(nb.applied)
+	return true
 }
 
 // Name returns the port's name.
@@ -207,31 +260,46 @@ func ringOf[T any](p *Port) *ringbuffer.Ring[T] {
 // drained — the paper's pop_s, minus the destructor (Go returns the value
 // directly).
 func Pop[T any](p *Port) (T, error) {
-	v, _, err := queueOf[T](p).Pop()
-	if err == nil {
-		p.markPop()
+	for {
+		v, _, err := queueOf[T](p).Pop()
+		if err == nil {
+			p.markPop()
+			return v, nil
+		}
+		if !p.migrateOnClosed(err) {
+			return v, err
+		}
 	}
-	return v, err
 }
 
 // PopSig is Pop plus the synchronized signal delivered with the element.
 func PopSig[T any](p *Port) (T, Signal, error) {
-	v, s, err := queueOf[T](p).Pop()
-	if err == nil {
-		p.markPop()
+	for {
+		v, s, err := queueOf[T](p).Pop()
+		if err == nil {
+			p.markPop()
+			return v, s, nil
+		}
+		if !p.migrateOnClosed(err) {
+			return v, s, err
+		}
 	}
-	return v, s, err
 }
 
 // TryPop removes the next element without blocking. ok reports whether an
 // element was available; err is ErrClosed once the stream is closed and
 // drained.
 func TryPop[T any](p *Port) (v T, ok bool, err error) {
-	v, _, ok, err = queueOf[T](p).TryPop()
-	if ok {
-		p.markPop()
+	for {
+		v, _, ok, err = queueOf[T](p).TryPop()
+		if ok {
+			p.markPop()
+			return v, ok, err
+		}
+		if err == nil || !p.migrateOnClosed(err) {
+			return v, ok, err
+		}
 	}
-	return v, ok, err
 }
 
 // Push appends v to an output port, blocking while the stream is full.
@@ -314,40 +382,56 @@ func PushNSig[T any](p *Port, vs []T, sigs []Signal) error {
 // The elements' signals are consumed and discarded (like Pop); use PopNSig
 // to observe them.
 func PopN[T any](p *Port, dst []T) (int, error) {
-	n, err := bulkOf[T](p).PopN(dst, nil)
-	if n > 0 {
-		p.markPop()
+	for {
+		n, err := bulkOf[T](p).PopN(dst, nil)
+		if n > 0 {
+			p.markPop()
+		}
+		if err == nil || n > 0 || !p.migrateOnClosed(err) {
+			return n, err
+		}
 	}
-	return n, err
 }
 
 // PopNSig is PopN plus the elements' synchronized signals: the first n
 // entries of sigs (which must hold at least len(dst)) receive the signals
 // aligned with dst.
 func PopNSig[T any](p *Port, dst []T, sigs []Signal) (int, error) {
-	n, err := bulkOf[T](p).PopN(dst, sigs)
-	if n > 0 {
-		p.markPop()
+	for {
+		n, err := bulkOf[T](p).PopN(dst, sigs)
+		if n > 0 {
+			p.markPop()
+		}
+		if err == nil || n > 0 || !p.migrateOnClosed(err) {
+			return n, err
+		}
 	}
-	return n, err
 }
 
 // DrainTo is the non-blocking PopN: it removes whatever is buffered, up to
 // len(dst) elements, returning 0 with a nil error when the stream is empty
 // but open and (0, ErrClosed) once it is closed and drained.
 func DrainTo[T any](p *Port, dst []T) (int, error) {
-	n, err := bulkOf[T](p).DrainTo(dst, nil)
-	if n > 0 {
-		p.markPop()
+	for {
+		n, err := bulkOf[T](p).DrainTo(dst, nil)
+		if n > 0 {
+			p.markPop()
+		}
+		if err == nil || n > 0 || !p.migrateOnClosed(err) {
+			return n, err
+		}
 	}
-	return n, err
 }
 
 // Peek returns the element at offset i from the stream head without
 // consuming it, blocking until it arrives.
 func Peek[T any](p *Port, i int) (T, error) {
-	v, _, err := ringOf[T](p).Peek(i)
-	return v, err
+	for {
+		v, _, err := ringOf[T](p).Peek(i)
+		if err == nil || !p.migrateOnClosed(err) {
+			return v, err
+		}
+	}
 }
 
 // PeekRange blocks until n elements are available and returns them
@@ -358,14 +442,23 @@ func Peek[T any](p *Port, i int) (T, error) {
 // the remainder is returned along with ErrClosed. Consume window elements
 // with Recycle.
 func PeekRange[T any](p *Port, n int) ([]T, error) {
-	vs, _, err := ringOf[T](p).PeekRange(n)
-	return vs, err
+	for {
+		vs, _, err := ringOf[T](p).PeekRange(n)
+		if err == nil || len(vs) > 0 || !p.migrateOnClosed(err) {
+			return vs, err
+		}
+	}
 }
 
 // PeekRangeSig is PeekRange plus the elements' synchronized signals (nil
 // when every signal is SigNone).
 func PeekRangeSig[T any](p *Port, n int) ([]T, []Signal, error) {
-	return ringOf[T](p).PeekRange(n)
+	for {
+		vs, sigs, err := ringOf[T](p).PeekRange(n)
+		if err == nil || len(vs) > 0 || !p.migrateOnClosed(err) {
+			return vs, sigs, err
+		}
+	}
 }
 
 // Recycle consumes the n oldest elements of an input port after a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"raftlib/internal/trace"
 )
@@ -28,8 +29,24 @@ func (r *Report) String() string {
 		}
 	}
 
+	// The lifecycle columns appear only when the graph was rewritten at
+	// runtime: kernels spliced in or retired mid-run carry joined/left
+	// offsets, and rendering them distinguishes a departed kernel's final
+	// numbers from a live kernel's current ones. A static graph keeps the
+	// pre-rewrite layout.
+	life := false
+	for _, k := range r.Kernels {
+		if k.JoinedAt != 0 || k.LeftAt != 0 {
+			life = true
+			break
+		}
+	}
+
 	fmt.Fprintf(&b, "\nkernels (%d):\n", len(r.Kernels))
 	fmt.Fprintf(&b, "  %-28s %-6s %-12s %-14s %-14s %-14s", "name", "place", "runs", "mean svc", "p99 svc", "rate/s")
+	if life {
+		fmt.Fprintf(&b, " %-10s %-10s", "joined", "left")
+	}
 	if rates {
 		fmt.Fprintf(&b, " %-12s", "µ̂/s")
 	}
@@ -37,6 +54,9 @@ func (r *Report) String() string {
 	for _, k := range r.Kernels {
 		fmt.Fprintf(&b, "  %-28s %-6d %-12d %-14s %-14s %-14.0f",
 			k.Name, k.Place, k.Runs, fmtNanos(k.MeanSvcNanos), fmtNanos(float64(k.SvcP99Nanos)), k.RatePerSec)
+		if life {
+			fmt.Fprintf(&b, " %-10s %-10s", fmtStamp(k.JoinedAt), fmtStamp(k.LeftAt))
+		}
 		if rates {
 			fmt.Fprintf(&b, " %-12.0f", k.MuHat)
 		}
@@ -44,8 +64,9 @@ func (r *Report) String() string {
 	}
 
 	// drop and vhold columns appear only when some link actually shed or
-	// took the zero-copy view path (all-zero columns otherwise).
-	drops, views := false, false
+	// took the zero-copy view path; the lifecycle columns only when some
+	// stream was spliced in or sealed mid-run (all-zero columns otherwise).
+	drops, views, linkLife := false, false, false
 	for _, l := range r.Links {
 		if l.Dropped > 0 {
 			drops = true
@@ -53,10 +74,13 @@ func (r *Report) String() string {
 		if l.Views > 0 {
 			views = true
 		}
+		if l.JoinedAt != 0 || l.LeftAt != 0 {
+			linkLife = true
+		}
 	}
 
 	fmt.Fprintf(&b, "\nstreams (%d):\n", len(r.Links))
-	writeTable(&b, streamCols(rates, drops, views), len(r.Links), func(i int) *LinkReport { return &r.Links[i] })
+	writeTable(&b, streamCols(rates, drops, views, linkLife), len(r.Links), func(i int) *LinkReport { return &r.Links[i] })
 
 	if len(r.Groups) > 0 {
 		fmt.Fprintf(&b, "\nreplicated groups (%d):\n", len(r.Groups))
@@ -143,8 +167,9 @@ func writeTable[T any](b *strings.Builder, cols []col[T], n int, row func(int) T
 
 // streamCols is the streams-section layout. The drop column appears only
 // when some link shed elements; the estimator columns only when rate
-// control ran.
-func streamCols(rates, drops, views bool) []col[*LinkReport] {
+// control ran; the lifecycle columns only when a rewrite spliced or
+// sealed a stream mid-run.
+func streamCols(rates, drops, views, life bool) []col[*LinkReport] {
 	cols := []col[*LinkReport]{
 		{"link", 44, func(l *LinkReport) string { return l.Name }},
 		{"ring", 6, func(l *LinkReport) string { return l.Ring }},
@@ -167,6 +192,11 @@ func streamCols(rates, drops, views bool) []col[*LinkReport] {
 			col[*LinkReport]{"views", 8, func(l *LinkReport) string { return fmt.Sprintf("%d", l.Views) }},
 			col[*LinkReport]{"vhold", 10, func(l *LinkReport) string { return fmtNanos(float64(l.ViewHoldNs)) }})
 	}
+	if life {
+		cols = append(cols,
+			col[*LinkReport]{"joined", 10, func(l *LinkReport) string { return fmtStamp(l.JoinedAt) }},
+			col[*LinkReport]{"left", 10, func(l *LinkReport) string { return fmtStamp(l.LeftAt) }})
+	}
 	if rates {
 		cols = append(cols,
 			col[*LinkReport]{"λ̂/s", 12, func(l *LinkReport) string { return fmt.Sprintf("%.0f", l.LambdaHat) }},
@@ -174,6 +204,16 @@ func streamCols(rates, drops, views bool) []col[*LinkReport] {
 			col[*LinkReport]{"ρ̂", 6, func(l *LinkReport) string { return fmt.Sprintf("%.2f", l.RhoHat) }})
 	}
 	return cols
+}
+
+// fmtStamp renders a lifecycle offset: "-" for a kernel or stream that
+// was part of the original graph (joined) or still present at shutdown
+// (left), the offset from execution start otherwise.
+func fmtStamp(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return "+" + fmtNanos(float64(d))
 }
 
 // traceFlow / traceStage alias the marker-domain aggregates so the

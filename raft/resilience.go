@@ -151,69 +151,77 @@ func (m *Map) wireResilience(cfg *Config, actors []*core.Actor) error {
 		// without an explicit WithCheckpoints.
 		store = resilience.NewMemStore()
 	}
-	log := &resilience.Log{}
-	cfg.resLog = log
+	cfg.resStore = store
+	cfg.resLog = &resilience.Log{}
 
 	for i, k := range m.kernels {
-		a := actors[i]
-		if a.Virtual {
-			continue
-		}
-		if cfg.Fault != nil {
-			inner := a.Step
-			name := a.Name
-			inj := cfg.Fault
-			var runs atomic.Uint64
-			a.Step = func() core.Status {
-				inj.BeforeRun(name, runs.Add(1))
-				return inner()
-			}
-		}
-		if !cfg.Supervised {
-			continue
-		}
-		kb := k.kernelBase()
-		hooks := resilience.Hooks{
-			CheckpointEvery: cfg.CkptEvery,
-			OnExhausted:     kb.Raise,
-			Log:             log,
-		}
-		if ck, ok := k.(Checkpointable); ok {
-			name := a.Name
-			hooks.Checkpoint = func() error {
-				snap, err := ck.Snapshot()
-				if err != nil {
-					return err
-				}
-				return store.Save(name, snap)
-			}
-			hooks.Restore = func() error {
-				snap, found, err := store.Load(name)
-				if err != nil || !found {
-					return err
-				}
-				return ck.Restore(snap)
-			}
-			// Cross-execution resume: a persistent store may already hold a
-			// snapshot from an earlier run; restore it before the first Step.
-			innerInit := a.Init
-			a.Init = func() error {
-				if innerInit != nil {
-					if err := innerInit(); err != nil {
-						return err
-					}
-				}
-				snap, found, err := store.Load(name)
-				if err != nil {
-					return err
-				}
-				if found {
-					return ck.Restore(snap)
-				}
-				return nil
-			}
-		}
-		resilience.Supervise(a, cfg.Supervision, hooks)
+		wireActorResilience(cfg, k, actors[i])
 	}
 	return nil
+}
+
+// wireActorResilience applies the execution's fault-injection and
+// supervision configuration to one actor. Shared by wireResilience above
+// and the rewriter, so dynamically spawned kernels get the same restart
+// protection and checkpoint/restore plumbing as static ones.
+func wireActorResilience(cfg *Config, k Kernel, a *core.Actor) {
+	if a.Virtual {
+		return
+	}
+	if cfg.Fault != nil {
+		inner := a.Step
+		name := a.Name
+		inj := cfg.Fault
+		var runs atomic.Uint64
+		a.Step = func() core.Status {
+			inj.BeforeRun(name, runs.Add(1))
+			return inner()
+		}
+	}
+	if !cfg.Supervised {
+		return
+	}
+	store := cfg.resStore
+	kb := k.kernelBase()
+	hooks := resilience.Hooks{
+		CheckpointEvery: cfg.CkptEvery,
+		OnExhausted:     kb.Raise,
+		Log:             cfg.resLog,
+	}
+	if ck, ok := k.(Checkpointable); ok {
+		name := a.Name
+		hooks.Checkpoint = func() error {
+			snap, err := ck.Snapshot()
+			if err != nil {
+				return err
+			}
+			return store.Save(name, snap)
+		}
+		hooks.Restore = func() error {
+			snap, found, err := store.Load(name)
+			if err != nil || !found {
+				return err
+			}
+			return ck.Restore(snap)
+		}
+		// Cross-execution resume: a persistent store may already hold a
+		// snapshot from an earlier run; restore it before the first Step.
+		innerInit := a.Init
+		a.Init = func() error {
+			if innerInit != nil {
+				if err := innerInit(); err != nil {
+					return err
+				}
+			}
+			snap, found, err := store.Load(name)
+			if err != nil {
+				return err
+			}
+			if found {
+				return ck.Restore(snap)
+			}
+			return nil
+		}
+	}
+	resilience.Supervise(a, cfg.Supervision, hooks)
 }

@@ -162,22 +162,30 @@ func writeViewOf[T any](p *Port) writeViewQueue[T] {
 // released exactly once with ReleaseView; its slices alias queue storage
 // and are invalid after release.
 func PopView[T any](p *Port, max int) (View[T], error) {
-	v, err := viewOf[T](p).AcquireView(max)
-	if len(v.Vals) > 0 {
-		p.markPop()
+	for {
+		v, err := viewOf[T](p).AcquireView(max)
+		if len(v.Vals) > 0 {
+			p.markPop()
+		}
+		if err == nil || len(v.Vals) > 0 || !p.migrateOnClosed(err) {
+			return View[T](v), err
+		}
 	}
-	return View[T](v), err
 }
 
 // TryPopView is the non-blocking PopView: an empty view with a nil error
 // when the stream is empty but open, (empty, ErrClosed) once it is closed
 // and drained. An empty view must not be released.
 func TryPopView[T any](p *Port, max int) (View[T], error) {
-	v, err := viewOf[T](p).TryAcquireView(max)
-	if len(v.Vals) > 0 {
-		p.markPop()
+	for {
+		v, err := viewOf[T](p).TryAcquireView(max)
+		if len(v.Vals) > 0 {
+			p.markPop()
+		}
+		if err == nil || len(v.Vals) > 0 || !p.migrateOnClosed(err) {
+			return View[T](v), err
+		}
 	}
-	return View[T](v), err
 }
 
 // ReleaseView ends the port's outstanding read view, consuming its first n
